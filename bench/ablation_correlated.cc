@@ -1,0 +1,77 @@
+// Ablation A4 (paper §5.3, relaxing assumption 3): correlated failures.
+// Nodes belong to clusters (e.g. sites hit by the same outage); a shared
+// per-(task, cluster) event makes whole clusters fail together. Equations
+// (1)–(6) still apply with r replaced by the *effective* per-job
+// reliability (1 − q) * r_ind as long as a task's jobs mostly land in
+// different clusters — and degrade as clusters get coarse.
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/flags.h"
+#include "common/table.h"
+#include "dca/task_server.h"
+#include "dca/workload.h"
+#include "fault/failure_model.h"
+#include "redundancy/analysis.h"
+#include "redundancy/iterative.h"
+#include "sim/simulator.h"
+
+int main(int argc, char** argv) {
+  smartred::flags::Parser parser(
+      "ablation_correlated",
+      "A4 — correlated (cluster) failures vs. the independent-failure "
+      "prediction (relaxed assumption 3, §5.3)");
+  const auto d = parser.add_int("d", 4, "iterative margin");
+  const auto tasks = parser.add_int("tasks", 30'000, "tasks per data point");
+  const auto r_ind = parser.add_double("r-independent", 0.78,
+                                       "per-node independent reliability");
+  const auto q = parser.add_double("cluster-failure-prob", 0.1,
+                                   "per-(task, cluster) shared failure");
+  const auto seed = parser.add_int("seed", 4, "master seed");
+  const auto csv = parser.add_string("csv", "", "CSV output path (optional)");
+  parser.parse(argc, argv);
+
+  const int dd = static_cast<int>(*d);
+  smartred::table::banner(
+      std::cout,
+      "A4 — effective r = (1-q)*r_ind = " +
+          std::to_string((1.0 - *q) * *r_ind) + ", sweeping cluster count");
+  smartred::table::Table out({"clusters", "cost", "cost_pred", "reliability",
+                              "rel_pred_independent"});
+
+  const double r_eff = (1.0 - *q) * *r_ind;
+  const double cost_pred =
+      smartred::redundancy::analysis::iterative_cost(dd, r_eff);
+  const double rel_pred =
+      smartred::redundancy::analysis::iterative_reliability(dd, r_eff);
+
+  for (int clusters : {2'000, 200, 50, 10, 4, 1}) {
+    smartred::sim::Simulator simulator;
+    smartred::dca::DcaConfig config;
+    config.nodes = 2'000;
+    config.seed = static_cast<std::uint64_t>(*seed) +
+                  static_cast<std::uint64_t>(clusters);
+    const smartred::redundancy::IterativeFactory factory(dd);
+    const smartred::dca::SyntheticWorkload workload(
+        static_cast<std::uint64_t>(*tasks));
+    smartred::fault::CorrelatedClusters failures(
+        smartred::fault::ReliabilityAssigner(
+            smartred::fault::ConstantReliability{*r_ind},
+            smartred::rng::Stream(config.seed + 1)),
+        clusters, *q, smartred::rng::Stream(config.seed + 2));
+    smartred::dca::TaskServer server(simulator, config, factory, workload,
+                                     failures);
+    const auto& metrics = server.run();
+    out.add_row({static_cast<long long>(clusters), metrics.cost_factor(),
+                 cost_pred, metrics.reliability(), rel_pred});
+  }
+  smartred::bench::emit(out, *csv, "correlated");
+  std::cout
+      << "\nReading: with many clusters (jobs of one task rarely share a "
+         "cluster) the independent-failure prediction holds; a single "
+         "cluster makes the shared event indistinguishable from colluding "
+         "nodes — reliability drops toward the q-driven floor, which no "
+         "redundancy can fix (paper §2.2: perfectly correlated failures "
+         "defeat all redundancy techniques).\n";
+  return 0;
+}

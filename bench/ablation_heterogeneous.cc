@@ -1,0 +1,134 @@
+// Ablation A3 (paper §5.3, relaxing assumption 1): heterogeneous node
+// reliabilities. Because jobs are assigned to nodes uniformly at random,
+// only the *mean* reliability matters to first order; pools with the same
+// mean but very different spreads produce nearly identical system
+// reliability and cost. (Second-order effects from Jensen's inequality are
+// visible but small — and favorable for reliability.)
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/flags.h"
+#include "common/table.h"
+#include "dca/task_server.h"
+#include "dca/workload.h"
+#include "fault/failure_model.h"
+#include "redundancy/analysis.h"
+#include "redundancy/iterative.h"
+#include "redundancy/montecarlo.h"
+#include "redundancy/weighted.h"
+#include "sim/simulator.h"
+
+namespace {
+
+smartred::dca::RunMetrics run_pool(
+    const smartred::fault::ReliabilityDistribution& dist, int d,
+    std::uint64_t tasks, std::uint64_t seed) {
+  smartred::sim::Simulator simulator;
+  smartred::dca::DcaConfig config;
+  config.nodes = 2'000;
+  config.seed = seed;
+  const smartred::redundancy::IterativeFactory factory(d);
+  const smartred::dca::SyntheticWorkload workload(tasks);
+  smartred::fault::ByzantineCollusion failures(
+      smartred::fault::ReliabilityAssigner(dist,
+                                           smartred::rng::Stream(seed + 1)));
+  smartred::dca::TaskServer server(simulator, config, factory, workload,
+                                   failures);
+  return server.run();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  smartred::flags::Parser parser(
+      "ablation_heterogeneous",
+      "A3 — heterogeneous node reliabilities with equal mean (relaxed "
+      "assumption 1, §5.3)");
+  const auto d = parser.add_int("d", 4, "iterative margin");
+  const auto tasks = parser.add_int("tasks", 50'000, "tasks per pool");
+  const auto seed = parser.add_int("seed", 3, "master seed");
+  const auto csv = parser.add_string("csv", "", "CSV output path (optional)");
+  parser.parse(argc, argv);
+
+  const int dd = static_cast<int>(*d);
+  const auto n_tasks = static_cast<std::uint64_t>(*tasks);
+  const auto base_seed = static_cast<std::uint64_t>(*seed);
+
+  smartred::table::banner(
+      std::cout, "A3 — pools with mean r = 0.7 and increasing spread");
+  smartred::table::Table out({"pool", "mean_r", "measured_r", "cost",
+                              "reliability", "rel_eq6_at_mean"});
+  const double predicted =
+      smartred::redundancy::analysis::iterative_reliability(dd, 0.7);
+
+  struct Pool {
+    std::string name;
+    smartred::fault::ReliabilityDistribution dist;
+  };
+  const Pool pools[] = {
+      {"constant(0.7)", smartred::fault::ConstantReliability{0.7}},
+      {"uniform(0.6,0.8)", smartred::fault::UniformReliability{0.6, 0.8}},
+      {"uniform(0.5,0.9)", smartred::fault::UniformReliability{0.5, 0.9}},
+      {"uniform(0.41,0.99)",
+       smartred::fault::UniformReliability{0.41, 0.99}},
+      {"twopoint(90%@0.75,10%@0.25)",
+       smartred::fault::TwoPointReliability{0.9, 0.75, 0.25}},
+  };
+
+  std::uint64_t pool_seed = base_seed;
+  for (const Pool& pool : pools) {
+    const auto metrics = run_pool(pool.dist, dd, n_tasks, ++pool_seed);
+    out.add_row({pool.name, smartred::fault::mean_reliability(pool.dist),
+                 metrics.empirical_node_reliability(), metrics.cost_factor(),
+                 metrics.reliability(), predicted});
+  }
+  smartred::bench::emit(out, *csv, "heterogeneous");
+  std::cout << "\nReading: random assignment makes the pool look like its "
+               "mean (paper assumption 1 and its §5.3 relaxation); iterative "
+               "redundancy needs no change.\n";
+
+  // Second question (§5.3's complex form): if per-node reliabilities ARE
+  // known, how much does weighting votes by them save over the margin rule?
+  smartred::table::banner(
+      std::cout,
+      "A3b — margin rule vs. weighted complex form on a two-point pool "
+      "(known per-node reliabilities, target R = 0.99)");
+  const double target = 0.99;
+  const double good_r = 0.95;
+  const double bad_r = 0.55;
+  const double mean_r = (good_r + bad_r) / 2.0;
+  const smartred::redundancy::VoteSource source =
+      [good_r, bad_r](std::uint64_t /*task*/, int job,
+                      smartred::rng::Stream& rng) {
+        const auto node = static_cast<smartred::redundancy::NodeId>(job);
+        const double r = node % 2 == 0 ? good_r : bad_r;
+        return smartred::redundancy::Vote{
+            node, rng.bernoulli(r) ? smartred::redundancy::kCorrectValue
+                                   : smartred::redundancy::kWrongValue};
+      };
+  smartred::redundancy::MonteCarloConfig mc;
+  mc.tasks = static_cast<std::uint64_t>(*tasks);
+  mc.seed = base_seed + 99;
+
+  smartred::table::Table duel({"strategy", "reliability", "cost"});
+  const smartred::redundancy::IterativeFactory margin_rule(
+      smartred::redundancy::analysis::margin_for_confidence(mean_r, target));
+  const auto plain = smartred::redundancy::run_custom(
+      margin_rule, source, smartred::redundancy::kCorrectValue, mc);
+  duel.add_row({margin_rule.name() + " [mean r]", plain.reliability(),
+                plain.cost_factor()});
+
+  const smartred::redundancy::WeightedIterativeFactory weighted(
+      [good_r, bad_r](smartred::redundancy::NodeId node) {
+        return node % 2 == 0 ? good_r : bad_r;
+      },
+      mean_r, target);
+  const auto smart = smartred::redundancy::run_custom(
+      weighted, source, smartred::redundancy::kCorrectValue, mc);
+  duel.add_row({weighted.name(), smart.reliability(), smart.cost_factor()});
+  smartred::bench::emit(duel, *csv, "weighted");
+  std::cout << "\nReading: the margin rule already meets the target without "
+               "knowing anything; per-node knowledge (when it exists) buys a "
+               "further cost reduction via the §5.3 complex form.\n";
+  return 0;
+}

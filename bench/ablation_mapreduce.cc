@@ -1,0 +1,87 @@
+// Ablation A9: end-to-end MapReduce output quality vs. redundancy budget.
+//
+// The figures of the paper score per-task reliability; this ablation scores
+// what a downstream user of a Hadoop-class system actually sees — the
+// accuracy of the final job output after corrupted tasks propagate through
+// the shuffle — as the redundancy parameter grows, for traditional and
+// iterative validation on the same pool.
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/flags.h"
+#include "common/table.h"
+#include "fault/failure_model.h"
+#include "mapreduce/engine.h"
+#include "redundancy/analysis.h"
+#include "redundancy/iterative.h"
+#include "redundancy/traditional.h"
+
+namespace {
+
+using namespace smartred;  // NOLINT(build/namespaces) — bench main
+
+mapreduce::MapReduceResult run_job(
+    const mapreduce::WordCountEngine& engine,
+    const redundancy::StrategyFactory& factory, double r,
+    std::uint64_t seed) {
+  fault::ByzantineCollusion failures(fault::ReliabilityAssigner(
+      fault::ConstantReliability{r}, rng::Stream(seed)));
+  return engine.run(factory, failures);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  flags::Parser parser(
+      "ablation_mapreduce",
+      "A9 — end-to-end MapReduce output accuracy vs. redundancy budget "
+      "(traditional vs. iterative validation)");
+  const auto documents = parser.add_int("documents", 512, "corpus size");
+  const auto r = parser.add_double("reliability", 0.7, "worker reliability");
+  const auto seed = parser.add_int("seed", 14, "master seed");
+  const auto csv = parser.add_string("csv", "", "CSV output path (optional)");
+  parser.parse(argc, argv);
+
+  const mapreduce::Corpus corpus(
+      static_cast<std::size_t>(*documents), 200, 1'000,
+      rng::Stream(static_cast<std::uint64_t>(*seed)));
+  mapreduce::MapReduceConfig config;
+  config.map_tasks = 64;
+  config.reduce_tasks = 16;
+  config.dca.nodes = 500;
+  config.dca.seed = static_cast<std::uint64_t>(*seed) + 1;
+  const mapreduce::WordCountEngine engine(corpus, config);
+
+  table::banner(std::cout,
+                "A9 — output accuracy vs. jobs per task, r = " +
+                    std::to_string(*r));
+  table::Table out({"validator", "param", "jobs_per_task", "corrupted",
+                    "output_accuracy", "task_reliability_eq"});
+
+  std::uint64_t run_seed = static_cast<std::uint64_t>(*seed) * 100;
+  for (int k : {1, 3, 5, 7, 9, 11}) {
+    const redundancy::TraditionalFactory factory(k);
+    const auto result = run_job(engine, factory, *r, ++run_seed);
+    out.add_row({"TR", static_cast<long long>(k),
+                 result.total_cost_factor(),
+                 static_cast<long long>(result.map_phase.corrupted_tasks +
+                                        result.reduce_phase.corrupted_tasks),
+                 result.output_accuracy,
+                 redundancy::analysis::traditional_reliability(k, *r)});
+  }
+  for (int d : {1, 2, 3, 4, 5, 6}) {
+    const redundancy::IterativeFactory factory(d);
+    const auto result = run_job(engine, factory, *r, ++run_seed);
+    out.add_row({"IR", static_cast<long long>(d),
+                 result.total_cost_factor(),
+                 static_cast<long long>(result.map_phase.corrupted_tasks +
+                                        result.reduce_phase.corrupted_tasks),
+                 result.output_accuracy,
+                 redundancy::analysis::iterative_reliability(d, *r)});
+  }
+  bench::emit(out, *csv, "mapreduce");
+  std::cout << "\nReading: at any jobs-per-task budget, iterative validation "
+               "yields the cleaner final histogram; corrupted tasks are what "
+               "a Hadoop user would experience as silently wrong output.\n";
+  return 0;
+}

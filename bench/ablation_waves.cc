@@ -1,0 +1,68 @@
+// Ablation A2 (paper §5.2): wave counts. Traditional always finishes in one
+// wave; progressive is bounded by (k+1)/2 waves; iterative has an unbounded
+// but geometrically vanishing tail — the response-time trade-off behind
+// Figure 6. Prints the analytic wave distributions and measured percentiles.
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/flags.h"
+#include "common/table.h"
+#include "redundancy/analysis.h"
+#include "redundancy/iterative.h"
+#include "redundancy/montecarlo.h"
+#include "redundancy/progressive.h"
+
+namespace {
+namespace analysis = smartred::redundancy::analysis;
+}  // namespace
+
+int main(int argc, char** argv) {
+  smartred::flags::Parser parser(
+      "ablation_waves",
+      "A2 — wave-count distributions: PR bounded, IR unbounded tail");
+  const auto r = parser.add_double("reliability", 0.7, "node reliability r");
+  const auto k = parser.add_int("k", 19, "progressive parameter");
+  const auto d = parser.add_int("d", 4, "iterative margin");
+  const auto tasks = parser.add_int("tasks", 100'000,
+                                    "Monte-Carlo tasks per technique");
+  const auto csv = parser.add_string("csv", "", "CSV output path (optional)");
+  parser.parse(argc, argv);
+
+  const int kk = static_cast<int>(*k);
+  const int dd = static_cast<int>(*d);
+
+  smartred::table::banner(std::cout, "A2 — analytic wave distributions");
+  smartred::table::Table dist({"waves", "P_progressive", "P_iterative"});
+  const auto pr_dist = analysis::progressive_wave_distribution(kk, *r);
+  const auto ir_dist = analysis::iterative_wave_distribution(dd, *r);
+  const std::size_t rows = std::max(pr_dist.size(), ir_dist.size());
+  for (std::size_t w = 0; w < rows && w < 12; ++w) {
+    dist.add_row({static_cast<long long>(w + 1),
+                  w < pr_dist.size() ? pr_dist[w] : 0.0,
+                  w < ir_dist.size() ? ir_dist[w] : 0.0});
+  }
+  smartred::bench::emit(dist, *csv, "analytic");
+  std::cout << "PR waves bounded by (k+1)/2 = " << (kk + 1) / 2
+            << " (distribution support: " << pr_dist.size() << ")\n"
+            << "IR tail length at 1e-13 residual: " << ir_dist.size()
+            << " waves (unbounded in principle — §5.2)\n";
+
+  smartred::table::banner(std::cout, "A2 — measured wave statistics");
+  smartred::table::Table meas(
+      {"technique", "mean_waves", "max_waves", "analytic_mean"});
+  smartred::redundancy::MonteCarloConfig config;
+  config.tasks = static_cast<std::uint64_t>(*tasks);
+  config.seed = 11;
+  const auto pr = smartred::redundancy::run_binary(
+      smartred::redundancy::ProgressiveFactory(kk), *r, config);
+  meas.add_row({std::string("PR(k=") + std::to_string(kk) + ")",
+                pr.waves_per_task.mean(), pr.waves_per_task.max(),
+                analysis::expected_waves(pr_dist)});
+  const auto ir = smartred::redundancy::run_binary(
+      smartred::redundancy::IterativeFactory(dd), *r, config);
+  meas.add_row({std::string("IR(d=") + std::to_string(dd) + ")",
+                ir.waves_per_task.mean(), ir.waves_per_task.max(),
+                analysis::expected_waves(ir_dist)});
+  smartred::bench::emit(meas, *csv, "measured");
+  return 0;
+}

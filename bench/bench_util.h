@@ -1,0 +1,30 @@
+// Shared helpers for the figure-reproduction bench binaries.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "common/table.h"
+
+namespace smartred::bench {
+
+/// Prints a table and, when `csv_path` is non-empty, mirrors it to CSV
+/// (suffixing `tag` before the extension so one binary can emit several
+/// series files).
+inline void emit(const table::Table& data, const std::string& csv_path,
+                 const std::string& tag) {
+  data.print(std::cout);
+  if (csv_path.empty()) return;
+  std::string path = csv_path;
+  const auto dot = path.rfind('.');
+  const std::string suffix = "_" + tag;
+  if (dot == std::string::npos) {
+    path += suffix;
+  } else {
+    path.insert(dot, suffix);
+  }
+  data.write_csv(path);
+  std::cout << "(written to " << path << ")\n";
+}
+
+}  // namespace smartred::bench

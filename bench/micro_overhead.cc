@@ -1,0 +1,113 @@
+// Micro-benchmarks (google-benchmark): the per-decision cost of each
+// redundancy strategy, the naïve algorithm's probability computations, the
+// DES kernel's event throughput, and the RNG. These quantify the paper's
+// §5.1 point that iterative redundancy adds essentially no bookkeeping.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "redundancy/analysis.h"
+#include "redundancy/iterative.h"
+#include "redundancy/iterative_naive.h"
+#include "redundancy/progressive.h"
+#include "redundancy/traditional.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace smartred;  // NOLINT(build/namespaces) — bench main
+using redundancy::NodeId;
+using redundancy::ResultValue;
+using redundancy::Vote;
+
+std::vector<Vote> make_votes(int correct, int wrong) {
+  std::vector<Vote> votes;
+  NodeId node = 0;
+  for (int i = 0; i < correct; ++i) votes.push_back({node++, 1});
+  for (int i = 0; i < wrong; ++i) votes.push_back({node++, 0});
+  return votes;
+}
+
+void BM_IterativeDecide(benchmark::State& state) {
+  redundancy::IterativeRedundancy strategy(6);
+  const auto votes = make_votes(static_cast<int>(state.range(0)),
+                                static_cast<int>(state.range(0)) / 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(strategy.decide(votes));
+  }
+}
+BENCHMARK(BM_IterativeDecide)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_NaiveDecide(benchmark::State& state) {
+  redundancy::IterativeNaive strategy(0.7, 0.99);
+  const auto votes = make_votes(static_cast<int>(state.range(0)),
+                                static_cast<int>(state.range(0)) / 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(strategy.decide(votes));
+  }
+}
+BENCHMARK(BM_NaiveDecide)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_ProgressiveDecide(benchmark::State& state) {
+  redundancy::ProgressiveRedundancy strategy(19);
+  const auto votes = make_votes(6, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(strategy.decide(votes));
+  }
+}
+BENCHMARK(BM_ProgressiveDecide);
+
+void BM_TraditionalDecide(benchmark::State& state) {
+  redundancy::TraditionalRedundancy strategy(19);
+  const auto votes = make_votes(12, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(strategy.decide(votes));
+  }
+}
+BENCHMARK(BM_TraditionalDecide);
+
+void BM_AnalysisIterativeCost(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        redundancy::analysis::iterative_cost(
+            static_cast<int>(state.range(0)), 0.7));
+  }
+}
+BENCHMARK(BM_AnalysisIterativeCost)->Arg(4)->Arg(10);
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    std::uint64_t counter = 0;
+    for (int i = 0; i < 10'000; ++i) {
+      simulator.schedule(static_cast<double>(i % 97), [&counter] {
+        ++counter;
+      });
+    }
+    simulator.run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_SimulatorEventThroughput);
+
+void BM_RngUniform(benchmark::State& state) {
+  rng::Stream stream(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stream.uniform01());
+  }
+}
+BENCHMARK(BM_RngUniform);
+
+void BM_RngBernoulli(benchmark::State& state) {
+  rng::Stream stream(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stream.bernoulli(0.7));
+  }
+}
+BENCHMARK(BM_RngBernoulli);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+// Volunteer computing over 3-SAT — the paper's §4.1 application, end to end.
+//
+// A project operator wants to decide satisfiability of a 3-CNF formula by
+// crowd-sourcing range checks to untrusted volunteers (some of whom return
+// wrong answers 30% of the time, go silent, or suffer PlanetLab-style
+// faults). Iterative redundancy validates each range with a vote-margin
+// rule, never knowing the actual volunteer reliability.
+//
+//   ./build/examples/sat_volunteer_computing [--vars=22 --tasks=140 ...]
+#include <iostream>
+#include <optional>
+
+#include "boinc/deployment.h"
+#include "common/flags.h"
+#include "redundancy/iterative.h"
+#include "sat/generator.h"
+#include "sat/sat_workload.h"
+#include "sim/simulator.h"
+
+int main(int argc, char** argv) {
+  smartred::flags::Parser parser(
+      "sat_volunteer_computing",
+      "Decide a 3-SAT instance on a simulated volunteer network (paper "
+      "§4.1 scenario)");
+  const auto vars = parser.add_int("vars", 16, "variables (paper: 22)");
+  const auto tasks = parser.add_int("tasks", 140, "range-check tasks");
+  const auto clients = parser.add_int("clients", 200, "volunteer clients");
+  const auto margin = parser.add_int("margin", 5, "iterative margin d");
+  const auto seed = parser.add_int("seed", 42, "random seed");
+  const auto satisfiable = parser.add_bool(
+      "satisfiable", true, "plant a satisfying assignment in the instance");
+  parser.parse(argc, argv);
+
+  // 1. The computation: a random 3-SAT instance at the hard ratio,
+  //    decomposed into contiguous assignment ranges (one per task).
+  smartred::rng::Stream rng(static_cast<std::uint64_t>(*seed));
+  const int clauses =
+      static_cast<int>(static_cast<double>(*vars) * smartred::sat::kHardRatio);
+  smartred::sat::Formula formula =
+      *satisfiable
+          ? smartred::sat::planted_formula(
+                static_cast<int>(*vars), clauses,
+                static_cast<smartred::sat::Assignment>(rng.uniform_int(
+                    0, (std::uint64_t{1} << *vars) - 1)),
+                rng)
+          : smartred::sat::random_formula(static_cast<int>(*vars), clauses,
+                                          rng);
+  const smartred::sat::SatWorkload workload(
+      std::move(formula), static_cast<std::uint64_t>(*tasks));
+  std::cout << "instance: " << *vars << " variables, " << clauses
+            << " clauses, " << *tasks << " tasks\n";
+
+  // 2. The volunteers: a PlanetLab-like pool. Their effective reliability
+  //    is below the seeded 0.7 and NOT given to the redundancy strategy.
+  smartred::rng::Stream profile_rng(static_cast<std::uint64_t>(*seed) + 1);
+  const auto profiles = smartred::boinc::planetlab_profiles(
+      static_cast<std::size_t>(*clients), profile_rng);
+
+  // 3. Run the project with iterative redundancy.
+  smartred::sim::Simulator simulator;
+  smartred::boinc::BoincConfig config;
+  config.seed = static_cast<std::uint64_t>(*seed) + 2;
+  const smartred::redundancy::IterativeFactory factory(
+      static_cast<int>(*margin));
+  smartred::boinc::Deployment deployment(simulator, config, profiles,
+                                         factory, workload);
+  const smartred::dca::RunMetrics& metrics = deployment.run();
+
+  // 4. Assemble the computation's answer from the accepted task results.
+  bool found_satisfiable = false;
+  std::uint64_t wrong_tasks = 0;
+  for (std::uint64_t task = 0; task < workload.task_count(); ++task) {
+    const std::optional<smartred::redundancy::ResultValue> accepted =
+        deployment.accepted_value(task);
+    if (accepted.has_value() && *accepted == 1) found_satisfiable = true;
+    if (!accepted.has_value() ||
+        *accepted != workload.correct_value(task)) {
+      ++wrong_tasks;
+    }
+  }
+
+  std::cout << "\nproject verdict:  "
+            << (found_satisfiable ? "SATISFIABLE" : "UNSATISFIABLE")
+            << "\nground truth:     "
+            << (workload.satisfiable() ? "SATISFIABLE" : "UNSATISFIABLE")
+            << "\n\nrun statistics:"
+            << "\n  jobs per task (avg): " << metrics.cost_factor()
+            << "\n  task reliability:    " << metrics.reliability() << " ("
+            << wrong_tasks << " of " << metrics.tasks_total
+            << " tasks wrong)"
+            << "\n  effective node r:    "
+            << metrics.empirical_node_reliability()
+            << "  (derived from vote agreement; never an input)"
+            << "\n  jobs re-issued:      " << metrics.jobs_lost
+            << "\n  simulated time:      " << metrics.makespan << " units\n";
+  return 0;
+}

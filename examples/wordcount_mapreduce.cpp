@@ -1,0 +1,91 @@
+// MapReduce word count on untrusted workers — the paper's Hadoop-class
+// scenario.
+//
+// Hadoop-style systems validate task outputs with traditional (fixed-k)
+// replication. This example runs the same word-count job twice on the same
+// faulty pool — once with traditional redundancy, once with iterative
+// redundancy calibrated to the same per-task reliability — and compares the
+// job bill and the end-to-end accuracy of the final histogram.
+//
+//   ./build/examples/wordcount_mapreduce [--documents=... --reliability=0.7]
+#include <cmath>
+#include <iostream>
+
+#include "common/flags.h"
+#include "common/table.h"
+#include "fault/failure_model.h"
+#include "mapreduce/engine.h"
+#include "redundancy/calibration.h"
+#include "redundancy/iterative.h"
+#include "redundancy/traditional.h"
+
+int main(int argc, char** argv) {
+  smartred::flags::Parser parser(
+      "wordcount_mapreduce",
+      "Redundancy-validated MapReduce word count on an untrusted pool");
+  const auto documents = parser.add_int("documents", 512, "corpus size");
+  const auto words = parser.add_int("words", 200, "words per document");
+  const auto vocabulary = parser.add_int("vocabulary", 1'000,
+                                         "vocabulary size");
+  const auto r = parser.add_double("reliability", 0.7,
+                                   "worker reliability (true value; only "
+                                   "the calibration step sees an estimate)");
+  const auto target = parser.add_double(
+      "target", 0.9995,
+      "per-task reliability target; with T tasks the whole job is clean "
+      "with probability target^T, so scale the target with job size");
+  const auto seed = parser.add_int("seed", 11, "random seed");
+  parser.parse(argc, argv);
+
+  const smartred::mapreduce::Corpus corpus(
+      static_cast<std::size_t>(*documents), static_cast<std::size_t>(*words),
+      static_cast<smartred::mapreduce::WordId>(*vocabulary),
+      smartred::rng::Stream(static_cast<std::uint64_t>(*seed)));
+
+  smartred::mapreduce::MapReduceConfig config;
+  config.map_tasks = 64;
+  config.reduce_tasks = 16;
+  config.dca.nodes = 500;
+  config.dca.seed = static_cast<std::uint64_t>(*seed) + 1;
+
+  const smartred::mapreduce::WordCountEngine engine(corpus, config);
+  const auto costs =
+      smartred::redundancy::calibration::costs_for_target(*r, *target);
+  const double total_tasks =
+      static_cast<double>(config.map_tasks + config.reduce_tasks);
+  std::cout << "job: " << *documents << " documents, " << config.map_tasks
+            << " map + " << config.reduce_tasks << " reduce tasks\n"
+            << "calibration for per-task reliability " << *target << ": k = "
+            << costs.k << " (Hadoop-style, actual "
+            << costs.traditional_reliability << "), d = " << costs.d
+            << " (iterative, actual " << costs.iterative_reliability << ")\n"
+            << "P[every task clean]: TR "
+            << std::pow(costs.traditional_reliability, total_tasks) << ", IR "
+            << std::pow(costs.iterative_reliability, total_tasks) << "\n";
+
+  smartred::table::banner(std::cout, "word count results");
+  smartred::table::Table out({"validator", "jobs_per_task", "corrupted_tasks",
+                              "output_accuracy", "makespan"});
+
+  const smartred::redundancy::TraditionalFactory hadoop(costs.k);
+  const smartred::redundancy::IterativeFactory smart(costs.d);
+  for (const smartred::redundancy::StrategyFactory* factory :
+       {static_cast<const smartred::redundancy::StrategyFactory*>(&hadoop),
+        static_cast<const smartred::redundancy::StrategyFactory*>(&smart)}) {
+    smartred::fault::ByzantineCollusion failures(
+        smartred::fault::ReliabilityAssigner(
+            smartred::fault::ConstantReliability{*r},
+            smartred::rng::Stream(static_cast<std::uint64_t>(*seed) + 2)));
+    const smartred::mapreduce::MapReduceResult result =
+        engine.run(*factory, failures);
+    out.add_row({factory->name(), result.total_cost_factor(),
+                 static_cast<long long>(result.map_phase.corrupted_tasks +
+                                        result.reduce_phase.corrupted_tasks),
+                 result.output_accuracy, result.total_makespan()});
+  }
+  out.print(std::cout);
+  std::cout << "\nComparable output quality at a much smaller compute bill — "
+               "the paper's pitch, applied to the MapReduce member of the "
+               "DCA family.\n";
+  return 0;
+}

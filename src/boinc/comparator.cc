@@ -1,0 +1,33 @@
+#include "boinc/comparator.h"
+
+#include <cmath>
+
+#include "common/expect.h"
+
+namespace smartred::boinc {
+
+redundancy::ResultValue ExactComparator::classify(double raw) {
+  for (std::size_t i = 0; i < representatives_.size(); ++i) {
+    if (representatives_[i] == raw) {
+      return static_cast<redundancy::ResultValue>(i);
+    }
+  }
+  representatives_.push_back(raw);
+  return static_cast<redundancy::ResultValue>(representatives_.size() - 1);
+}
+
+EpsilonComparator::EpsilonComparator(double epsilon) : epsilon_(epsilon) {
+  SMARTRED_EXPECT(epsilon >= 0.0, "epsilon must be non-negative");
+}
+
+redundancy::ResultValue EpsilonComparator::classify(double raw) {
+  for (std::size_t i = 0; i < representatives_.size(); ++i) {
+    if (std::abs(representatives_[i] - raw) <= epsilon_) {
+      return static_cast<redundancy::ResultValue>(i);
+    }
+  }
+  representatives_.push_back(raw);
+  return static_cast<redundancy::ResultValue>(representatives_.size() - 1);
+}
+
+}  // namespace smartred::boinc

@@ -1,0 +1,62 @@
+// Result comparison and homogeneous-redundancy equivalence classes.
+//
+// §5.3: two non-identical results may represent the same information (e.g.
+// floating-point answers differing in the last bits). BOINC resolves this
+// with *homogeneous redundancy* — grouping results into equivalence classes
+// that would report identical answers. A ResultComparator canonicalizes raw
+// job outputs into class representatives so the voting strategies (which
+// compare ResultValues exactly) work on fuzzy domains unchanged.
+#pragma once
+
+#include <vector>
+
+#include "redundancy/types.h"
+
+namespace smartred::boinc {
+
+/// Canonicalizes raw numeric job outputs into equivalence-class ids.
+class ResultComparator {
+ public:
+  virtual ~ResultComparator() = default;
+
+  /// Returns the class id of `raw`. Equal ids mean "same answer" for
+  /// voting purposes. Class ids are stable across calls.
+  [[nodiscard]] virtual redundancy::ResultValue classify(double raw) = 0;
+
+ protected:
+  ResultComparator() = default;
+  ResultComparator(const ResultComparator&) = default;
+  ResultComparator& operator=(const ResultComparator&) = default;
+};
+
+/// Bit-exact comparison: every distinct double is its own class. Suitable
+/// for integral or exactly-reproducible results (like the 3-SAT tasks).
+class ExactComparator final : public ResultComparator {
+ public:
+  redundancy::ResultValue classify(double raw) override;
+
+ private:
+  std::vector<double> representatives_;
+};
+
+/// Epsilon-ball comparison: a raw value joins the first existing class
+/// whose representative is within `epsilon`; otherwise it founds a new
+/// class. This is the problem-specific comparison §5.3 calls for when
+/// results carry floating-point noise.
+class EpsilonComparator final : public ResultComparator {
+ public:
+  /// Requires epsilon >= 0.
+  explicit EpsilonComparator(double epsilon);
+
+  redundancy::ResultValue classify(double raw) override;
+
+  [[nodiscard]] std::size_t class_count() const {
+    return representatives_.size();
+  }
+
+ private:
+  double epsilon_;
+  std::vector<double> representatives_;
+};
+
+}  // namespace smartred::boinc

@@ -1,0 +1,268 @@
+#include "boinc/deployment.h"
+
+#include <algorithm>
+
+#include "common/expect.h"
+
+namespace smartred::boinc {
+namespace {
+
+/// The colluding wrong answer under the binary worst case: the other value
+/// of a {0, 1} result, or value+1 for wider domains. Keeping binary results
+/// binary matters for the 3-SAT workload, whose answers are genuinely 0/1.
+redundancy::ResultValue wrong_answer(redundancy::ResultValue correct) {
+  if (correct == 0) return 1;
+  if (correct == 1) return 0;
+  return correct + 1;
+}
+
+}  // namespace
+
+Deployment::Deployment(sim::Simulator& simulator, const BoincConfig& config,
+                       std::vector<ClientProfile> profiles,
+                       const redundancy::StrategyFactory& factory,
+                       const dca::Workload& workload)
+    : simulator_(simulator),
+      config_(config),
+      profiles_(std::move(profiles)),
+      factory_(factory),
+      workload_(workload),
+      rng_network_(rng::Stream(config.seed).fork("network")),
+      rng_compute_(rng::Stream(config.seed).fork("compute")),
+      rng_fault_(rng::Stream(config.seed).fork("fault")) {
+  SMARTRED_EXPECT(!profiles_.empty(), "need at least one client");
+  SMARTRED_EXPECT(config.latency_lo >= 0.0 &&
+                      config.latency_lo <= config.latency_hi,
+                  "latency bounds must satisfy 0 <= lo <= hi");
+  SMARTRED_EXPECT(config.duration_lo > 0.0 &&
+                      config.duration_lo <= config.duration_hi,
+                  "duration bounds must satisfy 0 < lo <= hi");
+  SMARTRED_EXPECT(config.report_deadline > 0.0, "deadline must be positive");
+  SMARTRED_EXPECT(config.idle_retry > 0.0, "idle retry must be positive");
+  SMARTRED_EXPECT(config.max_jobs_per_task > 0, "job cap must be positive");
+}
+
+double Deployment::pool_effective_reliability() const {
+  return mean_effective_reliability(profiles_);
+}
+
+double Deployment::latency() {
+  return rng_network_.uniform(config_.latency_lo, config_.latency_hi);
+}
+
+const dca::RunMetrics& Deployment::run() {
+  const std::uint64_t task_count = workload_.task_count();
+  tasks_.resize(task_count);
+  undecided_ = task_count;
+  metrics_.tasks_total = task_count;
+  for (std::uint64_t task = 0; task < task_count; ++task) {
+    tasks_[task].strategy = factory_.make();
+    consult_strategy(task);
+  }
+  // Boot clients at staggered times so request bursts don't synchronize.
+  for (redundancy::NodeId client = 0; client < profiles_.size(); ++client) {
+    const double boot = rng_network_.uniform(0.0, 1.0);
+    simulator_.schedule(boot,
+                        [this, client] { client_request_work(client); });
+  }
+  simulator_.run();
+  // A drained pool (every client stuck unresponsive forever is impossible —
+  // clients always come back) cannot happen, but a task can exceed its job
+  // cap; any survivor here indicates a harness bug.
+  SMARTRED_ENSURE(undecided_ == 0, "all tasks must be resolved");
+  metrics_.jobs_unrun += job_queue_.size();
+  SMARTRED_ENSURE(metrics_.jobs_conserved(),
+                  "every dispatched job must reach a terminal state");
+  metrics_.makespan = simulator_.now();
+  return metrics_;
+}
+
+void Deployment::enqueue_wave(std::uint64_t task, int jobs) {
+  TaskState& state = tasks_[task];
+  state.outstanding += jobs;
+  state.jobs_started += jobs;
+  ++state.waves;
+  metrics_.jobs_dispatched += static_cast<std::uint64_t>(jobs);
+  for (int j = 0; j < jobs; ++j) job_queue_.push_back(task);
+}
+
+void Deployment::client_request_work(redundancy::NodeId client) {
+  if (undecided_ == 0) return;  // project finished; client shuts down
+  simulator_.schedule(latency(),
+                      [this, client] { server_handle_request(client); });
+}
+
+void Deployment::server_handle_request(redundancy::NodeId client) {
+  if (undecided_ == 0) return;
+  // Find the first queued job this client may take: its task must still be
+  // undecided and not already served by this client (unless every client
+  // has served it — then the one-result-per-user rule is waived to avoid
+  // starvation, mirroring BOINC operators raising max_results_per_user).
+  for (auto it = job_queue_.begin(); it != job_queue_.end();) {
+    const std::uint64_t task = *it;
+    TaskState& state = tasks_[task];
+    if (state.decided) {
+      // Obsolete job, dropped lazily: dispatched but never executed.
+      ++metrics_.jobs_unrun;
+      it = job_queue_.erase(it);
+      continue;
+    }
+    const bool eligible = !state.served.contains(client) ||
+                          state.served.size() >= profiles_.size();
+    if (!eligible) {
+      ++it;
+      continue;
+    }
+    job_queue_.erase(it);
+    assign(client, task);
+    return;
+  }
+  // Nothing assignable right now; the client polls again later.
+  simulator_.schedule(config_.idle_retry,
+                      [this, client] { client_request_work(client); });
+}
+
+void Deployment::assign(redundancy::NodeId client, std::uint64_t task) {
+  TaskState& state = tasks_[task];
+  if (!state.started) {
+    state.started = true;
+    state.first_dispatch = simulator_.now();
+  }
+  const std::uint64_t job_id = next_job_id_++;
+  state.live_jobs.insert(job_id);
+  state.served.insert(client);
+  simulator_.schedule(config_.report_deadline,
+                      [this, task, job_id] { deadline_check(task, job_id); });
+  simulator_.schedule(latency(), [this, client, task, job_id] {
+    client_compute(client, task, job_id);
+  });
+}
+
+void Deployment::client_compute(redundancy::NodeId client, std::uint64_t task,
+                                std::uint64_t job_id) {
+  const ClientProfile& profile = profiles_[client];
+  if (rng_fault_.bernoulli(profile.unresponsive_prob)) {
+    // The volunteer goes dark: no report. It resurfaces after a while and
+    // asks for new work, like a flaky PlanetLab machine rebooting.
+    simulator_.schedule(config_.report_deadline,
+                        [this, client] { client_request_work(client); });
+    return;
+  }
+  const double duration =
+      rng_compute_.uniform(config_.duration_lo, config_.duration_hi) *
+      workload_.job_work(task) / profile.speed;
+  const redundancy::ResultValue correct = workload_.correct_value(task);
+  const redundancy::ResultValue value =
+      rng_fault_.bernoulli(profile.effective_reliability())
+          ? correct
+          : wrong_answer(correct);
+  simulator_.schedule(duration, [this, client, task, job_id, value] {
+    simulator_.schedule(latency(), [this, client, task, job_id, value] {
+      server_handle_result(client, task, job_id, value);
+    });
+    client_request_work(client);  // fetch more work as soon as we finish
+  });
+}
+
+void Deployment::server_handle_result(redundancy::NodeId client,
+                                      std::uint64_t task,
+                                      std::uint64_t job_id,
+                                      redundancy::ResultValue value) {
+  TaskState& state = tasks_[task];
+  if (state.decided) {
+    // Task already settled. If the job was still live it is classified
+    // discarded now; a stale job was already classified lost when its
+    // deadline fired.
+    if (state.live_jobs.erase(job_id) == 1) ++metrics_.jobs_discarded;
+    return;
+  }
+  const auto live = state.live_jobs.find(job_id);
+  if (live == state.live_jobs.end()) return;  // stale: counted lost already
+  state.live_jobs.erase(live);
+  ++metrics_.jobs_completed;
+  if (value == workload_.correct_value(task)) ++metrics_.jobs_correct;
+  state.votes.push_back(redundancy::Vote{client, value});
+  --state.outstanding;
+  if (state.outstanding == 0) consult_strategy(task);
+}
+
+void Deployment::deadline_check(std::uint64_t task, std::uint64_t job_id) {
+  TaskState& state = tasks_[task];
+  if (state.decided) {
+    // The task settled while this job was out. An unresponsive client will
+    // never report it; classify it lost now. (A client that does report
+    // later finds the live entry gone and the report is simply dropped —
+    // the job stays classified lost.)
+    if (state.live_jobs.erase(job_id) == 1) ++metrics_.jobs_lost;
+    return;
+  }
+  const auto live = state.live_jobs.find(job_id);
+  if (live == state.live_jobs.end()) return;  // reported in time
+  state.live_jobs.erase(live);
+  ++metrics_.jobs_lost;
+  if (state.jobs_started >= config_.max_jobs_per_task) {
+    abort_task(task);
+    return;
+  }
+  // Re-issue a replacement for the overdue job.
+  ++state.jobs_started;
+  ++metrics_.jobs_dispatched;
+  job_queue_.push_back(task);
+}
+
+void Deployment::consult_strategy(std::uint64_t task) {
+  TaskState& state = tasks_[task];
+  const redundancy::Decision decision = state.strategy->decide(state.votes);
+  if (decision.done()) {
+    finish_task(task, decision.value);
+    return;
+  }
+  if (state.jobs_started + decision.jobs > config_.max_jobs_per_task) {
+    abort_task(task);
+    return;
+  }
+  enqueue_wave(task, decision.jobs);
+}
+
+std::optional<redundancy::ResultValue> Deployment::accepted_value(
+    std::uint64_t task) const {
+  SMARTRED_EXPECT(task < tasks_.size(), "task index out of range");
+  const TaskState& state = tasks_[task];
+  SMARTRED_EXPECT(state.decided, "accepted_value() before run() completed");
+  if (state.aborted) return std::nullopt;
+  return state.accepted;
+}
+
+void Deployment::finish_task(std::uint64_t task,
+                             redundancy::ResultValue accepted) {
+  TaskState& state = tasks_[task];
+  state.decided = true;
+  state.accepted = accepted;
+  --undecided_;
+  if (accepted == workload_.correct_value(task)) ++metrics_.tasks_correct;
+  record_task_metrics(state);
+  if (state.started) {
+    metrics_.response_time.add(simulator_.now() - state.first_dispatch);
+  }
+  state.strategy.reset();
+}
+
+void Deployment::abort_task(std::uint64_t task) {
+  TaskState& state = tasks_[task];
+  SMARTRED_EXPECT(!state.decided, "abort of an already decided task");
+  state.decided = true;
+  state.aborted = true;
+  --undecided_;
+  ++metrics_.tasks_aborted;
+  record_task_metrics(state);
+  state.strategy.reset();
+}
+
+void Deployment::record_task_metrics(const TaskState& state) {
+  metrics_.max_jobs_single_task =
+      std::max(metrics_.max_jobs_single_task, state.jobs_started);
+  metrics_.jobs_per_task.add(static_cast<double>(state.jobs_started));
+  metrics_.waves_per_task.add(static_cast<double>(state.waves));
+}
+
+}  // namespace smartred::boinc

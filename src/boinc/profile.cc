@@ -1,0 +1,52 @@
+#include "boinc/profile.h"
+
+#include "common/expect.h"
+
+namespace smartred::boinc {
+
+std::vector<ClientProfile> planetlab_profiles(std::size_t count,
+                                              rng::Stream& rng,
+                                              double seeded_reliability,
+                                              double max_unresponsive,
+                                              double max_extra_fault) {
+  SMARTRED_EXPECT(count > 0, "a pool needs at least one client");
+  SMARTRED_EXPECT(seeded_reliability > 0.0 && seeded_reliability <= 1.0,
+                  "seeded reliability must be in (0, 1]");
+  SMARTRED_EXPECT(max_unresponsive >= 0.0 && max_unresponsive < 1.0,
+                  "unresponsiveness bound must be in [0, 1)");
+  SMARTRED_EXPECT(max_extra_fault >= 0.0 && max_extra_fault < 1.0,
+                  "extra-fault bound must be in [0, 1)");
+  std::vector<ClientProfile> profiles;
+  profiles.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    ClientProfile profile;
+    // PlanetLab machines vary widely in speed; lognormal around nominal.
+    profile.speed = rng.lognormal(0.0, 0.4);
+    profile.seeded_reliability = seeded_reliability;
+    profile.unresponsive_prob = rng.uniform(0.0, max_unresponsive);
+    profile.extra_fault_prob = rng.uniform(0.0, max_extra_fault);
+    profiles.push_back(profile);
+  }
+  return profiles;
+}
+
+std::vector<ClientProfile> uniform_profiles(std::size_t count,
+                                            double seeded_reliability) {
+  SMARTRED_EXPECT(count > 0, "a pool needs at least one client");
+  SMARTRED_EXPECT(seeded_reliability > 0.0 && seeded_reliability <= 1.0,
+                  "seeded reliability must be in (0, 1]");
+  ClientProfile profile;
+  profile.seeded_reliability = seeded_reliability;
+  return std::vector<ClientProfile>(count, profile);
+}
+
+double mean_effective_reliability(const std::vector<ClientProfile>& profiles) {
+  SMARTRED_EXPECT(!profiles.empty(), "empty pool");
+  double total = 0.0;
+  for (const ClientProfile& profile : profiles) {
+    total += profile.effective_reliability();
+  }
+  return total / static_cast<double>(profiles.size());
+}
+
+}  // namespace smartred::boinc

@@ -1,0 +1,61 @@
+#include "common/binomial.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/expect.h"
+
+namespace smartred::binom {
+
+double log_factorial(std::uint64_t n) {
+  return std::lgamma(static_cast<double>(n) + 1.0);
+}
+
+double log_choose(std::uint64_t n, std::uint64_t k) {
+  SMARTRED_EXPECT(k <= n, "log_choose() requires k <= n");
+  return log_factorial(n) - log_factorial(k) - log_factorial(n - k);
+}
+
+double choose(std::uint64_t n, std::uint64_t k) {
+  return std::exp(log_choose(n, k));
+}
+
+double pmf(std::uint64_t n, std::uint64_t k, double p) {
+  SMARTRED_EXPECT(k <= n, "pmf() requires k <= n");
+  SMARTRED_EXPECT(p >= 0.0 && p <= 1.0, "pmf() requires p in [0, 1]");
+  // Degenerate endpoints: avoid log(0).
+  if (p == 0.0) return k == 0 ? 1.0 : 0.0;
+  if (p == 1.0) return k == n ? 1.0 : 0.0;
+  const double log_p = log_choose(n, k) +
+                       static_cast<double>(k) * std::log(p) +
+                       static_cast<double>(n - k) * std::log1p(-p);
+  return std::exp(log_p);
+}
+
+double cdf(std::uint64_t n, std::uint64_t k, double p) {
+  SMARTRED_EXPECT(p >= 0.0 && p <= 1.0, "cdf() requires p in [0, 1]");
+  if (k >= n) return 1.0;
+  // Sum the smaller tail for accuracy.
+  if (k + 1 <= n - k) {
+    double total = 0.0;
+    for (std::uint64_t i = 0; i <= k; ++i) total += pmf(n, i, p);
+    return total < 1.0 ? total : 1.0;
+  }
+  double upper = 0.0;
+  for (std::uint64_t i = k + 1; i <= n; ++i) upper += pmf(n, i, p);
+  const double result = 1.0 - upper;
+  return result > 0.0 ? result : 0.0;
+}
+
+double upper_tail(std::uint64_t n, std::uint64_t k, double p) {
+  SMARTRED_EXPECT(p >= 0.0 && p <= 1.0, "upper_tail() requires p in [0, 1]");
+  if (k == 0) return 1.0;
+  if (k > n) return 0.0;
+  // Sum the tail's own terms: computing 1 − cdf would cancel catastrophically
+  // when the tail is smaller than double epsilon.
+  double total = 0.0;
+  for (std::uint64_t i = k; i <= n; ++i) total += pmf(n, i, p);
+  return total < 1.0 ? total : 1.0;
+}
+
+}  // namespace smartred::binom

@@ -1,0 +1,35 @@
+// Log-space binomial mathematics.
+//
+// The paper's closed forms (Equations (2)–(5)) involve binomial coefficients
+// up to C(k, i) for k in the hundreds when sweeping parameters, so all
+// probability mass computations run in log space and only exponentiate at
+// the end. Every function here is deterministic and total over its stated
+// domain.
+#pragma once
+
+#include <cstdint>
+
+namespace smartred::binom {
+
+/// ln(n!) via lgamma. Exact semantics: log_factorial(0) == 0.
+[[nodiscard]] double log_factorial(std::uint64_t n);
+
+/// ln C(n, k). Requires k <= n.
+[[nodiscard]] double log_choose(std::uint64_t n, std::uint64_t k);
+
+/// C(n, k) as a double (may overflow to +inf for huge n; callers that care
+/// stay in log space). Requires k <= n.
+[[nodiscard]] double choose(std::uint64_t n, std::uint64_t k);
+
+/// Binomial PMF: P[X = k] for X ~ Binomial(n, p). Requires k <= n and
+/// p in [0, 1]. Evaluated in log space for stability.
+[[nodiscard]] double pmf(std::uint64_t n, std::uint64_t k, double p);
+
+/// Lower tail: P[X <= k] for X ~ Binomial(n, p). Requires p in [0, 1];
+/// k may exceed n (returns 1).
+[[nodiscard]] double cdf(std::uint64_t n, std::uint64_t k, double p);
+
+/// Upper tail: P[X >= k].
+[[nodiscard]] double upper_tail(std::uint64_t n, std::uint64_t k, double p);
+
+}  // namespace smartred::binom

@@ -1,0 +1,74 @@
+// Minimal command-line flag parsing for the benchmark and example binaries.
+//
+// Usage:
+//   flags::Parser parser("fig5a_xdevs", "Reproduces Figure 5(a).");
+//   auto tasks = parser.add_int("tasks", 20000, "tasks per data point");
+//   auto r     = parser.add_double("reliability", 0.7, "node reliability");
+//   parser.parse(argc, argv);           // exits(0) on --help, throws on error
+//   run(*tasks, *r);
+//
+// Flags are spelled --name=value or --name value; bools accept --name /
+// --name=false. Unknown flags are an error so typos never silently run the
+// default configuration.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace smartred::flags {
+
+/// Thrown when the command line cannot be parsed (unknown flag, bad value).
+class ParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Command-line parser. add_*() returns a shared handle whose value is
+/// filled in by parse(); the handle stays valid after the parser is gone.
+class Parser {
+ public:
+  Parser(std::string program, std::string description);
+
+  std::shared_ptr<std::int64_t> add_int(std::string name,
+                                        std::int64_t default_value,
+                                        std::string help);
+  std::shared_ptr<double> add_double(std::string name, double default_value,
+                                     std::string help);
+  std::shared_ptr<std::string> add_string(std::string name,
+                                          std::string default_value,
+                                          std::string help);
+  std::shared_ptr<bool> add_bool(std::string name, bool default_value,
+                                 std::string help);
+
+  /// Parses argv. Prints usage and calls std::exit(0) when --help is given.
+  /// Throws ParseError on unknown flags or malformed values.
+  void parse(int argc, const char* const* argv) const;
+
+  /// The usage text printed for --help.
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  enum class Kind { kInt, kDouble, kString, kBool };
+
+  struct Flag {
+    std::string name;
+    std::string help;
+    Kind kind;
+    std::shared_ptr<std::int64_t> int_value;
+    std::shared_ptr<double> double_value;
+    std::shared_ptr<std::string> string_value;
+    std::shared_ptr<bool> bool_value;
+    std::string default_text;
+  };
+
+  void assign(const Flag& flag, const std::string& text) const;
+  [[nodiscard]] const Flag* find(const std::string& name) const;
+
+  std::string program_;
+  std::string description_;
+  std::vector<Flag> all_;
+};
+
+}  // namespace smartred::flags

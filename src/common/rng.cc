@@ -1,0 +1,125 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace smartred::rng {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+// FNV-1a over a string, used to key named sub-streams.
+std::uint64_t fnv1a(std::string_view text) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+}  // namespace
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+Stream::Stream(std::uint64_t seed) {
+  // SplitMix64 guarantees a non-degenerate (not all-zero) xoshiro state.
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+Stream::result_type Stream::operator()() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+Stream Stream::fork(std::string_view name) const {
+  return fork(fnv1a(name));
+}
+
+Stream Stream::fork(std::uint64_t index) const {
+  // Mix the parent's *initial* identity (its current state words are part of
+  // its identity; we fold all four) with the key, then reseed via SplitMix64.
+  std::uint64_t mix = index * 0x9e3779b97f4a7c15ull;
+  for (std::uint64_t word : state_) {
+    mix ^= word;
+    mix = splitmix64(mix);
+  }
+  Stream child;
+  std::uint64_t s = mix;
+  for (auto& word : child.state_) word = splitmix64(s);
+  return child;
+}
+
+double Stream::uniform01() {
+  // 53 random bits -> double in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Stream::uniform(double lo, double hi) {
+  SMARTRED_EXPECT(lo <= hi, "uniform() requires lo <= hi");
+  return lo + (hi - lo) * uniform01();
+}
+
+std::uint64_t Stream::uniform_int(std::uint64_t lo, std::uint64_t hi) {
+  SMARTRED_EXPECT(lo <= hi, "uniform_int() requires lo <= hi");
+  const std::uint64_t range = hi - lo;
+  if (range == ~std::uint64_t{0}) return (*this)();
+  const std::uint64_t bound = range + 1;
+  // Rejection sampling for an unbiased draw.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % bound);
+  std::uint64_t draw;
+  do {
+    draw = (*this)();
+  } while (draw >= limit && limit != 0);
+  return lo + draw % bound;
+}
+
+bool Stream::bernoulli(double p) {
+  SMARTRED_EXPECT(p >= 0.0 && p <= 1.0, "bernoulli() requires p in [0, 1]");
+  return uniform01() < p;
+}
+
+double Stream::exponential(double mean) {
+  SMARTRED_EXPECT(mean > 0.0, "exponential() requires mean > 0");
+  double u = uniform01();
+  // uniform01() can return exactly 0; nudge to keep log() finite.
+  if (u == 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+double Stream::normal(double mean, double stddev) {
+  double u1 = uniform01();
+  if (u1 == 0.0) u1 = 0x1.0p-53;
+  const double u2 = uniform01();
+  const double mag =
+      std::sqrt(-2.0 * std::log(u1)) *
+      std::cos(2.0 * std::numbers::pi * u2);
+  return mean + stddev * mag;
+}
+
+double Stream::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+std::size_t Stream::index(std::size_t n) {
+  SMARTRED_EXPECT(n > 0, "index() requires a non-empty range");
+  return static_cast<std::size_t>(uniform_int(0, n - 1));
+}
+
+}  // namespace smartred::rng

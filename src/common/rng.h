@@ -1,0 +1,94 @@
+// Deterministic random-number generation for simulations.
+//
+// All randomness in smartred flows through rng::Stream objects derived from a
+// single master seed. A Stream is a xoshiro256** generator; independent
+// sub-streams are derived by name (or index) so that adding a new consumer of
+// randomness does not perturb the draws seen by existing consumers. This is
+// what makes every experiment in the repository reproducible bit-for-bit from
+// its seed.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/expect.h"
+
+namespace smartred::rng {
+
+/// SplitMix64 step: the canonical seeding/stream-splitting mixer.
+/// Advances `state` and returns the next 64-bit output.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// A xoshiro256** pseudo-random generator (Blackman & Vigna).
+///
+/// Satisfies std::uniform_random_bit_generator, so it can be used with
+/// standard <random> distributions, though the member helpers below are
+/// preferred: they are portable across standard libraries (libstdc++ and
+/// libc++ implement std distributions differently, which would break
+/// cross-platform reproducibility).
+class Stream {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the stream from a 64-bit seed via SplitMix64 (never yields the
+  /// all-zero state).
+  explicit Stream(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  /// Next raw 64-bit value.
+  result_type operator()();
+
+  /// Derives an independent child stream keyed by `name`. Same parent seed +
+  /// same name always yields the same child, regardless of how many values
+  /// the parent has produced.
+  [[nodiscard]] Stream fork(std::string_view name) const;
+
+  /// Derives an independent child stream keyed by an index (e.g. per task or
+  /// per node).
+  [[nodiscard]] Stream fork(std::uint64_t index) const;
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi. Unbiased
+  /// (rejection sampling).
+  std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi);
+
+  /// Bernoulli draw: true with probability p. Requires p in [0, 1].
+  bool bernoulli(double p);
+
+  /// Exponentially distributed value with the given mean. Requires mean > 0.
+  double exponential(double mean);
+
+  /// Normally distributed value (Box–Muller; one fresh pair per call, no
+  /// cached state, trading a little speed for simple reproducibility).
+  double normal(double mean, double stddev);
+
+  /// Log-normal: exp(normal(mu, sigma)) of the underlying normal.
+  double lognormal(double mu, double sigma);
+
+  /// Uniformly chosen index in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n);
+
+  /// Fisher–Yates shuffle of a vector.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      using std::swap;
+      swap(items[i - 1], items[index(i)]);
+    }
+  }
+
+ private:
+  Stream() = default;  // used by fork()
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace smartred::rng

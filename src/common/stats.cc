@@ -1,0 +1,124 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expect.h"
+
+namespace smartred::stats {
+
+void StreamingStats::add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void StreamingStats::merge(const StreamingStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(count_);
+  const auto nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double StreamingStats::mean() const {
+  SMARTRED_EXPECT(count_ > 0, "mean() of empty accumulator");
+  return mean_;
+}
+
+double StreamingStats::variance() const {
+  SMARTRED_EXPECT(count_ > 1, "variance() requires at least two samples");
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double StreamingStats::stddev() const { return std::sqrt(variance()); }
+
+double StreamingStats::min() const {
+  SMARTRED_EXPECT(count_ > 0, "min() of empty accumulator");
+  return min_;
+}
+
+double StreamingStats::max() const {
+  SMARTRED_EXPECT(count_ > 0, "max() of empty accumulator");
+  return max_;
+}
+
+double StreamingStats::ci_halfwidth(double z) const {
+  return z * stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+Interval wilson_interval(std::size_t successes, std::size_t trials, double z) {
+  SMARTRED_EXPECT(trials > 0, "wilson_interval() requires trials > 0");
+  SMARTRED_EXPECT(successes <= trials, "successes cannot exceed trials");
+  const auto n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double half =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  return {std::max(0.0, center - half), std::min(1.0, center + half)};
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo),
+      width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {
+  SMARTRED_EXPECT(lo < hi, "histogram range must be non-empty");
+  SMARTRED_EXPECT(buckets > 0, "histogram needs at least one bucket");
+}
+
+void Histogram::add(double x) {
+  auto raw = static_cast<long long>(std::floor((x - lo_) / width_));
+  raw = std::clamp<long long>(raw, 0,
+                              static_cast<long long>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(raw)];
+  ++total_;
+}
+
+std::uint64_t Histogram::bucket(std::size_t i) const {
+  SMARTRED_EXPECT(i < counts_.size(), "bucket index out of range");
+  return counts_[i];
+}
+
+double Histogram::bucket_lo(std::size_t i) const {
+  SMARTRED_EXPECT(i < counts_.size(), "bucket index out of range");
+  return lo_ + static_cast<double>(i) * width_;
+}
+
+double Histogram::quantile(double fraction) const {
+  SMARTRED_EXPECT(total_ > 0, "quantile() of empty histogram");
+  SMARTRED_EXPECT(fraction >= 0.0 && fraction <= 1.0,
+                  "quantile fraction must be in [0, 1]");
+  const double target = fraction * static_cast<double>(total_);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto in_bucket = static_cast<double>(counts_[i]);
+    if (cumulative + in_bucket >= target) {
+      const double within =
+          in_bucket == 0.0 ? 0.0 : (target - cumulative) / in_bucket;
+      return bucket_lo(i) + within * width_;
+    }
+    cumulative += in_bucket;
+  }
+  return lo_ + width_ * static_cast<double>(counts_.size());
+}
+
+}  // namespace smartred::stats

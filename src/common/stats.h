@@ -1,0 +1,89 @@
+// Streaming statistics, confidence intervals, and histograms used by the
+// simulation metrics and the benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace smartred::stats {
+
+/// Numerically stable (Welford) accumulator for mean / variance / extrema.
+/// Accepts observations one at a time; O(1) memory.
+class StreamingStats {
+ public:
+  void add(double x);
+
+  /// Merges another accumulator into this one (parallel-friendly).
+  void merge(const StreamingStats& other);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  /// Mean of the observations. Requires count() > 0.
+  [[nodiscard]] double mean() const;
+  /// Unbiased sample variance. Requires count() > 1.
+  [[nodiscard]] double variance() const;
+  /// Sample standard deviation. Requires count() > 1.
+  [[nodiscard]] double stddev() const;
+  /// Smallest observation. Requires count() > 0.
+  [[nodiscard]] double min() const;
+  /// Largest observation. Requires count() > 0.
+  [[nodiscard]] double max() const;
+  /// Sum of all observations (0 when empty).
+  [[nodiscard]] double sum() const { return mean_ * static_cast<double>(count_); }
+
+  /// Half-width of the normal-approximation confidence interval on the mean,
+  /// i.e. z * stddev / sqrt(n). Requires count() > 1.
+  [[nodiscard]] double ci_halfwidth(double z = 1.96) const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// A closed interval [lo, hi], as returned by the interval estimators.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  [[nodiscard]] bool contains(double x) const { return lo <= x && x <= hi; }
+  [[nodiscard]] double width() const { return hi - lo; }
+  [[nodiscard]] double midpoint() const { return (lo + hi) / 2.0; }
+};
+
+/// Wilson score interval for a binomial proportion with `successes` out of
+/// `trials` at normal quantile `z` (default 95%). Well-behaved for
+/// proportions near 0 or 1, unlike the Wald interval. Requires trials > 0.
+[[nodiscard]] Interval wilson_interval(std::size_t successes,
+                                       std::size_t trials, double z = 1.96);
+
+/// Fixed-width histogram over [lo, hi); out-of-range observations are
+/// clamped into the first / last bucket so no sample is ever dropped.
+class Histogram {
+ public:
+  /// Requires lo < hi and buckets > 0.
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const;
+  /// Inclusive-lower bound of bucket i.
+  [[nodiscard]] double bucket_lo(std::size_t i) const;
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+
+  /// Value below which `fraction` of the observations fall (linear
+  /// interpolation within the bucket). Requires total() > 0 and
+  /// fraction in [0, 1].
+  [[nodiscard]] double quantile(double fraction) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace smartred::stats

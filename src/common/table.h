@@ -1,0 +1,49 @@
+// Console table and CSV emission for the figure-reproduction benchmarks.
+//
+// Every bench binary prints a fixed-width table (for humans) and can
+// optionally mirror the same rows to a CSV file (for plotting), so the
+// paper's figures can be regenerated from a single run.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace smartred::table {
+
+/// One table cell: text, integer, or floating point (printed with the
+/// table's precision).
+using Cell = std::variant<std::string, long long, double>;
+
+/// A fixed-schema table: construct with column headers, append rows, print.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers, int precision = 4);
+
+  /// Appends one row. Requires cells.size() == number of headers.
+  void add_row(std::vector<Cell> cells);
+
+  /// Renders the table with aligned columns to `out`.
+  void print(std::ostream& out) const;
+
+  /// Writes the table as CSV (headers + rows) to the named file.
+  /// Throws std::runtime_error if the file cannot be written.
+  void write_csv(const std::string& path) const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  [[nodiscard]] std::string render(const Cell& cell) const;
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_;
+};
+
+/// Prints a section banner ("== title ==") used by the bench binaries to
+/// separate the series of a figure.
+void banner(std::ostream& out, const std::string& title);
+
+}  // namespace smartred::table

@@ -1,0 +1,29 @@
+#include "dca/metrics.h"
+
+#include "common/expect.h"
+
+namespace smartred::dca {
+
+double RunMetrics::cost_factor() const {
+  SMARTRED_EXPECT(tasks_total > 0, "cost_factor() of an empty run");
+  return static_cast<double>(jobs_dispatched) /
+         static_cast<double>(tasks_total);
+}
+
+double RunMetrics::reliability() const {
+  SMARTRED_EXPECT(tasks_total > 0, "reliability() of an empty run");
+  return static_cast<double>(tasks_correct) /
+         static_cast<double>(tasks_total);
+}
+
+stats::Interval RunMetrics::reliability_interval(double z) const {
+  return stats::wilson_interval(tasks_correct, tasks_total, z);
+}
+
+double RunMetrics::empirical_node_reliability() const {
+  SMARTRED_EXPECT(jobs_completed > 0, "no completed jobs to estimate from");
+  return static_cast<double>(jobs_correct) /
+         static_cast<double>(jobs_completed);
+}
+
+}  // namespace smartred::dca

@@ -1,0 +1,51 @@
+// Metrics recorded by a DCA simulation run — the quantities the paper's
+// XDEVS runs record (§4.1): simulated time, total jobs, jobs per task
+// (average and maximum), correct tasks, and response times (average and
+// maximum).
+#pragma once
+
+#include <cstdint>
+
+#include "common/stats.h"
+#include "sim/simulator.h"
+
+namespace smartred::dca {
+
+struct RunMetrics {
+  std::uint64_t tasks_total = 0;
+  std::uint64_t tasks_correct = 0;
+  std::uint64_t tasks_aborted = 0;   ///< hit the per-task job cap
+  std::uint64_t jobs_dispatched = 0; ///< includes re-issued (lost) jobs
+  std::uint64_t jobs_completed = 0;  ///< produced a counted vote
+  std::uint64_t jobs_correct = 0;    ///< completed jobs whose vote was right
+  std::uint64_t jobs_lost = 0;       ///< silent node, departure, or deadline
+  std::uint64_t jobs_discarded = 0;  ///< finished after its task had settled
+  std::uint64_t jobs_unrun = 0;      ///< still queued when the run ended
+  std::uint64_t nodes_joined = 0;
+  std::uint64_t nodes_left = 0;
+  int max_jobs_single_task = 0;
+  stats::StreamingStats jobs_per_task;
+  stats::StreamingStats waves_per_task;
+  stats::StreamingStats response_time;  ///< first dispatch -> acceptance
+  sim::Time makespan = 0.0;             ///< simulated time to finish all tasks
+
+  /// Average jobs per task, counting re-issues — the measured cost factor.
+  [[nodiscard]] double cost_factor() const;
+  /// Fraction of tasks that accepted the correct value.
+  [[nodiscard]] double reliability() const;
+  /// Wilson score interval on the measured reliability (z = 1.96 is 95%).
+  [[nodiscard]] stats::Interval reliability_interval(double z = 1.96) const;
+  /// Empirical per-job reliability — the paper derives the PlanetLab pool's
+  /// effective r this way (§4.2). Requires jobs_completed > 0.
+  [[nodiscard]] double empirical_node_reliability() const;
+
+  /// Conservation invariant: every dispatched job ends in exactly one of
+  /// the four terminal states. Substrates maintain this by construction;
+  /// the test suite asserts it after every stress scenario.
+  [[nodiscard]] bool jobs_conserved() const {
+    return jobs_dispatched ==
+           jobs_completed + jobs_lost + jobs_discarded + jobs_unrun;
+  }
+};
+
+}  // namespace smartred::dca

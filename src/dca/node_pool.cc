@@ -1,0 +1,82 @@
+#include "dca/node_pool.h"
+
+#include "common/expect.h"
+
+namespace smartred::dca {
+
+NodePool::NodePool(std::size_t initial_nodes) {
+  records_.reserve(initial_nodes);
+  idle_.reserve(initial_nodes);
+  for (std::size_t i = 0; i < initial_nodes; ++i) join();
+}
+
+redundancy::NodeId NodePool::join(double speed) {
+  SMARTRED_EXPECT(speed > 0.0, "node speed must be positive");
+  const redundancy::NodeId id = next_id_++;
+  Record record;
+  record.speed = speed;
+  record.busy = false;
+  record.idle_slot = idle_.size();
+  idle_.push_back(id);
+  records_.emplace(id, record);
+  return id;
+}
+
+std::optional<redundancy::NodeId> NodePool::acquire_random(rng::Stream& rng) {
+  if (idle_.empty()) return std::nullopt;
+  const std::size_t slot = rng.index(idle_.size());
+  const redundancy::NodeId id = idle_[slot];
+  remove_from_idle(id);
+  records_.at(id).busy = true;
+  return id;
+}
+
+void NodePool::remove_from_idle(redundancy::NodeId node) {
+  Record& record = records_.at(node);
+  SMARTRED_EXPECT(!record.busy, "node is not idle");
+  const std::size_t slot = record.idle_slot;
+  const redundancy::NodeId moved = idle_.back();
+  idle_[slot] = moved;
+  records_.at(moved).idle_slot = slot;
+  idle_.pop_back();
+}
+
+void NodePool::release(redundancy::NodeId node) {
+  const auto found = records_.find(node);
+  if (found == records_.end()) return;  // left the pool while busy
+  Record& record = found->second;
+  SMARTRED_EXPECT(record.busy, "release() of a node that is not busy");
+  record.busy = false;
+  record.idle_slot = idle_.size();
+  idle_.push_back(node);
+}
+
+bool NodePool::leave(redundancy::NodeId node) {
+  const auto found = records_.find(node);
+  SMARTRED_EXPECT(found != records_.end(), "leave() of an unknown node");
+  const bool was_busy = found->second.busy;
+  if (!was_busy) remove_from_idle(node);
+  records_.erase(found);
+  return was_busy;
+}
+
+std::optional<redundancy::NodeId> NodePool::pick_any(rng::Stream& rng) {
+  if (records_.empty()) return std::nullopt;
+  // The unordered_map has no O(1) random access; walk a random number of
+  // steps from a random bucket. Pool sizes are ~1e4 and churn events are
+  // rare relative to jobs, so a simple reservoir pick over ids kept in
+  // idle_ + a linear fallback would be overkill; instead sample by index
+  // over a bucket walk.
+  const std::size_t target = rng.index(records_.size());
+  auto it = records_.begin();
+  std::advance(it, static_cast<std::ptrdiff_t>(target));
+  return it->first;
+}
+
+double NodePool::speed(redundancy::NodeId node) const {
+  const auto found = records_.find(node);
+  SMARTRED_EXPECT(found != records_.end(), "speed() of an unknown node");
+  return found->second.speed;
+}
+
+}  // namespace smartred::dca

@@ -1,0 +1,70 @@
+// The node pool of Figure 1: volunteer nodes that are selected at random,
+// perform one job at a time, rejoin the pool afterwards, and may join or
+// leave at any time.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "redundancy/types.h"
+
+namespace smartred::dca {
+
+/// Pool of volunteer nodes with O(1) uniform-random selection among idle
+/// nodes (index-swap trick) and support for churn.
+class NodePool {
+ public:
+  /// Creates `initial_nodes` nodes with speeds drawn from `speed_sampler`
+  /// (pass nullptr-like default for unit speed): see join().
+  explicit NodePool(std::size_t initial_nodes);
+
+  /// Adds a new node with the given speed multiplier (1.0 = nominal) and
+  /// returns its fresh id. Requires speed > 0.
+  redundancy::NodeId join(double speed = 1.0);
+
+  /// Picks a uniformly random idle node, marks it busy, and returns its id;
+  /// nullopt when every live node is busy.
+  [[nodiscard]] std::optional<redundancy::NodeId> acquire_random(
+      rng::Stream& rng);
+
+  /// Returns a busy node to the idle set. A node that was removed while
+  /// busy (leave/crash) is discarded instead. Requires the node to be busy.
+  void release(redundancy::NodeId node);
+
+  /// Removes a node from the pool (volunteer leaves or crashes). If it was
+  /// busy, its in-flight job is the caller's problem (re-issue). Returns
+  /// whether the node was busy. Requires the node to be present.
+  bool leave(redundancy::NodeId node);
+
+  /// Picks a uniformly random live node (idle or busy) — used to choose a
+  /// churn victim. nullopt when the pool is empty.
+  [[nodiscard]] std::optional<redundancy::NodeId> pick_any(rng::Stream& rng);
+
+  /// Speed multiplier of a live node. Requires the node to be present.
+  [[nodiscard]] double speed(redundancy::NodeId node) const;
+
+  [[nodiscard]] std::size_t live_count() const { return records_.size(); }
+  [[nodiscard]] std::size_t idle_count() const { return idle_.size(); }
+  [[nodiscard]] std::size_t busy_count() const {
+    return records_.size() - idle_.size();
+  }
+
+ private:
+  struct Record {
+    double speed = 1.0;
+    bool busy = false;
+    /// Position in idle_ when not busy; meaningless otherwise.
+    std::size_t idle_slot = 0;
+  };
+
+  void remove_from_idle(redundancy::NodeId node);
+
+  redundancy::NodeId next_id_ = 0;
+  std::unordered_map<redundancy::NodeId, Record> records_;
+  std::vector<redundancy::NodeId> idle_;
+};
+
+}  // namespace smartred::dca

@@ -1,0 +1,282 @@
+#include "dca/task_server.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expect.h"
+
+namespace smartred::dca {
+
+TaskServer::TaskServer(sim::Simulator& simulator, const DcaConfig& config,
+                       const redundancy::StrategyFactory& factory,
+                       const Workload& workload,
+                       fault::FailureModel& failures)
+    : simulator_(simulator),
+      config_(config),
+      factory_(factory),
+      workload_(workload),
+      failures_(failures),
+      pool_(config.nodes),
+      rng_assign_(rng::Stream(config.seed).fork("assign")),
+      rng_duration_(rng::Stream(config.seed).fork("duration")),
+      rng_fault_(rng::Stream(config.seed).fork("fault")),
+      rng_churn_(rng::Stream(config.seed).fork("churn")) {
+  SMARTRED_EXPECT(config.nodes > 0, "the pool needs at least one node");
+  SMARTRED_EXPECT(config.duration_lo > 0.0 &&
+                      config.duration_lo <= config.duration_hi,
+                  "job duration bounds must satisfy 0 < lo <= hi");
+  SMARTRED_EXPECT(config.silent_prob >= 0.0 && config.silent_prob < 1.0,
+                  "silent probability must be in [0, 1)");
+  SMARTRED_EXPECT(config.silent_prob == 0.0 || config.timeout > 0.0,
+                  "silent nodes require a positive re-issue timeout");
+  SMARTRED_EXPECT(config.max_jobs_per_task > 0, "job cap must be positive");
+}
+
+const RunMetrics& TaskServer::run() {
+  const std::uint64_t task_count = workload_.task_count();
+  tasks_.resize(task_count);
+  undecided_ = task_count;
+  metrics_.tasks_total = task_count;
+
+  for (std::uint64_t task = 0; task < task_count; ++task) {
+    tasks_[task].strategy = factory_.make();
+    consult_strategy(task);
+  }
+  assign_available();
+  schedule_churn_join();
+  schedule_churn_leave();
+  simulator_.run();
+
+  // If churn drained the pool with no joins configured, the queue can
+  // starve; surface the stuck tasks as aborted rather than hanging.
+  for (std::uint64_t task = 0; task < task_count; ++task) {
+    if (!tasks_[task].decided) abort_task(task);
+  }
+  SMARTRED_ENSURE(undecided_ == 0, "all tasks must be resolved");
+  metrics_.jobs_unrun = job_queue_.size();
+  SMARTRED_ENSURE(metrics_.jobs_conserved(),
+                  "every dispatched job must reach a terminal state");
+  metrics_.makespan = simulator_.now();
+  return metrics_;
+}
+
+void TaskServer::enqueue_job(std::uint64_t task, QueuedJob job,
+                             bool prioritized) {
+  ++tasks_[task].jobs_started;
+  ++metrics_.jobs_dispatched;
+  if (prioritized && config_.queue_policy == QueuePolicy::kStartedTasksFirst) {
+    job_queue_.push_front(job);
+  } else {
+    job_queue_.push_back(job);
+  }
+}
+
+void TaskServer::enqueue_wave(std::uint64_t task, int jobs) {
+  TaskState& state = tasks_[task];
+  state.outstanding += jobs;
+  ++state.waves;
+  // Top-up waves (everything past the first) jump the queue under the
+  // started-tasks-first policy.
+  const bool prioritized = state.waves > 1;
+  for (int j = 0; j < jobs; ++j) {
+    enqueue_job(task, QueuedJob{task, -1.0}, prioritized);
+  }
+}
+
+void TaskServer::assign_available() {
+  while (!job_queue_.empty()) {
+    const auto node = pool_.acquire_random(rng_assign_);
+    if (!node.has_value()) return;  // every live node is busy
+    const QueuedJob job = job_queue_.front();
+    job_queue_.pop_front();
+    start_job(job, *node);
+  }
+}
+
+void TaskServer::start_job(const QueuedJob& job, redundancy::NodeId node) {
+  const std::uint64_t task = job.task;
+  TaskState& state = tasks_[task];
+  if (!state.started) {
+    state.started = true;
+    state.first_dispatch = simulator_.now();
+  }
+  if (config_.silent_prob > 0.0 && rng_fault_.bernoulli(config_.silent_prob)) {
+    // The node never reports: it is treated as crashed (§2.2) and its job
+    // is re-issued once the deadline passes. Nothing was computed, so no
+    // checkpointed work carries over.
+    pool_.leave(node);
+    simulator_.schedule(config_.timeout,
+                        [this, task] { job_lost(task, -1.0); });
+    return;
+  }
+  const double speed = pool_.speed(node);
+  // Fresh jobs draw their work; checkpoint-resumed jobs carry theirs.
+  const double work = job.carried_work >= 0.0
+                          ? job.carried_work
+                          : rng_duration_.uniform(config_.duration_lo,
+                                                  config_.duration_hi) *
+                                workload_.job_work(task);
+  const double duration = work / speed;
+  const sim::EventId event = simulator_.schedule(
+      duration, [this, task, node] { complete_job(task, node); });
+  inflight_.emplace(node,
+                    InFlight{event, task, simulator_.now(), duration, speed});
+}
+
+void TaskServer::complete_job(std::uint64_t task, redundancy::NodeId node) {
+  inflight_.erase(node);
+  pool_.release(node);
+  TaskState& state = tasks_[task];
+  if (state.decided) {
+    // Result of a job that outlived its task (the task was aborted); the
+    // vote is discarded but the node is back in the pool.
+    ++metrics_.jobs_discarded;
+    assign_available();
+    return;
+  }
+  ++metrics_.jobs_completed;
+  const redundancy::ResultValue correct = workload_.correct_value(task);
+  const redundancy::ResultValue value =
+      failures_.report(node, task, correct, rng_fault_);
+  if (value == correct) ++metrics_.jobs_correct;
+  state.votes.push_back(redundancy::Vote{node, value});
+  --state.outstanding;
+  if (state.outstanding == 0) consult_strategy(task);
+  assign_available();
+}
+
+void TaskServer::job_lost(std::uint64_t task, double carried_work) {
+  TaskState& state = tasks_[task];
+  ++metrics_.jobs_lost;
+  if (state.decided) return;
+  if (state.jobs_started >= config_.max_jobs_per_task) {
+    abort_task(task);
+    return;
+  }
+  // Replace the lost job: one new dispatch, same wave (outstanding already
+  // accounts for the lost job, which will never resolve). Replacements
+  // jump the queue under the started-tasks-first policy, and resume from
+  // the last checkpoint when checkpointing is on.
+  enqueue_job(task, QueuedJob{task, carried_work}, /*prioritized=*/true);
+  assign_available();
+}
+
+void TaskServer::consult_strategy(std::uint64_t task) {
+  TaskState& state = tasks_[task];
+  const redundancy::Decision decision = state.strategy->decide(state.votes);
+  if (decision.done()) {
+    finish_task(task, decision.value);
+    return;
+  }
+  if (state.jobs_started + decision.jobs > config_.max_jobs_per_task) {
+    abort_task(task);
+    return;
+  }
+  enqueue_wave(task, decision.jobs);
+}
+
+std::optional<redundancy::ResultValue> TaskServer::accepted_value(
+    std::uint64_t task) const {
+  SMARTRED_EXPECT(task < tasks_.size(), "task index out of range");
+  const TaskState& state = tasks_[task];
+  SMARTRED_EXPECT(state.decided, "accepted_value() before run() completed");
+  if (state.aborted) return std::nullopt;
+  return state.accepted;
+}
+
+void TaskServer::finish_task(std::uint64_t task,
+                             redundancy::ResultValue accepted) {
+  TaskState& state = tasks_[task];
+  state.decided = true;
+  state.accepted = accepted;
+  --undecided_;
+  if (accepted == workload_.correct_value(task)) ++metrics_.tasks_correct;
+  record_task_metrics(state);
+  if (state.started) {
+    metrics_.response_time.add(simulator_.now() - state.first_dispatch);
+  }
+  state.strategy.reset();
+  state.votes.clear();
+  state.votes.shrink_to_fit();
+}
+
+void TaskServer::abort_task(std::uint64_t task) {
+  TaskState& state = tasks_[task];
+  SMARTRED_EXPECT(!state.decided, "abort of an already decided task");
+  state.decided = true;
+  state.aborted = true;
+  --undecided_;
+  ++metrics_.tasks_aborted;
+  record_task_metrics(state);
+  state.strategy.reset();
+  state.votes.clear();
+  state.votes.shrink_to_fit();
+}
+
+void TaskServer::record_task_metrics(const TaskState& state) {
+  metrics_.max_jobs_single_task =
+      std::max(metrics_.max_jobs_single_task, state.jobs_started);
+  metrics_.jobs_per_task.add(static_cast<double>(state.jobs_started));
+  metrics_.waves_per_task.add(static_cast<double>(state.waves));
+}
+
+void TaskServer::schedule_churn_join() {
+  if (config_.churn.join_rate <= 0.0) return;
+  simulator_.schedule(rng_churn_.exponential(1.0 / config_.churn.join_rate),
+                      [this] {
+                        if (undecided_ == 0) return;
+                        pool_.join();
+                        ++metrics_.nodes_joined;
+                        assign_available();
+                        schedule_churn_join();
+                      });
+}
+
+void TaskServer::schedule_churn_leave() {
+  if (config_.churn.leave_rate <= 0.0) return;
+  simulator_.schedule(rng_churn_.exponential(1.0 / config_.churn.leave_rate),
+                      [this] {
+                        if (undecided_ == 0) return;
+                        // A drained pool with no joins configured can never
+                        // recover; keeping the leave timer alive would spin
+                        // the simulation forever. Stop it — run() will
+                        // surface the stranded tasks as aborted.
+                        if (pool_.live_count() == 0 &&
+                            config_.churn.join_rate <= 0.0) {
+                          return;
+                        }
+                        churn_leave();
+                        schedule_churn_leave();
+                      });
+}
+
+void TaskServer::churn_leave() {
+  const auto victim = pool_.pick_any(rng_churn_);
+  if (!victim.has_value()) return;
+  ++metrics_.nodes_left;
+  const bool was_busy = pool_.leave(*victim);
+  if (!was_busy) return;
+  // The departing volunteer abandons its in-flight job (if the job was a
+  // silent crash there is no in-flight record; its re-issue timer is
+  // already armed).
+  const auto found = inflight_.find(*victim);
+  SMARTRED_ENSURE(found != inflight_.end(),
+                  "every busy pool node has an in-flight job");
+  const InFlight flight = found->second;
+  simulator_.cancel(flight.event);
+  inflight_.erase(found);
+  // With checkpointing, only the work since the last checkpoint is lost;
+  // carried work is speed-normalized so any node can resume it.
+  double carried_work = -1.0;
+  if (config_.checkpoint_interval > 0.0) {
+    const double elapsed = simulator_.now() - flight.started;
+    const double checkpointed =
+        std::floor(elapsed / config_.checkpoint_interval) *
+        config_.checkpoint_interval;
+    carried_work = (flight.duration - checkpointed) * flight.speed;
+    SMARTRED_ENSURE(carried_work >= 0.0, "carried work cannot be negative");
+  }
+  job_lost(flight.task, carried_work);
+}
+
+}  // namespace smartred::dca

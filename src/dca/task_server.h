@@ -1,0 +1,161 @@
+// The task server of Figure 1: breaks the computation into tasks, assigns
+// jobs to randomly selected nodes, collects results, consults the
+// redundancy strategy after each completed wave, and re-issues jobs lost to
+// silent or departed nodes.
+//
+// This is the DES-backed execution substrate used for the XDEVS experiments
+// (Figures 5(a) and 6): job durations are uniform in
+// [duration_lo, duration_hi] scaled by workload weight over node speed, a
+// wave's jobs run in parallel on distinct nodes, and a task's response time
+// runs from its first job assignment to its acceptance.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "dca/metrics.h"
+#include "dca/node_pool.h"
+#include "dca/workload.h"
+#include "fault/failure_model.h"
+#include "redundancy/strategy.h"
+#include "sim/simulator.h"
+
+namespace smartred::dca {
+
+/// Node churn: volunteers joining and leaving the pool (Figure 1).
+/// Rates are events per simulated time unit; zero disables churn.
+struct ChurnConfig {
+  double join_rate = 0.0;
+  double leave_rate = 0.0;
+};
+
+/// How queued jobs are ordered when nodes free up.
+enum class QueuePolicy {
+  /// Strict arrival order — the paper's implicit model (nodes are never
+  /// idle, so ordering does not affect cost or reliability).
+  kFifo,
+  /// Top-up waves and re-issues jump the queue. Under pool contention this
+  /// finishes in-flight tasks before starting new ones, cutting the
+  /// response-time penalty of progressive/iterative redundancy (§5.2)
+  /// without changing cost or reliability.
+  kStartedTasksFirst,
+};
+
+struct DcaConfig {
+  std::size_t nodes = 10'000;
+  /// Base job duration bounds before speed scaling (paper: U[0.5, 1.5]).
+  double duration_lo = 0.5;
+  double duration_hi = 1.5;
+  /// Probability that a node silently never reports a result; such a node
+  /// is treated as crashed (§2.2: unresponsive == failed) and its job is
+  /// re-issued after `timeout`.
+  double silent_prob = 0.0;
+  /// Deadline after which an unreported job is re-issued. Must be positive
+  /// when silent_prob > 0 or churn can lose jobs.
+  double timeout = 10.0;
+  /// Safety cap: a task reaching this many completed jobs is aborted and
+  /// counted incorrect.
+  int max_jobs_per_task = 100'000;
+  ChurnConfig churn;
+  QueuePolicy queue_policy = QueuePolicy::kFifo;
+  /// Checkpoint interval in simulated time units of work; 0 disables.
+  /// With checkpointing, a job abandoned by a departing volunteer is
+  /// re-issued with only the work after its last checkpoint remaining
+  /// (related work [26]/[2] in §6) — fewer wasted cycles, same votes.
+  double checkpoint_interval = 0.0;
+  std::uint64_t seed = 1;
+};
+
+/// Runs one computation to completion. Construct, call run(), read
+/// metrics(). Single-use.
+class TaskServer {
+ public:
+  /// All referenced collaborators must outlive the server.
+  TaskServer(sim::Simulator& simulator, const DcaConfig& config,
+             const redundancy::StrategyFactory& factory,
+             const Workload& workload, fault::FailureModel& failures);
+
+  TaskServer(const TaskServer&) = delete;
+  TaskServer& operator=(const TaskServer&) = delete;
+
+  /// Enqueues every task's initial wave and runs the simulation until all
+  /// tasks are decided. Returns the metrics (also available afterwards via
+  /// metrics()).
+  const RunMetrics& run();
+
+  [[nodiscard]] const RunMetrics& metrics() const { return metrics_; }
+
+  /// The value the computation accepted for `task`, or nullopt if the task
+  /// was aborted. Only valid after run().
+  [[nodiscard]] std::optional<redundancy::ResultValue> accepted_value(
+      std::uint64_t task) const;
+
+ private:
+  struct TaskState {
+    std::unique_ptr<redundancy::RedundancyStrategy> strategy;
+    std::vector<redundancy::Vote> votes;
+    int outstanding = 0;  ///< jobs dispatched but not yet resolved
+    int waves = 0;
+    int jobs_started = 0;  ///< dispatched jobs including re-issues
+    bool started = false;
+    bool decided = false;
+    bool aborted = false;
+    sim::Time first_dispatch = 0.0;
+    redundancy::ResultValue accepted = 0;  ///< valid when decided && !aborted
+  };
+
+  struct InFlight {
+    sim::EventId event;
+    std::uint64_t task = 0;
+    sim::Time started = 0.0;
+    double duration = 0.0;      ///< node-local duration of this attempt
+    double speed = 1.0;         ///< speed of the node running it
+  };
+
+  /// One queue entry. carried_work < 0 means a fresh job (duration drawn
+  /// at assignment); >= 0 means a checkpoint-resumed job with that much
+  /// speed-normalized work left.
+  struct QueuedJob {
+    std::uint64_t task = 0;
+    double carried_work = -1.0;
+  };
+
+  void enqueue_job(std::uint64_t task, QueuedJob job, bool prioritized);
+  void enqueue_wave(std::uint64_t task, int jobs);
+  void assign_available();
+  void start_job(const QueuedJob& job, redundancy::NodeId node);
+  void complete_job(std::uint64_t task, redundancy::NodeId node);
+  void job_lost(std::uint64_t task, double carried_work);
+  void consult_strategy(std::uint64_t task);
+  void finish_task(std::uint64_t task, redundancy::ResultValue accepted);
+  void abort_task(std::uint64_t task);
+  void record_task_metrics(const TaskState& state);
+  void schedule_churn_join();
+  void schedule_churn_leave();
+  void churn_leave();
+
+  sim::Simulator& simulator_;
+  DcaConfig config_;
+  const redundancy::StrategyFactory& factory_;
+  const Workload& workload_;
+  fault::FailureModel& failures_;
+
+  NodePool pool_;
+  std::deque<QueuedJob> job_queue_;  ///< jobs awaiting a node
+  std::vector<TaskState> tasks_;
+  std::unordered_map<redundancy::NodeId, InFlight> inflight_;
+  std::uint64_t undecided_ = 0;
+
+  rng::Stream rng_assign_;
+  rng::Stream rng_duration_;
+  rng::Stream rng_fault_;
+  rng::Stream rng_churn_;
+
+  RunMetrics metrics_;
+};
+
+}  // namespace smartred::dca

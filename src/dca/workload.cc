@@ -1,0 +1,25 @@
+#include "dca/workload.h"
+
+#include "common/expect.h"
+#include "redundancy/montecarlo.h"
+
+namespace smartred::dca {
+
+SyntheticWorkload::SyntheticWorkload(std::uint64_t tasks) : tasks_(tasks) {
+  SMARTRED_EXPECT(tasks > 0, "a workload needs at least one task");
+}
+
+std::uint64_t SyntheticWorkload::task_count() const { return tasks_; }
+
+redundancy::ResultValue SyntheticWorkload::correct_value(
+    std::uint64_t task) const {
+  SMARTRED_EXPECT(task < tasks_, "task index out of range");
+  return redundancy::kCorrectValue;
+}
+
+double SyntheticWorkload::job_work(std::uint64_t task) const {
+  SMARTRED_EXPECT(task < tasks_, "task index out of range");
+  return 1.0;
+}
+
+}  // namespace smartred::dca

@@ -1,0 +1,176 @@
+#include "mapreduce/engine.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/expect.h"
+#include "sim/simulator.h"
+
+namespace smartred::mapreduce {
+namespace {
+
+/// Adapts a list of precomputed (fingerprint, weight) tasks to the DCA
+/// workload interface.
+class FingerprintWorkload final : public dca::Workload {
+ public:
+  FingerprintWorkload(std::vector<std::int32_t> fingerprints,
+                      std::vector<double> weights)
+      : fingerprints_(std::move(fingerprints)), weights_(std::move(weights)) {
+    SMARTRED_EXPECT(fingerprints_.size() == weights_.size(),
+                    "one weight per task");
+    SMARTRED_EXPECT(!fingerprints_.empty(), "at least one task");
+  }
+
+  [[nodiscard]] std::uint64_t task_count() const override {
+    return fingerprints_.size();
+  }
+
+  [[nodiscard]] redundancy::ResultValue correct_value(
+      std::uint64_t task) const override {
+    SMARTRED_EXPECT(task < fingerprints_.size(), "task index out of range");
+    return fingerprints_[task];
+  }
+
+  [[nodiscard]] double job_work(std::uint64_t task) const override {
+    SMARTRED_EXPECT(task < weights_.size(), "task index out of range");
+    return weights_[task];
+  }
+
+ private:
+  std::vector<std::int32_t> fingerprints_;
+  std::vector<double> weights_;
+};
+
+/// Normalizes weights so the average task weighs 1.0 (zero-size tasks get
+/// a small positive floor so they still take time).
+std::vector<double> normalize_weights(const std::vector<double>& raw) {
+  double total = 0.0;
+  for (double w : raw) total += w;
+  const double average = total / static_cast<double>(raw.size());
+  std::vector<double> out;
+  out.reserve(raw.size());
+  for (double w : raw) {
+    out.push_back(average > 0.0 ? std::max(0.05, w / average) : 1.0);
+  }
+  return out;
+}
+
+/// Runs one phase on a fresh simulator/pool and reports which tasks
+/// accepted a wrong fingerprint.
+PhaseReport run_phase(const FingerprintWorkload& workload,
+                      const dca::DcaConfig& dca_config,
+                      const redundancy::StrategyFactory& factory,
+                      fault::FailureModel& failures,
+                      std::vector<bool>& corrupted_out) {
+  sim::Simulator simulator;
+  dca::TaskServer server(simulator, dca_config, factory, workload, failures);
+  PhaseReport report;
+  report.metrics = server.run();
+  corrupted_out.assign(workload.task_count(), false);
+  for (std::uint64_t task = 0; task < workload.task_count(); ++task) {
+    const auto accepted = server.accepted_value(task);
+    const bool ok = accepted.has_value() &&
+                    *accepted == workload.correct_value(task);
+    if (!ok) {
+      corrupted_out[task] = true;
+      ++report.corrupted_tasks;
+    }
+  }
+  return report;
+}
+
+}  // namespace
+
+double MapReduceResult::total_cost_factor() const {
+  const double jobs =
+      static_cast<double>(map_phase.metrics.jobs_dispatched +
+                          reduce_phase.metrics.jobs_dispatched);
+  const double tasks =
+      static_cast<double>(map_phase.metrics.tasks_total +
+                          reduce_phase.metrics.tasks_total);
+  return jobs / tasks;
+}
+
+sim::Time MapReduceResult::total_makespan() const {
+  return map_phase.metrics.makespan + reduce_phase.metrics.makespan;
+}
+
+WordCountEngine::WordCountEngine(const Corpus& corpus,
+                                 const MapReduceConfig& config)
+    : corpus_(corpus), config_(config) {
+  SMARTRED_EXPECT(config.map_tasks >= 1, "need at least one map task");
+  SMARTRED_EXPECT(config.map_tasks <= corpus.document_count(),
+                  "at most one map task per document");
+  SMARTRED_EXPECT(config.reduce_tasks >= 1, "need at least one reduce task");
+}
+
+std::size_t WordCountEngine::partition_of(WordId word) const {
+  const auto r = static_cast<std::int64_t>(config_.reduce_tasks);
+  const std::int64_t m = ((word % r) + r) % r;  // phantom ids can be < 0
+  return static_cast<std::size_t>(m);
+}
+
+MapReduceResult WordCountEngine::run(
+    const redundancy::StrategyFactory& factory,
+    fault::FailureModel& failures) const {
+  MapReduceResult result;
+
+  // ---- Map phase: one task per contiguous document split. --------------
+  const std::size_t docs = corpus_.document_count();
+  const std::size_t splits = config_.map_tasks;
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  ranges.reserve(splits);
+  std::vector<WordCounts> map_outputs;
+  map_outputs.reserve(splits);
+  std::vector<std::int32_t> map_fingerprints;
+  std::vector<double> map_weights;
+  for (std::size_t s = 0; s < splits; ++s) {
+    const std::size_t begin = docs * s / splits;
+    const std::size_t end = docs * (s + 1) / splits;
+    ranges.emplace_back(begin, end);
+    map_outputs.push_back(corpus_.count_range(begin, end));
+    map_fingerprints.push_back(fingerprint(map_outputs.back()));
+    map_weights.push_back(static_cast<double>(end - begin));
+  }
+  const FingerprintWorkload map_workload(map_fingerprints,
+                                         normalize_weights(map_weights));
+  std::vector<bool> map_corrupted;
+  result.map_phase = run_phase(map_workload, config_.dca, factory, failures,
+                               map_corrupted);
+
+  // ---- Shuffle: partition (possibly corrupted) map outputs by word. ----
+  std::vector<WordCounts> partitions(config_.reduce_tasks);
+  for (std::size_t s = 0; s < splits; ++s) {
+    const WordCounts contribution =
+        map_corrupted[s] ? corrupt_counts(map_outputs[s]) : map_outputs[s];
+    for (const auto& [word, count] : contribution) {
+      partitions[partition_of(word)][word] += count;
+    }
+  }
+
+  // ---- Reduce phase: one task per partition. ---------------------------
+  std::vector<std::int32_t> reduce_fingerprints;
+  std::vector<double> reduce_weights;
+  for (const WordCounts& partition : partitions) {
+    reduce_fingerprints.push_back(fingerprint(partition));
+    reduce_weights.push_back(static_cast<double>(partition.size()));
+  }
+  const FingerprintWorkload reduce_workload(
+      reduce_fingerprints, normalize_weights(reduce_weights));
+  dca::DcaConfig reduce_config = config_.dca;
+  reduce_config.seed = config_.dca.seed + 0x5eed;
+  std::vector<bool> reduce_corrupted;
+  result.reduce_phase = run_phase(reduce_workload, reduce_config, factory,
+                                  failures, reduce_corrupted);
+
+  // ---- Assemble the final histogram and score it. ----------------------
+  for (std::size_t p = 0; p < partitions.size(); ++p) {
+    const WordCounts final_partition =
+        reduce_corrupted[p] ? corrupt_counts(partitions[p]) : partitions[p];
+    merge_counts(result.output, final_partition);
+  }
+  result.output_accuracy = accuracy(result.output, corpus_.true_counts());
+  return result;
+}
+
+}  // namespace smartred::mapreduce

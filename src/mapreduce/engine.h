@@ -1,0 +1,72 @@
+// A miniature MapReduce engine with redundancy-validated tasks.
+//
+// The paper counts MapReduce systems (Hadoop) among the DCAs that "rely on
+// traditional redundancy" for integrity. This engine runs the two phases of
+// a word-count job on the DES-backed DCA substrate: each map split and each
+// reduce partition is a task whose job outputs are validated by a pluggable
+// RedundancyStrategy, with votes cast on output *fingerprints* (checksums),
+// BOINC-style. An accepted-but-wrong fingerprint corrupts that task's
+// contribution downstream — exactly the failure a smarter validator is
+// supposed to prevent — and the engine scores the final output against the
+// corpus's exact ground truth.
+#pragma once
+
+#include <cstdint>
+
+#include "dca/metrics.h"
+#include "dca/task_server.h"
+#include "fault/failure_model.h"
+#include "mapreduce/wordcount.h"
+#include "redundancy/strategy.h"
+
+namespace smartred::mapreduce {
+
+struct MapReduceConfig {
+  /// Number of map splits (>= 1; at most one per document).
+  std::size_t map_tasks = 32;
+  /// Number of reduce partitions (>= 1). Words are partitioned by id.
+  std::size_t reduce_tasks = 8;
+  /// DCA substrate settings (pool size, durations, silent crashes, churn).
+  /// The reduce phase derives its seed from dca.seed.
+  dca::DcaConfig dca;
+};
+
+/// One phase's outcome.
+struct PhaseReport {
+  dca::RunMetrics metrics;
+  std::uint64_t corrupted_tasks = 0;  ///< accepted a wrong fingerprint
+};
+
+struct MapReduceResult {
+  WordCounts output;
+  PhaseReport map_phase;
+  PhaseReport reduce_phase;
+  /// Fraction of the final histogram matching the exact ground truth.
+  double output_accuracy = 0.0;
+
+  /// Jobs per task across both phases — the redundancy bill.
+  [[nodiscard]] double total_cost_factor() const;
+  /// Total simulated time (phases are sequential).
+  [[nodiscard]] sim::Time total_makespan() const;
+};
+
+/// Runs word count over a corpus. Single-use per run() call; the corpus,
+/// factory, and failure model must outlive the engine.
+class WordCountEngine {
+ public:
+  WordCountEngine(const Corpus& corpus, const MapReduceConfig& config);
+
+  /// Executes map phase, shuffle, reduce phase; returns the scored result.
+  [[nodiscard]] MapReduceResult run(
+      const redundancy::StrategyFactory& factory,
+      fault::FailureModel& failures) const;
+
+  /// The reduce partition a word belongs to.
+  [[nodiscard]] std::size_t partition_of(WordId word) const;
+
+ private:
+  const Corpus& corpus_;
+  MapReduceConfig config_;
+};
+
+}  // namespace smartred::mapreduce

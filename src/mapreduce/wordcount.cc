@@ -1,0 +1,101 @@
+#include "mapreduce/wordcount.h"
+
+#include <cmath>
+
+#include "common/expect.h"
+
+namespace smartred::mapreduce {
+
+Corpus::Corpus(std::size_t documents, std::size_t words_per_document,
+               WordId vocabulary, rng::Stream rng)
+    : vocabulary_(vocabulary) {
+  SMARTRED_EXPECT(documents > 0, "corpus needs at least one document");
+  SMARTRED_EXPECT(words_per_document > 0, "documents need words");
+  SMARTRED_EXPECT(vocabulary > 0, "vocabulary must be positive");
+  docs_.reserve(documents);
+  for (std::size_t d = 0; d < documents; ++d) {
+    std::vector<WordId> doc;
+    doc.reserve(words_per_document);
+    for (std::size_t w = 0; w < words_per_document; ++w) {
+      // Approximate Zipf: squaring a uniform skews mass toward low ids.
+      const double u = rng.uniform01();
+      const auto word = static_cast<WordId>(
+          u * u * static_cast<double>(vocabulary));
+      doc.push_back(word >= vocabulary ? vocabulary - 1 : word);
+    }
+    docs_.push_back(std::move(doc));
+  }
+}
+
+const std::vector<WordId>& Corpus::document(std::size_t index) const {
+  SMARTRED_EXPECT(index < docs_.size(), "document index out of range");
+  return docs_[index];
+}
+
+WordCounts Corpus::true_counts() const {
+  return count_range(0, docs_.size());
+}
+
+WordCounts Corpus::count_range(std::size_t begin, std::size_t end) const {
+  SMARTRED_EXPECT(begin <= end && end <= docs_.size(),
+                  "document range out of bounds");
+  WordCounts counts;
+  for (std::size_t d = begin; d < end; ++d) {
+    for (const WordId word : docs_[d]) ++counts[word];
+  }
+  return counts;
+}
+
+std::int32_t fingerprint(const WordCounts& counts) {
+  // FNV-1a over the (word, count) pairs in sorted (map) order, folded to
+  // 32 bits. Deterministic across platforms for our integer data.
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  auto mix = [&hash](std::uint64_t value) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (value >> (8 * byte)) & 0xff;
+      hash *= 0x100000001b3ull;
+    }
+  };
+  for (const auto& [word, count] : counts) {
+    mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(word)));
+    mix(static_cast<std::uint64_t>(count));
+  }
+  return static_cast<std::int32_t>(
+      static_cast<std::uint32_t>(hash ^ (hash >> 32)));
+}
+
+void merge_counts(WordCounts& into, const WordCounts& extra) {
+  for (const auto& [word, count] : extra) into[word] += count;
+}
+
+WordCounts corrupt_counts(const WordCounts& counts) {
+  // A plausible-but-wrong table: a fraction of the entries are off by one,
+  // plus a phantom word no honest run produces. Keeping most entries intact
+  // models realistic corruption (bit flips, truncated partial results) and
+  // lets output accuracy degrade gradually with the number of corrupted
+  // tasks instead of collapsing to zero.
+  WordCounts corrupted = counts;
+  std::size_t index = 0;
+  for (auto& [word, count] : corrupted) {
+    if (index++ % 8 == 0) ++count;
+  }
+  corrupted[-1] += 1;
+  return corrupted;
+}
+
+double accuracy(const WordCounts& result, const WordCounts& truth) {
+  std::size_t checked = 0;
+  std::size_t matching = 0;
+  for (const auto& [word, count] : truth) {
+    ++checked;
+    const auto found = result.find(word);
+    if (found != result.end() && found->second == count) ++matching;
+  }
+  for (const auto& [word, count] : result) {
+    if (!truth.contains(word)) ++checked;  // spurious word: counted wrong
+  }
+  if (checked == 0) return 1.0;
+  return static_cast<double>(matching) / static_cast<double>(checked);
+}
+
+}  // namespace smartred::mapreduce

@@ -1,0 +1,64 @@
+// Word count over synthetic documents — the canonical MapReduce workload,
+// used here to exercise redundancy-validated map and reduce phases.
+//
+// Words are integer ids drawn from a Zipf-ish distribution; documents are
+// generated from a seed, so the exact ground-truth histogram is known and
+// end-to-end output accuracy can be scored.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace smartred::mapreduce {
+
+using WordId = std::int32_t;
+/// word -> count; std::map keeps deterministic iteration for fingerprints.
+using WordCounts = std::map<WordId, std::int64_t>;
+
+/// A corpus of synthetic documents.
+class Corpus {
+ public:
+  /// Generates `documents` documents of `words_per_document` words each,
+  /// drawn from a vocabulary of `vocabulary` ids with a heavy-tailed
+  /// (approximately Zipf) frequency profile. Requires all counts > 0.
+  Corpus(std::size_t documents, std::size_t words_per_document,
+         WordId vocabulary, rng::Stream rng);
+
+  [[nodiscard]] std::size_t document_count() const { return docs_.size(); }
+  [[nodiscard]] const std::vector<WordId>& document(std::size_t index) const;
+  [[nodiscard]] WordId vocabulary() const { return vocabulary_; }
+
+  /// Ground truth: the exact corpus-wide histogram.
+  [[nodiscard]] WordCounts true_counts() const;
+
+  /// Map-side computation: histogram of documents [begin, end).
+  [[nodiscard]] WordCounts count_range(std::size_t begin,
+                                       std::size_t end) const;
+
+ private:
+  std::vector<std::vector<WordId>> docs_;
+  WordId vocabulary_;
+};
+
+/// Stable 32-bit fingerprint of a word-count table. Redundancy voting
+/// compares fingerprints of job outputs — exactly how BOINC-style
+/// validators compare output checksums.
+[[nodiscard]] std::int32_t fingerprint(const WordCounts& counts);
+
+/// Merges `extra` into `into` (adding counts).
+void merge_counts(WordCounts& into, const WordCounts& extra);
+
+/// Deterministic corruption of a count table — what an accepted-but-wrong
+/// task contributes downstream. Every count is shifted and one phantom
+/// word is injected, so corruption is always detectable against truth.
+[[nodiscard]] WordCounts corrupt_counts(const WordCounts& counts);
+
+/// Fraction of vocabulary words whose final count matches the truth
+/// (missing words count as wrong when the truth has them, and vice versa).
+[[nodiscard]] double accuracy(const WordCounts& result,
+                              const WordCounts& truth);
+
+}  // namespace smartred::mapreduce

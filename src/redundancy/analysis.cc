@@ -1,0 +1,418 @@
+#include "redundancy/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/binomial.h"
+#include "common/expect.h"
+
+namespace smartred::redundancy::analysis {
+namespace {
+
+void check_k(int k) {
+  SMARTRED_EXPECT(k >= 1 && k % 2 == 1, "k must be odd and >= 1");
+}
+
+void check_r_open(double r) {
+  SMARTRED_EXPECT(r > 0.0 && r < 1.0, "r must be in (0, 1)");
+}
+
+void check_r_useful(double r) {
+  SMARTRED_EXPECT(r > 0.5 && r < 1.0, "r must be in (0.5, 1)");
+}
+
+/// E[max of w i.i.d. U(0.5, 1.5)] = 0.5 + w/(w+1).
+double expected_wave_duration(int wave_size) {
+  return 0.5 + static_cast<double>(wave_size) /
+                   (static_cast<double>(wave_size) + 1.0);
+}
+
+/// Result of evolving a technique's wave process to (near-)absorption.
+struct WaveProcess {
+  std::vector<double> wave_distribution;  ///< P[exactly w waves] at index w-1
+  double expected_jobs = 0.0;
+  double expected_response = 0.0;  ///< sequential waves, parallel jobs
+};
+
+/// Evolves the iterative-redundancy wave process: state is the signed vote
+/// margin s (correct minus wrong), |s| < d; each wave dispatches d − |s|
+/// jobs and the margin moves by 2X − w with X ~ Binomial(w, r). Absorption
+/// happens exactly at |s| = d. Also usable per *job* by capping wave size at
+/// 1 — that degenerate mode reproduces Equation (5)'s one-job random walk.
+WaveProcess evolve_iterative(int d, double r, double epsilon,
+                             bool single_job_waves) {
+  SMARTRED_EXPECT(d >= 1, "margin d must be >= 1");
+  SMARTRED_EXPECT(r >= 0.0 && r <= 1.0, "r must be in [0, 1]");
+  SMARTRED_EXPECT(epsilon > 0.0, "epsilon must be positive");
+
+  // mass[s + d] = probability of being unabsorbed with margin s.
+  const std::size_t width = static_cast<std::size_t>(2 * d + 1);
+  std::vector<double> mass(width, 0.0);
+  std::vector<double> next(width, 0.0);
+  mass[static_cast<std::size_t>(d)] = 1.0;  // margin 0
+  double alive = 1.0;
+
+  WaveProcess out;
+  // Residual mass decays geometrically, so this loop terminates; the bound
+  // is a safety net against pathological parameters.
+  const int max_waves = 20'000'000 / (2 * d + 1) + 64;
+  for (int wave = 1; wave <= max_waves && alive > epsilon; ++wave) {
+    std::fill(next.begin(), next.end(), 0.0);
+    double absorbed_this_wave = 0.0;
+    double jobs_this_wave = 0.0;
+    double response_this_wave = 0.0;
+    for (int s = -d + 1; s <= d - 1; ++s) {
+      const double m = mass[static_cast<std::size_t>(s + d)];
+      if (m == 0.0) continue;
+      const int full_wave = d - std::abs(s);
+      const int w = single_job_waves ? 1 : full_wave;
+      jobs_this_wave += m * static_cast<double>(w);
+      response_this_wave += m * expected_wave_duration(w);
+      for (int x = 0; x <= w; ++x) {
+        const double p = binom::pmf(static_cast<std::uint64_t>(w),
+                                    static_cast<std::uint64_t>(x), r);
+        if (p == 0.0) continue;
+        const int s_new = s + 2 * x - w;
+        if (std::abs(s_new) >= d) {
+          absorbed_this_wave += m * p;
+        } else {
+          next[static_cast<std::size_t>(s_new + d)] += m * p;
+        }
+      }
+    }
+    mass.swap(next);
+    alive -= absorbed_this_wave;
+    out.expected_jobs += jobs_this_wave;
+    out.expected_response += response_this_wave;
+    out.wave_distribution.push_back(absorbed_this_wave);
+  }
+  SMARTRED_ENSURE(alive <= epsilon * 16,
+                  "iterative wave process failed to converge");
+  return out;
+}
+
+/// Evolves the progressive wave process: state is the (correct, wrong) vote
+/// pair, both below the quorum; each wave dispatches quorum − max(a, b).
+WaveProcess evolve_progressive(int k, double r, double epsilon) {
+  check_k(k);
+  SMARTRED_EXPECT(r >= 0.0 && r <= 1.0, "r must be in [0, 1]");
+  const int quorum = (k + 1) / 2;
+
+  struct State {
+    int correct;
+    int wrong;
+    double mass;
+  };
+  std::vector<State> states{{0, 0, 1.0}};
+
+  WaveProcess out;
+  (void)epsilon;  // the process is bounded; no truncation needed
+  // The binary model guarantees absorption within quorum waves; +2 margin.
+  for (int wave = 1; wave <= quorum + 2 && !states.empty(); ++wave) {
+    std::vector<State> next;
+    double absorbed_this_wave = 0.0;
+    double jobs_this_wave = 0.0;
+    double response_this_wave = 0.0;
+    for (const State& state : states) {
+      const int w = quorum - std::max(state.correct, state.wrong);
+      SMARTRED_ENSURE(w >= 1, "unabsorbed progressive state needs jobs");
+      jobs_this_wave += state.mass * static_cast<double>(w);
+      response_this_wave += state.mass * expected_wave_duration(w);
+      for (int x = 0; x <= w; ++x) {
+        const double p = binom::pmf(static_cast<std::uint64_t>(w),
+                                    static_cast<std::uint64_t>(x), r);
+        if (p == 0.0) continue;
+        const int a = state.correct + x;
+        const int b = state.wrong + (w - x);
+        const double m = state.mass * p;
+        if (std::max(a, b) >= quorum) {
+          absorbed_this_wave += m;
+        } else {
+          // Merge duplicate (a, b) states to keep the frontier small.
+          auto match = std::find_if(next.begin(), next.end(),
+                                    [a, b](const State& other) {
+                                      return other.correct == a &&
+                                             other.wrong == b;
+                                    });
+          if (match == next.end()) {
+            next.push_back(State{a, b, m});
+          } else {
+            match->mass += m;
+          }
+        }
+      }
+    }
+    states = std::move(next);
+    out.expected_jobs += jobs_this_wave;
+    out.expected_response += response_this_wave;
+    out.wave_distribution.push_back(absorbed_this_wave);
+  }
+  SMARTRED_ENSURE(states.empty(), "progressive wave process must absorb");
+  return out;
+}
+
+}  // namespace
+
+double confidence(double r, int majority, int minority) {
+  check_r_open(r);
+  SMARTRED_EXPECT(majority >= 0 && minority >= 0, "counts are non-negative");
+  return confidence_at_margin(r, static_cast<double>(majority - minority));
+}
+
+double confidence_at_margin(double r, double margin) {
+  check_r_open(r);
+  // 1 / (1 + rho^margin), rho = (1−r)/r, evaluated via exp/log for
+  // stability at large margins.
+  const double log_rho = std::log1p(-r) - std::log(r);
+  return 1.0 / (1.0 + std::exp(margin * log_rho));
+}
+
+int margin_for_confidence(double r, double target) {
+  check_r_useful(r);
+  SMARTRED_EXPECT(target >= 0.5 && target < 1.0, "target must be in [0.5, 1)");
+  // The threshold is met up to 1e-12 slack, matching IterativeNaive: when
+  // the target coincides exactly with an achievable confidence, differently
+  // rounded evaluations of q must not disagree about the minimal margin.
+  constexpr double kSlack = 1e-12;
+  const double exact = continuous_margin(r, target);
+  int d = std::max(1, static_cast<int>(std::ceil(exact - 1e-9)));
+  // Guard against floating-point edge cases on either side of the ceiling.
+  while (confidence_at_margin(r, d) < target - kSlack) ++d;
+  while (d > 1 && confidence_at_margin(r, d - 1) >= target - kSlack) --d;
+  return d;
+}
+
+double continuous_margin(double r, double target) {
+  check_r_useful(r);
+  SMARTRED_EXPECT(target >= 0.5 && target < 1.0, "target must be in [0.5, 1)");
+  // Solve r^d / (r^d + (1−r)^d) = R  =>  d = ln(R/(1−R)) / ln(r/(1−r)).
+  return std::log(target / (1.0 - target)) / (std::log(r) - std::log1p(-r));
+}
+
+double traditional_cost(int k) {
+  check_k(k);
+  return static_cast<double>(k);
+}
+
+double traditional_reliability(int k, double r) {
+  check_k(k);
+  SMARTRED_EXPECT(r >= 0.0 && r <= 1.0, "r must be in [0, 1]");
+  // Equation (2): at most (k−1)/2 of the k jobs fail.
+  return binom::cdf(static_cast<std::uint64_t>(k),
+                    static_cast<std::uint64_t>((k - 1) / 2), 1.0 - r);
+}
+
+double traditional_failure(int k, double r) {
+  check_k(k);
+  SMARTRED_EXPECT(r >= 0.0 && r <= 1.0, "r must be in [0, 1]");
+  // P[at least (k+1)/2 of the k jobs fail], summed over the small tail.
+  return binom::upper_tail(static_cast<std::uint64_t>(k),
+                           static_cast<std::uint64_t>((k + 1) / 2), 1.0 - r);
+}
+
+double progressive_cost(int k, double r) {
+  check_k(k);
+  SMARTRED_EXPECT(r >= 0.0 && r <= 1.0, "r must be in [0, 1]");
+  // Equation (3): the quorum is always dispatched; each further job i is
+  // dispatched iff the first i−1 results contain no consensus, i.e. both the
+  // correct count a and the wrong count (i−1−a) are below the quorum.
+  const int quorum = (k + 1) / 2;
+  double cost = static_cast<double>(quorum);
+  for (int n = quorum; n <= k - 1; ++n) {
+    double no_consensus = 0.0;
+    const int a_lo = std::max(0, n - quorum + 1);
+    const int a_hi = std::min(n, quorum - 1);
+    for (int a = a_lo; a <= a_hi; ++a) {
+      no_consensus += binom::pmf(static_cast<std::uint64_t>(n),
+                                 static_cast<std::uint64_t>(a), r);
+    }
+    cost += no_consensus;
+  }
+  return cost;
+}
+
+double progressive_reliability(int k, double r) {
+  // Equation (4): identical to traditional redundancy.
+  return traditional_reliability(k, r);
+}
+
+double iterative_reliability(int d, double r) {
+  SMARTRED_EXPECT(d >= 1, "margin d must be >= 1");
+  check_r_open(r);
+  return confidence_at_margin(r, static_cast<double>(d));
+}
+
+double iterative_failure(int d, double r) {
+  SMARTRED_EXPECT(d >= 1, "margin d must be >= 1");
+  check_r_open(r);
+  // (1−r)^d / (r^d + (1−r)^d) = 1 / (1 + (r/(1−r))^d): the reciprocal of
+  // the reliability expression, stable when the failure odds are tiny.
+  const double log_inv_rho = std::log(r) - std::log1p(-r);
+  return 1.0 / (1.0 + std::exp(static_cast<double>(d) * log_inv_rho));
+}
+
+double iterative_cost(int d, double r, double epsilon) {
+  return evolve_iterative(d, r, epsilon, /*single_job_waves=*/false)
+      .expected_jobs;
+}
+
+double iterative_cost_approx(int d, double r) {
+  SMARTRED_EXPECT(d >= 1, "margin d must be >= 1");
+  SMARTRED_EXPECT(r > 0.5, "approximation requires r > 0.5");
+  return static_cast<double>(d) / (2.0 * r - 1.0);
+}
+
+double iterative_cost_continuous(double d_real, double r, double epsilon) {
+  SMARTRED_EXPECT(d_real >= 1.0, "margin must be >= 1");
+  const int lo = static_cast<int>(std::floor(d_real));
+  const int hi = static_cast<int>(std::ceil(d_real));
+  const double cost_lo = iterative_cost(lo, r, epsilon);
+  if (lo == hi) return cost_lo;
+  const double cost_hi = iterative_cost(hi, r, epsilon);
+  const double t = d_real - static_cast<double>(lo);
+  return cost_lo + t * (cost_hi - cost_lo);
+}
+
+std::vector<double> iterative_job_count_distribution(int d, double r,
+                                                     double epsilon) {
+  // With single-job waves, "wave" w means absorption at job w; absorption
+  // can only occur at jobs of the form d + 2b, so re-index by b.
+  const WaveProcess process =
+      evolve_iterative(d, r, epsilon, /*single_job_waves=*/true);
+  std::vector<double> by_b;
+  for (std::size_t jobs = 1; jobs <= process.wave_distribution.size();
+       ++jobs) {
+    const double p = process.wave_distribution[jobs - 1];
+    const auto j = static_cast<int>(jobs);
+    if (j >= d && (j - d) % 2 == 0) {
+      by_b.push_back(p);
+    } else {
+      SMARTRED_ENSURE(p == 0.0, "absorption off the d + 2b lattice");
+    }
+  }
+  return by_b;
+}
+
+double iterative_cost_variance(int d, double r, double epsilon) {
+  const std::vector<double> dist = iterative_job_count_distribution(d, r,
+                                                                    epsilon);
+  double mean = 0.0;
+  double second = 0.0;
+  for (std::size_t b = 0; b < dist.size(); ++b) {
+    const double jobs = static_cast<double>(d) + 2.0 * static_cast<double>(b);
+    mean += dist[b] * jobs;
+    second += dist[b] * jobs * jobs;
+  }
+  return second - mean * mean;
+}
+
+int iterative_job_count_quantile(int d, double r, double q, double epsilon) {
+  SMARTRED_EXPECT(q >= 0.0 && q < 1.0, "quantile must be in [0, 1)");
+  const std::vector<double> dist = iterative_job_count_distribution(d, r,
+                                                                    epsilon);
+  double cumulative = 0.0;
+  for (std::size_t b = 0; b < dist.size(); ++b) {
+    cumulative += dist[b];
+    if (cumulative >= q) return d + 2 * static_cast<int>(b);
+  }
+  // q falls in the truncated tail; return the last tabulated point.
+  return d + 2 * (static_cast<int>(dist.size()) - 1);
+}
+
+std::vector<double> progressive_job_count_distribution(int k, double r) {
+  check_k(k);
+  SMARTRED_EXPECT(r >= 0.0 && r <= 1.0, "r must be in [0, 1]");
+  // P[total = n] = P[no consensus after n−1 votes] − P[no consensus after
+  // n votes] for n in [quorum, k]; the wave top-up policy reaches consensus
+  // exactly at the first per-job consensus point.
+  const int quorum = (k + 1) / 2;
+  auto no_consensus = [&](int n) {
+    if (n < quorum) return 1.0;
+    double total = 0.0;
+    const int a_lo = std::max(0, n - quorum + 1);
+    const int a_hi = std::min(n, quorum - 1);
+    for (int a = a_lo; a <= a_hi; ++a) {
+      total += binom::pmf(static_cast<std::uint64_t>(n),
+                          static_cast<std::uint64_t>(a), r);
+    }
+    return total;
+  };
+  std::vector<double> dist;
+  dist.reserve(static_cast<std::size_t>(k - quorum + 1));
+  for (int n = quorum; n <= k; ++n) {
+    dist.push_back(no_consensus(n - 1) - no_consensus(n));
+  }
+  return dist;
+}
+
+double progressive_cost_variance(int k, double r) {
+  const std::vector<double> dist = progressive_job_count_distribution(k, r);
+  const int quorum = (k + 1) / 2;
+  double mean = 0.0;
+  double second = 0.0;
+  for (std::size_t i = 0; i < dist.size(); ++i) {
+    const double jobs = static_cast<double>(quorum) + static_cast<double>(i);
+    mean += dist[i] * jobs;
+    second += dist[i] * jobs * jobs;
+  }
+  return second - mean * mean;
+}
+
+std::vector<double> traditional_wave_distribution() { return {1.0}; }
+
+std::vector<double> progressive_wave_distribution(int k, double r,
+                                                  double epsilon) {
+  return evolve_progressive(k, r, epsilon).wave_distribution;
+}
+
+std::vector<double> iterative_wave_distribution(int d, double r,
+                                                double epsilon) {
+  return evolve_iterative(d, r, epsilon, /*single_job_waves=*/false)
+      .wave_distribution;
+}
+
+double expected_waves(const std::vector<double>& distribution) {
+  double mean = 0.0;
+  for (std::size_t w = 0; w < distribution.size(); ++w) {
+    mean += static_cast<double>(w + 1) * distribution[w];
+  }
+  return mean;
+}
+
+double expected_response_traditional(int k) {
+  check_k(k);
+  return expected_wave_duration(k);
+}
+
+double expected_response_progressive(int k, double r, double epsilon) {
+  return evolve_progressive(k, r, epsilon).expected_response;
+}
+
+double expected_response_iterative(int d, double r, double epsilon) {
+  return evolve_iterative(d, r, epsilon, /*single_job_waves=*/false)
+      .expected_response;
+}
+
+double progressive_improvement(int k, double r) {
+  return traditional_cost(k) / progressive_cost(k, r);
+}
+
+double iterative_improvement(int k, double r) {
+  check_r_useful(r);
+  // Work on the failure side: 1 − R_TR stays meaningful in double precision
+  // even when R_TR rounds to 1. The matched margin solves
+  // (1−r)^d / (r^d + (1−r)^d) = failure, i.e.
+  // d* = ln((1−F)/F) / ln(r/(1−r)).
+  const double failure = traditional_failure(k, r);
+  SMARTRED_EXPECT(failure > 0.0 && failure <= 0.5,
+                  "matched failure must be in (0, 0.5]");
+  const double d_exact = std::log((1.0 - failure) / failure) /
+                         (std::log(r) - std::log1p(-r));
+  // Clamped to the technique's minimum of d = 1 (where iterative redundancy
+  // can only overshoot the target, making the comparison conservative).
+  const double d_star = std::max(1.0, d_exact);
+  return traditional_cost(k) / iterative_cost_continuous(d_star, r);
+}
+
+}  // namespace smartred::redundancy::analysis

@@ -1,0 +1,159 @@
+// Closed-form analysis of the three redundancy techniques — Equations (1)
+// through (6) of the paper, plus the wave/response-time distributions needed
+// for Figure 6 and the reliability-matched cost comparison of Figure 5(c).
+//
+// Conventions:
+//   r — average node (job) reliability, in (0, 1); techniques assume r > 0.5
+//       for their guarantees but the formulas are total over (0, 1).
+//   k — traditional / progressive vote parameter, odd, >= 1.
+//   d — iterative margin, >= 1.
+// "Cost factor" is the expected number of jobs per task (1 = no redundancy).
+#pragma once
+
+#include <vector>
+
+namespace smartred::redundancy::analysis {
+
+// ---------------------------------------------------------------------------
+// Confidence (paper §3.3) and Theorem 1/2 quantities.
+// ---------------------------------------------------------------------------
+
+/// q(r, a, b): the Bayesian confidence that the a-majority of an (a, b) vote
+/// split is correct. Equals 1 / (1 + ((1−r)/r)^(a−b)) — Theorem 1: it
+/// depends on a and b only through the margin a − b.
+[[nodiscard]] double confidence(double r, int majority, int minority);
+
+/// Confidence as a function of margin alone (Theorem 2's constant c):
+/// r^d / (r^d + (1−r)^d). Accepts real-valued d for the continuous
+/// interpolation used by reliability-matched comparisons.
+[[nodiscard]] double confidence_at_margin(double r, double margin);
+
+/// d(r, R, 0): the minimum margin d such that confidence_at_margin >= R.
+/// Requires r in (0.5, 1) and R in [0.5, 1). This is the paper's d number a
+/// task server computes once.
+[[nodiscard]] int margin_for_confidence(double r, double target);
+
+/// Real-valued margin d* solving confidence_at_margin(r, d*) == R exactly:
+/// d* = ln(R/(1−R)) / ln(r/(1−r)). Requires r in (0.5, 1), R in [0.5, 1).
+[[nodiscard]] double continuous_margin(double r, double target);
+
+// ---------------------------------------------------------------------------
+// Traditional redundancy (Equations (1) and (2)).
+// ---------------------------------------------------------------------------
+
+/// C_TR(k) = k.
+[[nodiscard]] double traditional_cost(int k);
+
+/// R_TR(k, r) = sum_{i=0}^{(k−1)/2} C(k, i) r^(k−i) (1−r)^i.
+[[nodiscard]] double traditional_reliability(int k, double r);
+
+/// 1 − R_TR(k, r), computed on the failure side so it stays accurate when
+/// the reliability rounds to 1.0 in double precision (needed by the
+/// reliability-matched comparisons at high r).
+[[nodiscard]] double traditional_failure(int k, double r);
+
+// ---------------------------------------------------------------------------
+// Progressive redundancy (Equations (3) and (4)).
+// ---------------------------------------------------------------------------
+
+/// C_PR(k, r): quorum plus, for each job index beyond the quorum, the
+/// probability that it is needed (no consensus among the earlier results).
+[[nodiscard]] double progressive_cost(int k, double r);
+
+/// R_PR(k, r) = R_TR(k, r) (Equation (4)).
+[[nodiscard]] double progressive_reliability(int k, double r);
+
+// ---------------------------------------------------------------------------
+// Iterative redundancy (Equations (5) and (6)).
+// ---------------------------------------------------------------------------
+
+/// R_IR(d, r) = r^d / (r^d + (1−r)^d) (Equation (6)).
+[[nodiscard]] double iterative_reliability(int d, double r);
+
+/// 1 − R_IR(d, r) = (1−r)^d / (r^d + (1−r)^d), computed on the failure
+/// side so it stays meaningful when the reliability saturates to 1.0 in
+/// double precision (large d, high r).
+[[nodiscard]] double iterative_failure(int d, double r);
+
+/// C_IR(d, r) (Equation (5)): expected number of jobs until the vote margin
+/// reaches d — the mean absorption time of a ±1 random walk with absorbing
+/// barriers at ±d, computed by exact probability-mass evolution to residual
+/// < `epsilon`.
+[[nodiscard]] double iterative_cost(int d, double r, double epsilon = 1e-13);
+
+/// The paper's closed-form approximation C_IR ≈ d / (2r − 1), exact in the
+/// limit of large d. Requires r > 0.5.
+[[nodiscard]] double iterative_cost_approx(int d, double r);
+
+/// Cost at a real-valued margin, linearly interpolated between the two
+/// bracketing integers (used for reliability-matched comparisons).
+/// Requires d_real >= 1.
+[[nodiscard]] double iterative_cost_continuous(double d_real, double r,
+                                               double epsilon = 1e-13);
+
+/// P[task completes after exactly d + 2b jobs] for b = 0, 1, ... — the
+/// weights of Equation (5). Truncated when the residual mass drops below
+/// `epsilon`; the final element absorbs nothing (probabilities sum to
+/// ~1 − epsilon).
+[[nodiscard]] std::vector<double> iterative_job_count_distribution(
+    int d, double r, double epsilon = 1e-13);
+
+/// Variance of the iterative job count (spread around Equation (5)'s mean;
+/// drives the error bars of the measured-cost figures).
+[[nodiscard]] double iterative_cost_variance(int d, double r,
+                                             double epsilon = 1e-13);
+
+/// Smallest job count n with P[jobs <= n] >= q. Requires q in [0, 1).
+[[nodiscard]] int iterative_job_count_quantile(int d, double r, double q,
+                                               double epsilon = 1e-13);
+
+/// P[task completes after exactly n jobs] for n = quorum..k under
+/// progressive redundancy (index 0 holds P[jobs = quorum]).
+[[nodiscard]] std::vector<double> progressive_job_count_distribution(
+    int k, double r);
+
+/// Variance of the progressive job count.
+[[nodiscard]] double progressive_cost_variance(int k, double r);
+
+// ---------------------------------------------------------------------------
+// Wave analysis (paper §5.2 — response time).
+// ---------------------------------------------------------------------------
+
+/// Distribution of the number of *waves* a technique needs per task
+/// (index w-1 holds P[exactly w waves]). Traditional always uses one wave;
+/// progressive at most (k+1)/2 waves in the binary model; iterative has an
+/// unbounded (geometric-tailed) wave count, truncated at residual epsilon.
+[[nodiscard]] std::vector<double> traditional_wave_distribution();
+[[nodiscard]] std::vector<double> progressive_wave_distribution(
+    int k, double r, double epsilon = 1e-13);
+[[nodiscard]] std::vector<double> iterative_wave_distribution(
+    int d, double r, double epsilon = 1e-13);
+
+/// Expected number of waves (mean of the corresponding distribution).
+[[nodiscard]] double expected_waves(const std::vector<double>& distribution);
+
+/// Expected response time of one task in simulated time units, assuming the
+/// paper's XDEVS workload model: each job's duration is uniform in
+/// [0.5, 1.5], jobs of a wave run in parallel, and waves are sequential.
+/// (E[max of w i.i.d. U(0.5, 1.5)] = 0.5 + w/(w+1).)
+[[nodiscard]] double expected_response_traditional(int k);
+[[nodiscard]] double expected_response_progressive(int k, double r,
+                                                   double epsilon = 1e-13);
+[[nodiscard]] double expected_response_iterative(int d, double r,
+                                                 double epsilon = 1e-13);
+
+// ---------------------------------------------------------------------------
+// Reliability-matched comparison (Figure 5(c)).
+// ---------------------------------------------------------------------------
+
+/// Cost-factor improvement of progressive over traditional at equal
+/// reliability (same k, identical reliability by Equation (4)):
+/// k / C_PR(k, r).
+[[nodiscard]] double progressive_improvement(int k, double r);
+
+/// Cost-factor improvement of iterative over traditional at equal
+/// reliability: finds the real-valued margin d* with
+/// R_IR(d*, r) = R_TR(k, r) and returns k / C_IR(d*, r).
+[[nodiscard]] double iterative_improvement(int k, double r);
+
+}  // namespace smartred::redundancy::analysis

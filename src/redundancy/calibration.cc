@@ -1,0 +1,34 @@
+#include "redundancy/calibration.h"
+
+#include "common/expect.h"
+#include "redundancy/analysis.h"
+
+namespace smartred::redundancy::calibration {
+
+int min_k_for_reliability(double r, double target, int k_max) {
+  SMARTRED_EXPECT(r > 0.5 && r < 1.0, "r must be in (0.5, 1)");
+  SMARTRED_EXPECT(target >= 0.5 && target < 1.0, "target must be in [0.5, 1)");
+  for (int k = 1; k <= k_max; k += 2) {
+    if (analysis::traditional_reliability(k, r) >= target) return k;
+  }
+  SMARTRED_EXPECT(false, "no odd k <= k_max reaches the target reliability");
+  return -1;  // unreachable
+}
+
+int min_d_for_reliability(double r, double target) {
+  return analysis::margin_for_confidence(r, target);
+}
+
+MatchedCosts costs_for_target(double r, double target) {
+  MatchedCosts out;
+  out.k = min_k_for_reliability(r, target);
+  out.d = min_d_for_reliability(r, target);
+  out.traditional = analysis::traditional_cost(out.k);
+  out.progressive = analysis::progressive_cost(out.k, r);
+  out.iterative = analysis::iterative_cost(out.d, r);
+  out.traditional_reliability = analysis::traditional_reliability(out.k, r);
+  out.iterative_reliability = analysis::iterative_reliability(out.d, r);
+  return out;
+}
+
+}  // namespace smartred::redundancy::calibration

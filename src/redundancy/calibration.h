@@ -1,0 +1,37 @@
+// Parameter calibration: choosing k or d for a desired system reliability.
+//
+// The paper's operators pick a redundancy parameter; these helpers invert
+// the reliability formulas so experiments (and deployments that *do* know
+// an estimate of r) can compare techniques at matched reliability, as
+// Figure 5(c) does.
+#pragma once
+
+namespace smartred::redundancy::calibration {
+
+/// Smallest odd k with R_TR(k, r) >= target. Requires r in (0.5, 1) and
+/// target in [0.5, 1); throws smartred::PreconditionError if no k up to
+/// `k_max` suffices.
+[[nodiscard]] int min_k_for_reliability(double r, double target,
+                                        int k_max = 9'999);
+
+/// Smallest margin d with R_IR(d, r) >= target. Requires r in (0.5, 1) and
+/// target in [0.5, 1). (Identical to analysis::margin_for_confidence; named
+/// for symmetry with min_k_for_reliability.)
+[[nodiscard]] int min_d_for_reliability(double r, double target);
+
+/// Matched-reliability cost of each technique for a given target: the cost
+/// factor each technique pays to reach `target` reliability at node
+/// reliability r, using the smallest adequate integer parameter.
+struct MatchedCosts {
+  int k = 0;               ///< chosen traditional/progressive parameter
+  int d = 0;               ///< chosen iterative margin
+  double traditional = 0;  ///< = k
+  double progressive = 0;  ///< C_PR(k, r)
+  double iterative = 0;    ///< C_IR(d, r)
+  double traditional_reliability = 0;
+  double iterative_reliability = 0;
+};
+
+[[nodiscard]] MatchedCosts costs_for_target(double r, double target);
+
+}  // namespace smartred::redundancy::calibration

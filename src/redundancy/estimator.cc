@@ -1,0 +1,53 @@
+#include "redundancy/estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expect.h"
+
+namespace smartred::redundancy {
+
+ReliabilityEstimator::ReliabilityEstimator(double forgetting)
+    : forgetting_(forgetting) {
+  SMARTRED_EXPECT(forgetting > 0.0 && forgetting <= 1.0,
+                  "forgetting factor must be in (0, 1]");
+}
+
+void ReliabilityEstimator::observe_task(const VoteTally& tally,
+                                        ResultValue accepted) {
+  observe_votes(tally.count(accepted), tally.total());
+}
+
+void ReliabilityEstimator::observe_votes(int agreeing, int total) {
+  SMARTRED_EXPECT(agreeing >= 0 && agreeing <= total,
+                  "agreeing votes must be within [0, total]");
+  if (total == 0) return;
+  weighted_agreeing_ = weighted_agreeing_ * forgetting_ + agreeing;
+  weighted_total_ = weighted_total_ * forgetting_ + total;
+  raw_votes_ += static_cast<std::size_t>(total);
+}
+
+double ReliabilityEstimator::estimate() const {
+  SMARTRED_EXPECT(has_estimate(), "no votes observed yet");
+  return weighted_agreeing_ / weighted_total_;
+}
+
+stats::Interval ReliabilityEstimator::interval(double z) const {
+  SMARTRED_EXPECT(has_estimate(), "no votes observed yet");
+  // Round the effective counts for the Wilson interval; under forgetting
+  // the effective sample size is what controls the width.
+  const auto total = static_cast<std::size_t>(
+      std::max(1.0, std::round(weighted_total_)));
+  const auto agreeing = std::min(
+      total, static_cast<std::size_t>(std::round(weighted_agreeing_)));
+  return stats::wilson_interval(agreeing, total, z);
+}
+
+double estimate_from_cost(int d, double measured_cost) {
+  SMARTRED_EXPECT(d >= 1, "margin d must be >= 1");
+  SMARTRED_EXPECT(measured_cost >= static_cast<double>(d),
+                  "cost cannot be below d");
+  return (static_cast<double>(d) / measured_cost + 1.0) / 2.0;
+}
+
+}  // namespace smartred::redundancy

@@ -1,0 +1,73 @@
+// Online estimation of the pool's per-job reliability r from vote
+// agreement.
+//
+// Iterative redundancy never *needs* r — that is its headline property —
+// but an estimate is still operationally useful: the paper itself derives
+// the PlanetLab pool's effective reliability (0.64 < r < 0.67) from its
+// measurements (§4.2), and an operator who wants to specify a target
+// *reliability* instead of a margin d must translate one into the other.
+// This module provides that translation loop:
+//
+//   ReliabilityEstimator — counts votes that agreed with accepted results,
+//       with optional exponential forgetting so drifting pools re-estimate.
+//   estimate_from_cost   — inverts the paper's C_IR ≈ d/(2r−1)
+//       approximation, the other way the paper back-derives r.
+//
+// Bias note: votes agreeing with a *wrong* accepted result are counted as
+// correct, so the estimator overestimates r by O(1 − R_system); with any
+// reasonable redundancy parameter that bias is far below the statistical
+// noise floor.
+#pragma once
+
+#include <cstddef>
+
+#include "common/stats.h"
+#include "redundancy/types.h"
+
+namespace smartred::redundancy {
+
+class ReliabilityEstimator {
+ public:
+  /// `forgetting` in (0, 1]: per-task multiplicative decay applied to the
+  /// accumulated counts, so recent tasks dominate. 1.0 (default) never
+  /// forgets — the right choice for stationary pools; ~0.999 tracks slow
+  /// drift; ~0.99 tracks fast drift at the price of noisier estimates.
+  explicit ReliabilityEstimator(double forgetting = 1.0);
+
+  /// Records one completed task: its final tally and the accepted value.
+  void observe_task(const VoteTally& tally, ResultValue accepted);
+
+  /// Records pre-aggregated counts (`agreeing` of `total` votes matched
+  /// the accepted value). Requires 0 <= agreeing <= total.
+  void observe_votes(int agreeing, int total);
+
+  /// Whether enough votes have been seen for estimate() to be meaningful.
+  [[nodiscard]] bool has_estimate() const { return weighted_total_ > 0.0; }
+
+  /// The current estimate of r. Requires has_estimate().
+  [[nodiscard]] double estimate() const;
+
+  /// Effective number of votes behind the estimate (decays under
+  /// forgetting).
+  [[nodiscard]] double effective_votes() const { return weighted_total_; }
+
+  /// Raw (undecayed) number of votes ever observed.
+  [[nodiscard]] std::size_t votes_observed() const { return raw_votes_; }
+
+  /// Wilson score interval on r, using the effective vote count.
+  /// Requires has_estimate().
+  [[nodiscard]] stats::Interval interval(double z = 1.96) const;
+
+ private:
+  double forgetting_;
+  double weighted_agreeing_ = 0.0;
+  double weighted_total_ = 0.0;
+  std::size_t raw_votes_ = 0;
+};
+
+/// Back-derives r from a measured iterative-redundancy cost factor using
+/// the paper's approximation C_IR ≈ d/(2r−1): r ≈ (d/C + 1)/2.
+/// Requires d >= 1 and measured_cost >= d.
+[[nodiscard]] double estimate_from_cost(int d, double measured_cost);
+
+}  // namespace smartred::redundancy

@@ -1,0 +1,29 @@
+#include "redundancy/iterative.h"
+
+namespace smartred::redundancy {
+
+IterativeRedundancy::IterativeRedundancy(int d) : d_(d) {
+  SMARTRED_EXPECT(d >= 1, "iterative redundancy needs margin d >= 1");
+}
+
+Decision IterativeRedundancy::decide(std::span<const Vote> votes) {
+  const VoteTally tally{votes};
+  if (tally.total() == 0) return Decision::dispatch(d_);
+  const int margin = tally.margin();
+  if (margin >= d_) return Decision::accept(tally.leader());
+  return Decision::dispatch(d_ - margin);
+}
+
+IterativeFactory::IterativeFactory(int d) : d_(d) {
+  SMARTRED_EXPECT(d >= 1, "iterative redundancy needs margin d >= 1");
+}
+
+std::unique_ptr<RedundancyStrategy> IterativeFactory::make() const {
+  return std::make_unique<IterativeRedundancy>(d_);
+}
+
+std::string IterativeFactory::name() const {
+  return "iterative(d=" + std::to_string(d_) + ")";
+}
+
+}  // namespace smartred::redundancy

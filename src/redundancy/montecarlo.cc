@@ -1,0 +1,86 @@
+#include "redundancy/montecarlo.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/expect.h"
+
+namespace smartred::redundancy {
+
+double MonteCarloResult::cost_factor() const {
+  SMARTRED_EXPECT(tasks > 0, "cost_factor() of an empty run");
+  return static_cast<double>(jobs_total) / static_cast<double>(tasks);
+}
+
+double MonteCarloResult::reliability() const {
+  SMARTRED_EXPECT(tasks > 0, "reliability() of an empty run");
+  return static_cast<double>(tasks_correct) / static_cast<double>(tasks);
+}
+
+stats::Interval MonteCarloResult::reliability_interval(double z) const {
+  return stats::wilson_interval(tasks_correct, tasks, z);
+}
+
+MonteCarloResult run_custom(const StrategyFactory& factory,
+                            const VoteSource& source,
+                            ResultValue correct_value,
+                            const MonteCarloConfig& config) {
+  SMARTRED_EXPECT(config.tasks > 0, "a run needs at least one task");
+  SMARTRED_EXPECT(config.max_jobs_per_task > 0, "job cap must be positive");
+
+  MonteCarloResult result;
+  result.tasks = config.tasks;
+  const rng::Stream master(config.seed);
+
+  std::vector<Vote> votes;
+  for (std::uint64_t task = 0; task < config.tasks; ++task) {
+    rng::Stream task_rng = master.fork(task);
+    auto strategy = factory.make();
+    votes.clear();
+    int waves = 0;
+    bool aborted = false;
+    Decision decision = Decision::dispatch(1);
+    while (true) {
+      decision = strategy->decide(votes);
+      if (decision.done()) break;
+      ++waves;
+      const int already = static_cast<int>(votes.size());
+      const int wave =
+          std::min(decision.jobs, config.max_jobs_per_task - already);
+      for (int j = 0; j < wave; ++j) {
+        votes.push_back(source(task, already + j, task_rng));
+      }
+      if (wave < decision.jobs) {
+        aborted = true;  // cap reached mid-wave; give up on this task
+        break;
+      }
+    }
+    const auto jobs = static_cast<int>(votes.size());
+    result.jobs_total += static_cast<std::uint64_t>(jobs);
+    result.max_jobs_single_task = std::max(result.max_jobs_single_task, jobs);
+    result.jobs_per_task.add(static_cast<double>(jobs));
+    result.waves_per_task.add(static_cast<double>(waves));
+    if (aborted) {
+      ++result.tasks_aborted;
+      continue;  // an aborted task never accepts, hence counts incorrect
+    }
+    if (decision.value == correct_value) ++result.tasks_correct;
+  }
+  return result;
+}
+
+MonteCarloResult run_binary(const StrategyFactory& factory, double reliability,
+                            const MonteCarloConfig& config) {
+  SMARTRED_EXPECT(reliability >= 0.0 && reliability <= 1.0,
+                  "reliability must be in [0, 1]");
+  const VoteSource source = [reliability](std::uint64_t /*task*/,
+                                          int job_index, rng::Stream& rng) {
+    // Node ids are synthetic: the pool is assumed large enough that a task
+    // never sees the same node twice (paper §2.1, random assignment).
+    return Vote{static_cast<NodeId>(job_index),
+                rng.bernoulli(reliability) ? kCorrectValue : kWrongValue};
+  };
+  return run_custom(factory, source, kCorrectValue, config);
+}
+
+}  // namespace smartred::redundancy

@@ -1,0 +1,43 @@
+// Progressive k-vote redundancy, paper §3.2.
+//
+// Derived from self-configuring optimistic programming (Bondavalli et al.):
+// dispatch only the consensus quorum (k+1)/2 first; whenever the returned
+// results fall short of a consensus, top up with exactly the number of jobs
+// that could — if they all agreed with the current leader — complete it.
+// Reliability equals traditional redundancy's (Equation (4)); expected cost
+// is Equation (3), always <= k, reached in at most (k−1)/2 top-up waves
+// under the binary threat model.
+#pragma once
+
+#include "redundancy/strategy.h"
+
+namespace smartred::redundancy {
+
+class ProgressiveRedundancy final : public RedundancyStrategy {
+ public:
+  /// Requires k odd and >= 1.
+  explicit ProgressiveRedundancy(int k);
+
+  Decision decide(std::span<const Vote> votes) override;
+
+  /// The consensus quorum (k+1)/2.
+  [[nodiscard]] int quorum() const { return (k_ + 1) / 2; }
+
+ private:
+  int k_;
+};
+
+class ProgressiveFactory final : public StrategyFactory {
+ public:
+  explicit ProgressiveFactory(int k);
+
+  [[nodiscard]] std::unique_ptr<RedundancyStrategy> make() const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] int k() const { return k_; }
+
+ private:
+  int k_;
+};
+
+}  // namespace smartred::redundancy

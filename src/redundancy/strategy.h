@@ -1,0 +1,83 @@
+// The redundancy-strategy interface: a per-task decision engine.
+//
+// A strategy is consulted in *waves*. The driver (Monte-Carlo sampler, DCA
+// simulation, or volunteer-computing server) asks decide() with the votes
+// received so far; the strategy answers either "dispatch n more jobs" or
+// "accept this value". The first call — with no votes — yields the initial
+// wave. This single interface is what lets one algorithm implementation run
+// unchanged on all three of the paper's evaluation platforms.
+//
+// The three core techniques (traditional, progressive, iterative) are pure
+// functions of the vote tally; the related-work comparators (credibility-
+// based fault tolerance, adaptive replication) additionally read and update
+// shared per-node reputation state, which is why decide() is non-const and
+// why votes carry node ids.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "redundancy/types.h"
+
+namespace smartred::redundancy {
+
+/// What a strategy wants next for one task.
+struct Decision {
+  enum class Kind {
+    kDispatch,  ///< run `jobs` more jobs, then consult the strategy again
+    kAccept,    ///< done: `value` is the task's result
+  };
+
+  Kind kind = Kind::kDispatch;
+  int jobs = 0;             ///< valid when kind == kDispatch; always > 0
+  ResultValue value = 0;    ///< valid when kind == kAccept
+
+  static Decision dispatch(int jobs) {
+    SMARTRED_EXPECT(jobs > 0, "a dispatch decision must request jobs");
+    return Decision{Kind::kDispatch, jobs, 0};
+  }
+  static Decision accept(ResultValue value) {
+    return Decision{Kind::kAccept, 0, value};
+  }
+
+  [[nodiscard]] bool done() const { return kind == Kind::kAccept; }
+};
+
+/// Per-task decision engine. Instances are created per task by a
+/// StrategyFactory and consulted once per completed wave.
+class RedundancyStrategy {
+ public:
+  virtual ~RedundancyStrategy() = default;
+
+  /// Given all votes returned so far for this task (in arrival order),
+  /// returns the next action. Contract: when `votes` is empty the decision
+  /// is always kDispatch (every technique runs at least one job).
+  /// Drivers must pass a superset of the votes of the previous call.
+  virtual Decision decide(std::span<const Vote> votes) = 0;
+
+ protected:
+  RedundancyStrategy() = default;
+  RedundancyStrategy(const RedundancyStrategy&) = default;
+  RedundancyStrategy& operator=(const RedundancyStrategy&) = default;
+};
+
+/// Creates per-task strategy instances. A factory also names the technique
+/// and reports its configured parameter for logging and table output.
+class StrategyFactory {
+ public:
+  virtual ~StrategyFactory() = default;
+
+  /// A fresh decision engine for one task.
+  [[nodiscard]] virtual std::unique_ptr<RedundancyStrategy> make() const = 0;
+
+  /// Technique name, e.g. "traditional(k=19)".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+ protected:
+  StrategyFactory() = default;
+  StrategyFactory(const StrategyFactory&) = default;
+  StrategyFactory& operator=(const StrategyFactory&) = default;
+};
+
+}  // namespace smartred::redundancy

@@ -1,0 +1,54 @@
+#include "redundancy/types.h"
+
+#include <algorithm>
+
+namespace smartred::redundancy {
+
+VoteTally::VoteTally(std::span<const Vote> votes) {
+  for (const Vote& vote : votes) add(vote.value);
+}
+
+void VoteTally::add(ResultValue value) {
+  ++total_;
+  for (Entry& entry : counts_) {
+    if (entry.value == value) {
+      ++entry.count;
+      return;
+    }
+  }
+  counts_.push_back(Entry{value, 1});
+}
+
+int VoteTally::count(ResultValue value) const {
+  for (const Entry& entry : counts_) {
+    if (entry.value == value) return entry.count;
+  }
+  return 0;
+}
+
+const VoteTally::Entry& VoteTally::leader_entry() const {
+  SMARTRED_EXPECT(total_ > 0, "tally is empty");
+  // First-seen wins ties: strict > keeps the earliest maximal entry.
+  const Entry* best = &counts_.front();
+  for (const Entry& entry : counts_) {
+    if (entry.count > best->count) best = &entry;
+  }
+  return *best;
+}
+
+ResultValue VoteTally::leader() const { return leader_entry().value; }
+
+int VoteTally::leader_count() const { return leader_entry().count; }
+
+int VoteTally::runner_up_count() const {
+  const Entry& lead = leader_entry();
+  int best = 0;
+  for (const Entry& entry : counts_) {
+    if (&entry != &lead) best = std::max(best, entry.count);
+  }
+  return best;
+}
+
+int VoteTally::margin() const { return leader_count() - runner_up_count(); }
+
+}  // namespace smartred::redundancy

@@ -1,0 +1,34 @@
+#include "redundancy/traditional.h"
+
+namespace smartred::redundancy {
+
+TraditionalRedundancy::TraditionalRedundancy(int k) : k_(k) {
+  SMARTRED_EXPECT(k >= 1 && k % 2 == 1, "traditional redundancy needs odd k");
+}
+
+Decision TraditionalRedundancy::decide(std::span<const Vote> votes) {
+  const VoteTally tally{votes};
+  if (tally.total() < k_) {
+    // First call dispatches the full wave of k; later shortfalls only occur
+    // when a substrate re-consults after job loss (timeout), in which case
+    // the missing jobs are re-dispatched.
+    return Decision::dispatch(k_ - tally.total());
+  }
+  // With odd k and binary results the leader always holds a strict majority;
+  // with non-binary results (paper §5.3) this generalizes to plurality.
+  return Decision::accept(tally.leader());
+}
+
+TraditionalFactory::TraditionalFactory(int k) : k_(k) {
+  SMARTRED_EXPECT(k >= 1 && k % 2 == 1, "traditional redundancy needs odd k");
+}
+
+std::unique_ptr<RedundancyStrategy> TraditionalFactory::make() const {
+  return std::make_unique<TraditionalRedundancy>(k_);
+}
+
+std::string TraditionalFactory::name() const {
+  return "traditional(k=" + std::to_string(k_) + ")";
+}
+
+}  // namespace smartred::redundancy

@@ -1,0 +1,95 @@
+// Vocabulary types shared by the redundancy strategies and the execution
+// substrates (Monte-Carlo driver, DCA simulation, volunteer-computing
+// deployment).
+//
+// Terminology follows the paper (§2.1): a *computation* is split into
+// *tasks*; each task is executed as one or more *jobs* on distinct nodes;
+// each job reports a ResultValue, and a redundancy strategy decides when
+// enough jobs agree.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/expect.h"
+
+namespace smartred::redundancy {
+
+/// The value a job reports. Under the paper's Byzantine threat model the
+/// worst case is binary (§2.2): every failing node colludes to report the
+/// same wrong value. Non-binary results (§5.3) use the same type with a
+/// larger value range; substrates map domain results (e.g. 3-SAT outcomes)
+/// onto equivalence-class representatives of this type.
+using ResultValue = std::int32_t;
+
+/// Identifies a node in the pool. Strategies that track per-node state
+/// (credibility-based fault tolerance, adaptive replication) key on this;
+/// the paper's three core techniques ignore it.
+using NodeId = std::uint32_t;
+
+/// One returned job result, attributed to the node that produced it.
+struct Vote {
+  NodeId node = 0;
+  ResultValue value = 0;
+
+  friend bool operator==(const Vote&, const Vote&) = default;
+};
+
+/// Aggregated counts of the votes received so far for one task.
+///
+/// Under the binary worst case there are at most two distinct values, but
+/// the tally supports arbitrarily many so the non-binary relaxation of §5.3
+/// (plurality voting) runs through the same code path. Counts are kept in a
+/// small flat vector: real tallies hold a handful of distinct values, where
+/// a flat scan beats any map.
+class VoteTally {
+ public:
+  VoteTally() = default;
+
+  /// Builds a tally from an ordered vote sequence.
+  explicit VoteTally(std::span<const Vote> votes);
+
+  /// Records one more vote for `value`.
+  void add(ResultValue value);
+
+  /// Total number of votes recorded.
+  [[nodiscard]] int total() const { return total_; }
+
+  /// Number of distinct values seen.
+  [[nodiscard]] std::size_t distinct() const { return counts_.size(); }
+
+  /// Votes recorded for `value` (0 if never seen).
+  [[nodiscard]] int count(ResultValue value) const;
+
+  /// The value with the most votes. Ties break toward the value seen first,
+  /// which keeps simulation runs deterministic. Requires total() > 0.
+  [[nodiscard]] ResultValue leader() const;
+
+  /// Vote count of the leader. Requires total() > 0.
+  [[nodiscard]] int leader_count() const;
+
+  /// Vote count of the runner-up (0 when only one value has been seen).
+  /// Requires total() > 0.
+  [[nodiscard]] int runner_up_count() const;
+
+  /// leader_count() − runner_up_count(): the margin the iterative
+  /// technique drives to `d`. Requires total() > 0.
+  [[nodiscard]] int margin() const;
+
+  /// Sum of votes not cast for the leader. Requires total() > 0.
+  [[nodiscard]] int minority_total() const { return total_ - leader_count(); }
+
+ private:
+  struct Entry {
+    ResultValue value;
+    int count;
+  };
+
+  [[nodiscard]] const Entry& leader_entry() const;
+
+  std::vector<Entry> counts_;
+  int total_ = 0;
+};
+
+}  // namespace smartred::redundancy

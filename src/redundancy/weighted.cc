@@ -1,0 +1,94 @@
+#include "redundancy/weighted.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace smartred::redundancy {
+namespace {
+
+// Same boundary slack as the margin rule and the naive algorithm (see
+// analysis::margin_for_confidence): thresholds are met up to 1e-12.
+constexpr double kThresholdSlack = 1e-12;
+
+double logit(double p) { return std::log(p) - std::log1p(-p); }
+
+void check_params(double typical_reliability, double threshold) {
+  SMARTRED_EXPECT(typical_reliability > 0.5 && typical_reliability < 1.0,
+                  "typical reliability must be in (0.5, 1)");
+  SMARTRED_EXPECT(threshold >= 0.5 && threshold < 1.0,
+                  "threshold must be in [0.5, 1)");
+}
+
+}  // namespace
+
+WeightedIterative::WeightedIterative(ReliabilityLookup lookup,
+                                     double typical_reliability,
+                                     double threshold)
+    : lookup_(std::move(lookup)),
+      typical_reliability_(typical_reliability),
+      threshold_(threshold) {
+  SMARTRED_EXPECT(lookup_ != nullptr, "a reliability lookup is required");
+  check_params(typical_reliability, threshold);
+}
+
+double WeightedIterative::llr(std::span<const Vote> votes,
+                              ResultValue value) const {
+  double total = 0.0;
+  for (const Vote& vote : votes) {
+    const double r = lookup_(vote.node);
+    SMARTRED_EXPECT(r > 0.5 && r < 1.0,
+                    "node reliability lookup must return values in (0.5, 1)");
+    total += vote.value == value ? logit(r) : -logit(r);
+  }
+  return total;
+}
+
+double WeightedIterative::posterior(std::span<const Vote> votes,
+                                    ResultValue value) const {
+  return 1.0 / (1.0 + std::exp(-llr(votes, value)));
+}
+
+Decision WeightedIterative::decide(std::span<const Vote> votes) {
+  const double per_vote_gain = logit(typical_reliability_);
+  const double needed_llr = logit(threshold_);
+  if (votes.empty()) {
+    const int wave = std::max(
+        1, static_cast<int>(std::ceil(needed_llr / per_vote_gain - 1e-9)));
+    return Decision::dispatch(wave);
+  }
+  const VoteTally tally{votes};
+  const ResultValue leader = tally.leader();
+  const double current = llr(votes, leader);
+  if (current >= needed_llr - kThresholdSlack) {
+    return Decision::accept(leader);
+  }
+  // Minimum number of typical-quality agreeing votes closing the gap —
+  // exactly the weighted analogue of the margin rule's d − (a − b).
+  const double deficit = needed_llr - current;
+  const int wave = std::max(
+      1, static_cast<int>(std::ceil(deficit / per_vote_gain - 1e-9)));
+  return Decision::dispatch(wave);
+}
+
+WeightedIterativeFactory::WeightedIterativeFactory(ReliabilityLookup lookup,
+                                                   double typical_reliability,
+                                                   double threshold)
+    : lookup_(std::move(lookup)),
+      typical_reliability_(typical_reliability),
+      threshold_(threshold) {
+  SMARTRED_EXPECT(lookup_ != nullptr, "a reliability lookup is required");
+  check_params(typical_reliability, threshold);
+}
+
+std::unique_ptr<RedundancyStrategy> WeightedIterativeFactory::make() const {
+  return std::make_unique<WeightedIterative>(lookup_, typical_reliability_,
+                                             threshold_);
+}
+
+std::string WeightedIterativeFactory::name() const {
+  std::ostringstream out;
+  out << "weighted-iterative(R=" << threshold_ << ")";
+  return out.str();
+}
+
+}  // namespace smartred::redundancy

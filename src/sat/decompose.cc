@@ -1,0 +1,40 @@
+#include "sat/decompose.h"
+
+#include "common/expect.h"
+
+namespace smartred::sat {
+
+std::vector<AssignmentRange> decompose(int num_vars,
+                                       std::uint64_t task_count) {
+  SMARTRED_EXPECT(num_vars >= 1 && num_vars <= 32,
+                  "decompose supports 1..32 variables");
+  const std::uint64_t space = std::uint64_t{1} << num_vars;
+  SMARTRED_EXPECT(task_count >= 1 && task_count <= space,
+                  "task count must be in [1, 2^num_vars]");
+  std::vector<AssignmentRange> ranges;
+  ranges.reserve(task_count);
+  const std::uint64_t base = space / task_count;
+  const std::uint64_t remainder = space % task_count;
+  std::uint64_t cursor = 0;
+  for (std::uint64_t t = 0; t < task_count; ++t) {
+    const std::uint64_t size = base + (t < remainder ? 1 : 0);
+    ranges.push_back(AssignmentRange{cursor, cursor + size});
+    cursor += size;
+  }
+  SMARTRED_ENSURE(cursor == space, "ranges must tile the assignment space");
+  return ranges;
+}
+
+std::optional<Assignment> find_satisfying(const Formula& formula,
+                                          const AssignmentRange& range) {
+  SMARTRED_EXPECT(range.end <= formula.assignment_count(),
+                  "range exceeds the formula's assignment space");
+  for (std::uint64_t a = range.begin; a < range.end; ++a) {
+    if (formula.satisfied(static_cast<Assignment>(a))) {
+      return static_cast<Assignment>(a);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace smartred::sat

@@ -1,0 +1,37 @@
+// Decomposition of a 3-SAT instance into independent range-check tasks.
+//
+// Each task checks one contiguous range of the assignment space — exactly
+// how the paper's custom BOINC task server splits a 22-variable instance
+// into 140 tasks (§4.1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sat/formula.h"
+
+namespace smartred::sat {
+
+/// A half-open range [begin, end) of assignment values.
+struct AssignmentRange {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+
+  [[nodiscard]] std::uint64_t size() const { return end - begin; }
+  friend bool operator==(const AssignmentRange&,
+                         const AssignmentRange&) = default;
+};
+
+/// Splits the 2^num_vars assignment space into `task_count` near-equal
+/// contiguous ranges (sizes differ by at most one). Requires
+/// 1 <= task_count <= 2^num_vars and 1 <= num_vars <= 32.
+[[nodiscard]] std::vector<AssignmentRange> decompose(int num_vars,
+                                                     std::uint64_t task_count);
+
+/// First satisfying assignment in the range, if any — the job computation a
+/// volunteer node performs.
+[[nodiscard]] std::optional<Assignment> find_satisfying(
+    const Formula& formula, const AssignmentRange& range);
+
+}  // namespace smartred::sat

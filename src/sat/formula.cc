@@ -1,0 +1,39 @@
+#include "sat/formula.h"
+
+#include "common/expect.h"
+
+namespace smartred::sat {
+
+Formula::Formula(int num_vars, std::vector<Clause> clauses)
+    : num_vars_(num_vars), clauses_(std::move(clauses)) {
+  SMARTRED_EXPECT(num_vars >= 1 && num_vars <= 32,
+                  "formula supports 1..32 variables");
+  SMARTRED_EXPECT(!clauses_.empty(), "formula needs at least one clause");
+  for (const Clause& clause : clauses_) {
+    for (const Literal& literal : {clause.a, clause.b, clause.c}) {
+      SMARTRED_EXPECT(literal.var >= 0 && literal.var < num_vars,
+                      "literal variable out of range");
+    }
+    SMARTRED_EXPECT(clause.a.var != clause.b.var &&
+                        clause.a.var != clause.c.var &&
+                        clause.b.var != clause.c.var,
+                    "clause variables must be distinct");
+  }
+}
+
+bool Formula::satisfied(Assignment assignment) const {
+  for (const Clause& clause : clauses_) {
+    if (!clause.satisfied(assignment)) return false;
+  }
+  return true;
+}
+
+std::size_t Formula::satisfied_clause_count(Assignment assignment) const {
+  std::size_t count = 0;
+  for (const Clause& clause : clauses_) {
+    if (clause.satisfied(assignment)) ++count;
+  }
+  return count;
+}
+
+}  // namespace smartred::sat

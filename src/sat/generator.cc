@@ -1,0 +1,51 @@
+#include "sat/generator.h"
+
+#include "common/expect.h"
+
+namespace smartred::sat {
+namespace {
+
+Clause random_clause(int num_vars, rng::Stream& rng) {
+  int vars[3];
+  vars[0] = static_cast<int>(rng.index(static_cast<std::size_t>(num_vars)));
+  do {
+    vars[1] = static_cast<int>(rng.index(static_cast<std::size_t>(num_vars)));
+  } while (vars[1] == vars[0]);
+  do {
+    vars[2] = static_cast<int>(rng.index(static_cast<std::size_t>(num_vars)));
+  } while (vars[2] == vars[0] || vars[2] == vars[1]);
+  return Clause{Literal{vars[0], rng.bernoulli(0.5)},
+                Literal{vars[1], rng.bernoulli(0.5)},
+                Literal{vars[2], rng.bernoulli(0.5)}};
+}
+
+}  // namespace
+
+Formula random_formula(int num_vars, int num_clauses, rng::Stream& rng) {
+  SMARTRED_EXPECT(num_vars >= 3 && num_vars <= 32,
+                  "random 3-SAT needs 3..32 variables");
+  SMARTRED_EXPECT(num_clauses >= 1, "need at least one clause");
+  std::vector<Clause> clauses;
+  clauses.reserve(static_cast<std::size_t>(num_clauses));
+  for (int i = 0; i < num_clauses; ++i) {
+    clauses.push_back(random_clause(num_vars, rng));
+  }
+  return Formula{num_vars, std::move(clauses)};
+}
+
+Formula planted_formula(int num_vars, int num_clauses, Assignment planted,
+                        rng::Stream& rng) {
+  SMARTRED_EXPECT(num_vars >= 3 && num_vars <= 32,
+                  "random 3-SAT needs 3..32 variables");
+  SMARTRED_EXPECT(num_clauses >= 1, "need at least one clause");
+  std::vector<Clause> clauses;
+  clauses.reserve(static_cast<std::size_t>(num_clauses));
+  while (clauses.size() < static_cast<std::size_t>(num_clauses)) {
+    // 7/8 of random clauses survive: expected 8/7 rolls per clause.
+    const Clause clause = random_clause(num_vars, rng);
+    if (clause.satisfied(planted)) clauses.push_back(clause);
+  }
+  return Formula{num_vars, std::move(clauses)};
+}
+
+}  // namespace smartred::sat

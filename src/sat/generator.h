@@ -1,0 +1,25 @@
+// Seeded random 3-SAT instance generation.
+#pragma once
+
+#include "common/rng.h"
+#include "sat/formula.h"
+
+namespace smartred::sat {
+
+/// Uniform random 3-CNF: each clause picks three distinct variables and
+/// independent polarities. Requires 3 <= num_vars <= 32 and num_clauses >= 1.
+[[nodiscard]] Formula random_formula(int num_vars, int num_clauses,
+                                     rng::Stream& rng);
+
+/// Random satisfiable 3-CNF with a *planted* assignment: every generated
+/// clause is satisfied by `planted` (clauses violating it are re-rolled), so
+/// the instance's ground truth is known by construction. Used by experiments
+/// that need satisfiable tasks without an exhaustive pre-solve.
+[[nodiscard]] Formula planted_formula(int num_vars, int num_clauses,
+                                      Assignment planted, rng::Stream& rng);
+
+/// The clause-to-variable ratio of the hard random-3-SAT region (~4.26);
+/// the evaluation uses it to size instances.
+inline constexpr double kHardRatio = 4.26;
+
+}  // namespace smartred::sat

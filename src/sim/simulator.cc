@@ -1,0 +1,74 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+namespace smartred::sim {
+
+EventId Simulator::schedule(Time delay, Action action) {
+  SMARTRED_EXPECT(delay >= 0.0, "cannot schedule an event in the past");
+  return schedule_at(now_ + delay, std::move(action));
+}
+
+EventId Simulator::schedule_at(Time when, Action action) {
+  SMARTRED_EXPECT(when >= now_, "cannot schedule an event before now()");
+  SMARTRED_EXPECT(action != nullptr, "event action must be callable");
+  const std::uint64_t sequence = next_sequence_++;
+  queue_.push(Entry{when, sequence, std::move(action)});
+  pending_ids_.insert(sequence);
+  return EventId{sequence};
+}
+
+bool Simulator::cancel(EventId id) {
+  // Only events that are still pending can be cancelled; cancel-after-fire
+  // and double-cancel report false. The heap cannot remove from the middle,
+  // so the entry is marked and discarded lazily when it reaches the top.
+  if (pending_ids_.erase(id.value) == 0) return false;
+  cancelled_.insert(id.value);
+  return true;
+}
+
+bool Simulator::execute_next() {
+  skip_cancelled();
+  if (queue_.empty()) return false;
+  // Copy the entry out before popping; the action may schedule new events.
+  Entry entry = queue_.top();
+  queue_.pop();
+  pending_ids_.erase(entry.sequence);
+  now_ = entry.when;
+  ++executed_;
+  entry.action();
+  return true;
+}
+
+void Simulator::skip_cancelled() {
+  while (!queue_.empty() &&
+         cancelled_.find(queue_.top().sequence) != cancelled_.end()) {
+    cancelled_.erase(queue_.top().sequence);
+    queue_.pop();
+  }
+}
+
+Time Simulator::run() {
+  while (execute_next()) {
+  }
+  return now_;
+}
+
+Time Simulator::run_until(Time until) {
+  SMARTRED_EXPECT(until >= now_, "run_until() target is in the past");
+  while (true) {
+    skip_cancelled();
+    if (queue_.empty() || queue_.top().when > until) break;
+    execute_next();
+  }
+  now_ = until;
+  return now_;
+}
+
+std::uint64_t Simulator::step(std::uint64_t max_events) {
+  std::uint64_t count = 0;
+  while (count < max_events && execute_next()) ++count;
+  return count;
+}
+
+}  // namespace smartred::sim

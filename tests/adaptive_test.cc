@@ -1,0 +1,120 @@
+#include "redundancy/adaptive.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/expect.h"
+
+namespace smartred::redundancy {
+namespace {
+
+TEST(TrustBookTest, RejectsBadThreshold) {
+  EXPECT_THROW(TrustBook(0), PreconditionError);
+}
+
+TEST(TrustBookTest, TrustRequiresConsecutiveStreak) {
+  TrustBook book(3);
+  EXPECT_FALSE(book.trusted(1));
+  book.record_validated(1, true);
+  book.record_validated(1, true);
+  EXPECT_FALSE(book.trusted(1));
+  book.record_validated(1, true);
+  EXPECT_TRUE(book.trusted(1));
+}
+
+TEST(TrustBookTest, InvalidResultResetsStreak) {
+  TrustBook book(2);
+  book.record_validated(1, true);
+  book.record_validated(1, false);
+  book.record_validated(1, true);
+  EXPECT_FALSE(book.trusted(1));
+  EXPECT_EQ(book.consecutive_valid(1), 1);
+}
+
+TEST(TrustBookTest, ForgetResetsIdentity) {
+  TrustBook book(1);
+  book.record_validated(4, true);
+  EXPECT_TRUE(book.trusted(4));
+  book.forget(4);
+  EXPECT_FALSE(book.trusted(4));
+}
+
+TEST(AdaptiveTest, UntrustedNodeTriggersReplication) {
+  auto book = std::make_shared<TrustBook>(5);
+  AdaptiveReplication strategy(book, 2);
+  EXPECT_EQ(strategy.decide({}).jobs, 1);
+  const std::vector<Vote> one{{1, 7}};
+  const Decision decision = strategy.decide(one);
+  ASSERT_FALSE(decision.done());
+  EXPECT_EQ(decision.jobs, 1);  // top up to quorum 2
+}
+
+TEST(AdaptiveTest, QuorumOfTwoMatchingAccepts) {
+  auto book = std::make_shared<TrustBook>(5);
+  AdaptiveReplication strategy(book, 2);
+  const std::vector<Vote> votes{{1, 7}, {2, 7}};
+  const Decision decision = strategy.decide(votes);
+  ASSERT_TRUE(decision.done());
+  EXPECT_EQ(decision.value, 7);
+}
+
+TEST(AdaptiveTest, DisagreementExtendsReplication) {
+  auto book = std::make_shared<TrustBook>(5);
+  AdaptiveReplication strategy(book, 2);
+  const std::vector<Vote> votes{{1, 7}, {2, 8}};
+  const Decision decision = strategy.decide(votes);
+  ASSERT_FALSE(decision.done());
+  EXPECT_EQ(decision.jobs, 1);
+}
+
+TEST(AdaptiveTest, TrustedNodeSkipsReplication) {
+  auto book = std::make_shared<TrustBook>(2);
+  book->record_validated(9, true);
+  book->record_validated(9, true);
+  AdaptiveReplication strategy(book, 2);
+  const std::vector<Vote> votes{{9, 7}};
+  const Decision decision = strategy.decide(votes);
+  ASSERT_TRUE(decision.done());
+  EXPECT_EQ(decision.value, 7);
+}
+
+TEST(AdaptiveTest, PatientAttackerIsAcceptedUnchecked) {
+  // §5.1: earn trust honestly, then lie — the wrong answer sails through,
+  // and recording it as "validated" keeps the attacker trusted.
+  auto book = std::make_shared<TrustBook>(3);
+  for (int i = 0; i < 3; ++i) book->record_validated(13, true);
+  AdaptiveReplication strategy(book, 2);
+  const std::vector<Vote> lie{{13, 666}};
+  const Decision decision = strategy.decide(lie);
+  ASSERT_TRUE(decision.done());
+  EXPECT_EQ(decision.value, 666);
+  book->record_validated(13, true);  // BOINC can't tell; trust persists
+  EXPECT_TRUE(book->trusted(13));
+}
+
+TEST(AdaptiveTest, TrustedNodeInLargerTallyStillVotes) {
+  // The shortcut applies only to a lone first result; once replication has
+  // begun, normal quorum counting resumes.
+  auto book = std::make_shared<TrustBook>(1);
+  book->record_validated(9, true);
+  AdaptiveReplication strategy(book, 2);
+  const std::vector<Vote> votes{{1, 7}, {9, 8}};
+  EXPECT_FALSE(strategy.decide(votes).done());
+}
+
+TEST(AdaptiveFactoryTest, NameCarriesParameters) {
+  auto book = std::make_shared<TrustBook>(10);
+  const AdaptiveFactory factory(book, 2);
+  EXPECT_EQ(factory.name(), "adaptive(trust=10,quorum=2)");
+  EXPECT_EQ(factory.make()->decide({}).jobs, 1);
+}
+
+TEST(AdaptiveTest, RejectsBadQuorum) {
+  auto book = std::make_shared<TrustBook>(1);
+  EXPECT_THROW(AdaptiveReplication(book, 1), PreconditionError);
+  EXPECT_THROW(AdaptiveReplication(nullptr, 2), PreconditionError);
+}
+
+}  // namespace
+}  // namespace smartred::redundancy

@@ -1,0 +1,418 @@
+// Verifies Equations (1)–(6) and the paper's §3 worked examples.
+#include "redundancy/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/expect.h"
+
+namespace smartred::redundancy::analysis {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Confidence / margin machinery.
+// ---------------------------------------------------------------------------
+
+TEST(ConfidenceTest, SingleVoteAtR) {
+  EXPECT_NEAR(confidence(0.7, 1, 0), 0.7, 1e-12);
+  EXPECT_NEAR(confidence(0.9, 1, 0), 0.9, 1e-12);
+}
+
+TEST(ConfidenceTest, SymmetricSplitIsHalf) {
+  EXPECT_NEAR(confidence(0.7, 3, 3), 0.5, 1e-12);
+}
+
+TEST(ConfidenceTest, MinoritySideIsComplement) {
+  const double ahead = confidence(0.7, 5, 2);
+  const double behind = confidence(0.7, 2, 5);
+  EXPECT_NEAR(ahead + behind, 1.0, 1e-12);
+}
+
+TEST(ConfidenceTest, PaperFourJobExample) {
+  // §3.3: 0.7^4 / (0.7^4 + 0.3^4) "> 0.97" (the paper rounds; exact value
+  // is 0.96735...).
+  const double value = confidence(0.7, 4, 0);
+  EXPECT_NEAR(value, 0.2401 / 0.2482, 1e-10);
+  EXPECT_GT(value, 0.967);
+}
+
+TEST(ConfidenceTest, RejectsDegenerateR) {
+  EXPECT_THROW((void)confidence(0.0, 1, 0), PreconditionError);
+  EXPECT_THROW((void)confidence(1.0, 1, 0), PreconditionError);
+}
+
+TEST(MarginForConfidenceTest, KnownValues) {
+  // r = 0.7: margins 1..6 give 0.7, 0.8448, 0.927, 0.9674, 0.9859, 0.9940.
+  EXPECT_EQ(margin_for_confidence(0.7, 0.7), 1);
+  EXPECT_EQ(margin_for_confidence(0.7, 0.8), 2);
+  EXPECT_EQ(margin_for_confidence(0.7, 0.9), 3);
+  EXPECT_EQ(margin_for_confidence(0.7, 0.95), 4);
+  EXPECT_EQ(margin_for_confidence(0.7, 0.98), 5);
+  EXPECT_EQ(margin_for_confidence(0.7, 0.99), 6);
+}
+
+TEST(MarginForConfidenceTest, ExactBoundaryTargets) {
+  // Targets that coincide exactly with an achievable confidence: the
+  // minimal margin must treat "equal up to rounding" as meeting the
+  // threshold (regression for a float-boundary divergence between the
+  // simple and naive algorithms).
+  EXPECT_EQ(margin_for_confidence(0.9, 0.9), 1);
+  EXPECT_EQ(margin_for_confidence(0.7, 0.7), 1);
+  EXPECT_EQ(margin_for_confidence(0.75, 0.9), 2);  // q(2) = 0.9 exactly
+}
+
+TEST(MarginForConfidenceTest, IsMinimal) {
+  for (double r : {0.55, 0.7, 0.9}) {
+    for (double target : {0.6, 0.9, 0.99, 0.9999}) {
+      const int d = margin_for_confidence(r, target);
+      // Minimality under the documented 1e-12 threshold slack.
+      EXPECT_GE(confidence_at_margin(r, d), target - 1e-12);
+      if (d > 1) {
+        EXPECT_LT(confidence_at_margin(r, d - 1), target - 1e-12);
+      }
+    }
+  }
+}
+
+TEST(ContinuousMarginTest, InvertsConfidence) {
+  for (double r : {0.6, 0.7, 0.86}) {
+    for (double target : {0.75, 0.9, 0.99}) {
+      const double d = continuous_margin(r, target);
+      EXPECT_NEAR(confidence_at_margin(r, d), target, 1e-10);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Traditional redundancy (Equations (1), (2)).
+// ---------------------------------------------------------------------------
+
+TEST(TraditionalTest, CostIsK) {
+  EXPECT_DOUBLE_EQ(traditional_cost(1), 1.0);
+  EXPECT_DOUBLE_EQ(traditional_cost(19), 19.0);
+  EXPECT_THROW((void)traditional_cost(4), PreconditionError);
+}
+
+TEST(TraditionalTest, NoRedundancyReliabilityIsR) {
+  EXPECT_NEAR(traditional_reliability(1, 0.7), 0.7, 1e-12);
+}
+
+TEST(TraditionalTest, PaperK19Example) {
+  // §3.1: k = 19, r = 0.7 gives system reliability "0.97".
+  const double reliability = traditional_reliability(19, 0.7);
+  EXPECT_NEAR(reliability, 0.97, 0.005);
+  EXPECT_GT(reliability, 0.96);
+}
+
+TEST(TraditionalTest, ThreeVoteClosedForm) {
+  // R_TR(3, r) = r^3 + 3 r^2 (1−r).
+  for (double r : {0.3, 0.6, 0.7, 0.9}) {
+    const double expected = r * r * r + 3.0 * r * r * (1.0 - r);
+    EXPECT_NEAR(traditional_reliability(3, r), expected, 1e-12);
+  }
+}
+
+TEST(TraditionalTest, MonotoneInKForGoodNodes) {
+  for (int k = 1; k <= 17; k += 2) {
+    EXPECT_LT(traditional_reliability(k, 0.7),
+              traditional_reliability(k + 2, 0.7));
+  }
+}
+
+TEST(TraditionalTest, DegradesInKForBadNodes) {
+  // Below r = 0.5 more redundancy makes things worse.
+  for (int k = 1; k <= 17; k += 2) {
+    EXPECT_GT(traditional_reliability(k, 0.3),
+              traditional_reliability(k + 2, 0.3));
+  }
+}
+
+TEST(TraditionalTest, EdgeReliabilities) {
+  EXPECT_DOUBLE_EQ(traditional_reliability(5, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(traditional_reliability(5, 0.0), 0.0);
+  EXPECT_NEAR(traditional_reliability(5, 0.5), 0.5, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Progressive redundancy (Equations (3), (4)).
+// ---------------------------------------------------------------------------
+
+TEST(ProgressiveTest, ReliabilityEqualsTraditional) {
+  for (int k : {1, 3, 7, 19}) {
+    for (double r : {0.55, 0.7, 0.9}) {
+      EXPECT_DOUBLE_EQ(progressive_reliability(k, r),
+                       traditional_reliability(k, r));
+    }
+  }
+}
+
+TEST(ProgressiveTest, PaperK19Example) {
+  // §3.2: k = 19, r = 0.7 costs "14.2 times as many resources", which is
+  // "1.3 times smaller" than traditional redundancy's 19.
+  const double cost = progressive_cost(19, 0.7);
+  EXPECT_NEAR(cost, 14.2, 0.15);
+  EXPECT_NEAR(19.0 / cost, 1.3, 0.05);
+}
+
+TEST(ProgressiveTest, CostBounds) {
+  // Quorum <= C_PR <= k always.
+  for (int k : {3, 5, 9, 19}) {
+    for (double r : {0.5, 0.7, 0.95}) {
+      const double cost = progressive_cost(k, r);
+      EXPECT_GE(cost, (k + 1) / 2.0);
+      EXPECT_LE(cost, static_cast<double>(k));
+    }
+  }
+}
+
+TEST(ProgressiveTest, K1CostsOne) {
+  EXPECT_DOUBLE_EQ(progressive_cost(1, 0.7), 1.0);
+}
+
+TEST(ProgressiveTest, PerfectNodesPayOnlyQuorum) {
+  EXPECT_NEAR(progressive_cost(19, 1.0), 10.0, 1e-12);
+}
+
+TEST(ProgressiveTest, CoinFlipNodesPayNearlyK) {
+  // r -> 0.5 makes consensus arrive as late as possible; cost approaches k
+  // (the paper's §4.2 observation).
+  const double cost = progressive_cost(19, 0.5);
+  EXPECT_GT(cost, 15.0);
+  EXPECT_LE(cost, 19.0);
+}
+
+TEST(ProgressiveTest, K3ClosedForm) {
+  // k = 3: quorum 2. Third job needed iff first two disagree:
+  // C_PR = 2 + 2 r (1−r).
+  for (double r : {0.5, 0.7, 0.9}) {
+    EXPECT_NEAR(progressive_cost(3, r), 2.0 + 2.0 * r * (1.0 - r), 1e-12);
+  }
+}
+
+TEST(ProgressiveTest, CostSymmetricInR) {
+  // No-consensus probabilities are symmetric in r <-> 1−r.
+  for (int k : {5, 9}) {
+    EXPECT_NEAR(progressive_cost(k, 0.3), progressive_cost(k, 0.7), 1e-9);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Iterative redundancy (Equations (5), (6)).
+// ---------------------------------------------------------------------------
+
+TEST(IterativeTest, ReliabilityClosedForm) {
+  for (int d : {1, 3, 6}) {
+    for (double r : {0.55, 0.7, 0.9}) {
+      const double expected =
+          std::pow(r, d) / (std::pow(r, d) + std::pow(1.0 - r, d));
+      EXPECT_NEAR(iterative_reliability(d, r), expected, 1e-12);
+    }
+  }
+}
+
+TEST(IterativeTest, CostD1IsOne) {
+  EXPECT_NEAR(iterative_cost(1, 0.7), 1.0, 1e-10);
+}
+
+TEST(IterativeTest, PaperExampleCost) {
+  // §3.3: r = 0.7, R ≈ 0.97 needs d = 4 and costs ≈ 9.4 resources — 1.5x
+  // less than progressive (14.2) and 2.0x less than traditional (19).
+  const double cost = iterative_cost(4, 0.7);
+  EXPECT_NEAR(cost, 9.4, 0.35);
+  EXPECT_NEAR(progressive_cost(19, 0.7) / cost, 1.5, 0.07);
+  EXPECT_NEAR(19.0 / cost, 2.0, 0.07);
+}
+
+TEST(IterativeTest, CostMatchesSymmetricWalkSquare) {
+  // r = 0.5: mean absorption time of a symmetric walk at ±d is d^2.
+  for (int d : {1, 2, 3, 5, 8}) {
+    EXPECT_NEAR(iterative_cost(d, 0.5), static_cast<double>(d * d), 1e-6);
+  }
+}
+
+TEST(IterativeTest, ApproximationTightForLargeD) {
+  // C_IR ≈ d/(2r−1) from the paper; exact for d -> infinity, close by d=10.
+  const double exact = iterative_cost(10, 0.8);
+  const double approx = iterative_cost_approx(10, 0.8);
+  EXPECT_NEAR(exact / approx, 1.0, 0.01);
+  EXPECT_LE(exact, approx);  // the walk can only absorb early
+}
+
+TEST(IterativeTest, PerfectNodesPayExactlyD) {
+  for (int d : {1, 4, 9}) {
+    EXPECT_NEAR(iterative_cost(d, 1.0), static_cast<double>(d), 1e-12);
+  }
+}
+
+TEST(IterativeTest, JobDistributionSumsToOneAndMatchesCost) {
+  for (double r : {0.6, 0.7, 0.9}) {
+    for (int d : {2, 4, 6}) {
+      const std::vector<double> dist = iterative_job_count_distribution(d, r);
+      double total = 0.0;
+      double mean_jobs = 0.0;
+      for (std::size_t b = 0; b < dist.size(); ++b) {
+        total += dist[b];
+        mean_jobs += dist[b] * (static_cast<double>(d) + 2.0 * static_cast<double>(b));
+      }
+      EXPECT_NEAR(total, 1.0, 1e-9);
+      // Equation (5): the weighted sum is the cost factor.
+      EXPECT_NEAR(mean_jobs, iterative_cost(d, r), 1e-6);
+    }
+  }
+}
+
+TEST(IterativeTest, CostContinuousInterpolates) {
+  const double lo = iterative_cost(3, 0.7);
+  const double hi = iterative_cost(4, 0.7);
+  EXPECT_NEAR(iterative_cost_continuous(3.0, 0.7), lo, 1e-12);
+  EXPECT_NEAR(iterative_cost_continuous(4.0, 0.7), hi, 1e-12);
+  EXPECT_NEAR(iterative_cost_continuous(3.5, 0.7), (lo + hi) / 2.0, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Efficiency dominance (what Figure 3 shows).
+// ---------------------------------------------------------------------------
+
+TEST(DominanceTest, ProgressiveAlwaysCheaperThanTraditionalSameReliability) {
+  for (int k : {3, 5, 9, 19}) {
+    for (double r : {0.55, 0.7, 0.86, 0.95}) {
+      EXPECT_LT(progressive_cost(k, r), traditional_cost(k));
+    }
+  }
+}
+
+TEST(DominanceTest, IterativeCheapestAtMatchedReliability) {
+  // For each (k, r), iterative redundancy reaching at least R_TR costs less
+  // than progressive (hence than traditional) — Figure 3's ordering.
+  for (int k : {5, 9, 19}) {
+    for (double r : {0.6, 0.7, 0.86}) {
+      const double target = traditional_reliability(k, r);
+      const double d_star = continuous_margin(r, target);
+      const double cost_ir = iterative_cost_continuous(std::max(1.0, d_star), r);
+      EXPECT_LT(cost_ir, progressive_cost(k, r))
+          << "k=" << k << " r=" << r;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Wave / response-time analysis (§5.2, Figure 6).
+// ---------------------------------------------------------------------------
+
+TEST(WaveTest, TraditionalIsOneWave) {
+  const std::vector<double> dist = traditional_wave_distribution();
+  ASSERT_EQ(dist.size(), 1u);
+  EXPECT_DOUBLE_EQ(dist[0], 1.0);
+  EXPECT_DOUBLE_EQ(expected_waves(dist), 1.0);
+}
+
+TEST(WaveTest, ProgressiveWavesBoundedByQuorum) {
+  for (int k : {3, 5, 9}) {
+    const std::vector<double> dist = progressive_wave_distribution(k, 0.7);
+    EXPECT_LE(dist.size(), static_cast<std::size_t>((k + 1) / 2));
+    double total = std::accumulate(dist.begin(), dist.end(), 0.0);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(WaveTest, ProgressiveExpectedWavesBetweenOneAndBound) {
+  const std::vector<double> dist = progressive_wave_distribution(9, 0.7);
+  const double waves = expected_waves(dist);
+  EXPECT_GT(waves, 1.0);
+  EXPECT_LE(waves, 5.0);
+}
+
+TEST(WaveTest, IterativeWaveDistributionNormalizes) {
+  const std::vector<double> dist = iterative_wave_distribution(4, 0.7);
+  const double total = std::accumulate(dist.begin(), dist.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // Unlike progressive, the tail is unbounded (but vanishing).
+  EXPECT_GT(dist.size(), 3u);
+}
+
+TEST(WaveTest, IterativeWaveAndJobViewsAgreeOnCost) {
+  // Internal consistency: evolving the process wave-by-wave and job-by-job
+  // must yield the same expected job count (Equation (5)).
+  for (double r : {0.6, 0.7, 0.85}) {
+    for (int d : {2, 3, 5}) {
+      const std::vector<double> jobs_dist =
+          iterative_job_count_distribution(d, r);
+      double expected_jobs = 0.0;
+      for (std::size_t b = 0; b < jobs_dist.size(); ++b) {
+        expected_jobs += jobs_dist[b] * (static_cast<double>(d) + 2.0 * static_cast<double>(b));
+      }
+      EXPECT_NEAR(expected_jobs, iterative_cost(d, r), 1e-6)
+          << "d=" << d << " r=" << r;
+    }
+  }
+}
+
+TEST(ResponseTest, TraditionalMatchesMaxOfUniforms) {
+  // E[max of k U(0.5, 1.5)] = 0.5 + k/(k+1).
+  EXPECT_NEAR(expected_response_traditional(1), 1.0, 1e-12);
+  EXPECT_NEAR(expected_response_traditional(19), 0.5 + 19.0 / 20.0, 1e-12);
+}
+
+TEST(ResponseTest, OrderingMatchesFigureSix) {
+  // Figure 6: traditional responds fastest; iterative is slowest (between
+  // 1.4x and 2.8x traditional in the measured range).
+  const int k = 19;
+  const double r = 0.7;
+  const double tr = expected_response_traditional(k);
+  const double pr = expected_response_progressive(k, r);
+  const int d = margin_for_confidence(r, traditional_reliability(k, r));
+  const double ir = expected_response_iterative(d, r);
+  EXPECT_LT(tr, pr);
+  EXPECT_LT(pr, ir);
+  EXPECT_GT(pr / tr, 1.2);
+  EXPECT_LT(ir / tr, 3.5);
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5(c): improvement over traditional redundancy.
+// ---------------------------------------------------------------------------
+
+TEST(ImprovementTest, ProgressiveApproachesTwoForReliableNodes) {
+  // §4.2: "For r approaching 1, progressive redundancy uses 2.0 times fewer
+  // resources than traditional redundancy."
+  EXPECT_NEAR(progressive_improvement(19, 0.999), 1.9, 0.1);
+}
+
+TEST(ImprovementTest, ProgressiveNearOneForCoinFlips) {
+  // §4.2: "If r is close to 0.5, the cost factor of progressive redundancy
+  // is close to k." (Measured: improvement 1.15 at r = 0.505.)
+  EXPECT_NEAR(progressive_improvement(19, 0.505), 1.0, 0.2);
+}
+
+TEST(ImprovementTest, IterativeAtLeastOnePointFiveEverywhere) {
+  // §4.2: iterative redundancy "is at least 1.6 times as efficient even for
+  // r close to 0.5". With same-k reliability matching we measure 1.54 at
+  // r = 0.55 (the paper's matching protocol is unstated); the qualitative
+  // claim — a large constant-factor win even for coin-flip-ish pools —
+  // holds.
+  for (double r : {0.55, 0.6, 0.7, 0.8, 0.86, 0.9, 0.95, 0.99}) {
+    EXPECT_GE(iterative_improvement(19, r), 1.5) << "r=" << r;
+  }
+}
+
+TEST(ImprovementTest, IterativePeaksInMidHighReliability) {
+  // §4.2: the peak (≈2.8x in the paper, at r ≈ 0.86) falls in the mid-high
+  // reliability band and declines toward both ends; we measure ≈2.68 at
+  // r ≈ 0.90 and ≈2.27 at r = 0.999 (paper: declines to ≈2.4).
+  const double peak = iterative_improvement(19, 0.9);
+  EXPECT_GT(peak, iterative_improvement(19, 0.55));
+  EXPECT_GT(peak, iterative_improvement(19, 0.999));
+  EXPECT_GT(peak, 2.5);
+  EXPECT_NEAR(iterative_improvement(19, 0.999), 2.3, 0.15);
+}
+
+TEST(ImprovementTest, IterativeBeatsProgressiveEverywhere) {
+  for (double r : {0.55, 0.7, 0.86, 0.95}) {
+    EXPECT_GT(iterative_improvement(19, r), progressive_improvement(19, r));
+  }
+}
+
+}  // namespace
+}  // namespace smartred::redundancy::analysis

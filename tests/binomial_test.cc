@@ -1,0 +1,98 @@
+#include "common/binomial.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/expect.h"
+
+namespace smartred::binom {
+namespace {
+
+TEST(LogFactorialTest, SmallValuesExact) {
+  EXPECT_NEAR(log_factorial(0), 0.0, 1e-12);
+  EXPECT_NEAR(log_factorial(1), 0.0, 1e-12);
+  EXPECT_NEAR(log_factorial(5), std::log(120.0), 1e-10);
+  EXPECT_NEAR(log_factorial(10), std::log(3'628'800.0), 1e-9);
+}
+
+TEST(ChooseTest, PascalTriangleRows) {
+  EXPECT_NEAR(choose(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(choose(5, 0), 1.0, 1e-12);
+  EXPECT_NEAR(choose(5, 5), 1.0, 1e-12);
+  EXPECT_NEAR(choose(5, 2), 10.0, 1e-9);
+  EXPECT_NEAR(choose(19, 10), 92'378.0, 1e-3);
+  EXPECT_NEAR(choose(52, 5), 2'598'960.0, 1e-1);
+}
+
+TEST(ChooseTest, SymmetricInK) {
+  for (std::uint64_t n : {7u, 20u, 41u}) {
+    for (std::uint64_t k = 0; k <= n; ++k) {
+      EXPECT_NEAR(log_choose(n, k), log_choose(n, n - k), 1e-9);
+    }
+  }
+}
+
+TEST(ChooseTest, RejectsKGreaterThanN) {
+  EXPECT_THROW((void)choose(3, 4), PreconditionError);
+}
+
+TEST(PmfTest, SumsToOne) {
+  for (double p : {0.1, 0.5, 0.7, 0.99}) {
+    double total = 0.0;
+    for (std::uint64_t k = 0; k <= 25; ++k) total += pmf(25, k, p);
+    EXPECT_NEAR(total, 1.0, 1e-10);
+  }
+}
+
+TEST(PmfTest, KnownValues) {
+  // Bin(4, 0.5): P[X=2] = 6/16.
+  EXPECT_NEAR(pmf(4, 2, 0.5), 0.375, 1e-12);
+  // Bin(10, 0.3): P[X=3] = C(10,3) 0.3^3 0.7^7 = 0.266827932.
+  EXPECT_NEAR(pmf(10, 3, 0.3), 0.2668279320, 1e-9);
+}
+
+TEST(PmfTest, DegenerateProbabilities) {
+  EXPECT_DOUBLE_EQ(pmf(10, 0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(pmf(10, 3, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(pmf(10, 10, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(pmf(10, 9, 1.0), 0.0);
+}
+
+TEST(CdfTest, MatchesDirectSum) {
+  for (double p : {0.2, 0.5, 0.8}) {
+    double running = 0.0;
+    for (std::uint64_t k = 0; k <= 15; ++k) {
+      running += pmf(15, k, p);
+      EXPECT_NEAR(cdf(15, k, p), running, 1e-10);
+    }
+  }
+}
+
+TEST(CdfTest, KBeyondNIsOne) {
+  EXPECT_DOUBLE_EQ(cdf(5, 5, 0.3), 1.0);
+  EXPECT_DOUBLE_EQ(cdf(5, 100, 0.3), 1.0);
+}
+
+TEST(CdfTest, StableInExtremeTails) {
+  // P[X <= 1] for Bin(500, 0.9) is astronomically small but must be finite
+  // and non-negative.
+  const double tail = cdf(500, 1, 0.9);
+  EXPECT_GE(tail, 0.0);
+  EXPECT_LT(tail, 1e-100);
+}
+
+TEST(UpperTailTest, ComplementsCdf) {
+  for (std::uint64_t k = 0; k <= 12; ++k) {
+    const double upper = upper_tail(12, k, 0.4);
+    const double lower = k == 0 ? 0.0 : cdf(12, k - 1, 0.4);
+    EXPECT_NEAR(upper + lower, 1.0, 1e-10);
+  }
+}
+
+TEST(UpperTailTest, AtZeroIsOne) {
+  EXPECT_DOUBLE_EQ(upper_tail(9, 0, 0.2), 1.0);
+}
+
+}  // namespace
+}  // namespace smartred::binom

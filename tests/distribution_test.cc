@@ -1,0 +1,139 @@
+// Job-count distribution analysis: variances and quantiles against
+// Monte-Carlo ground truth.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/expect.h"
+#include "redundancy/analysis.h"
+#include "redundancy/iterative.h"
+#include "redundancy/montecarlo.h"
+#include "redundancy/progressive.h"
+
+namespace smartred::redundancy::analysis {
+namespace {
+
+TEST(ProgressiveDistributionTest, SumsToOne) {
+  for (int k : {1, 3, 9, 19}) {
+    for (double r : {0.5, 0.7, 0.9}) {
+      const auto dist = progressive_job_count_distribution(k, r);
+      EXPECT_EQ(dist.size(), static_cast<std::size_t>(k - (k + 1) / 2 + 1));
+      const double total = std::accumulate(dist.begin(), dist.end(), 0.0);
+      EXPECT_NEAR(total, 1.0, 1e-10) << "k=" << k << " r=" << r;
+    }
+  }
+}
+
+TEST(ProgressiveDistributionTest, MeanMatchesEquationThree) {
+  for (int k : {3, 9, 19}) {
+    for (double r : {0.6, 0.7, 0.86}) {
+      const auto dist = progressive_job_count_distribution(k, r);
+      const int quorum = (k + 1) / 2;
+      double mean = 0.0;
+      for (std::size_t i = 0; i < dist.size(); ++i) {
+        mean += dist[i] * (static_cast<double>(quorum) +
+                           static_cast<double>(i));
+      }
+      EXPECT_NEAR(mean, progressive_cost(k, r), 1e-9);
+    }
+  }
+}
+
+TEST(ProgressiveDistributionTest, K1IsDeterministic) {
+  const auto dist = progressive_job_count_distribution(1, 0.7);
+  ASSERT_EQ(dist.size(), 1u);
+  EXPECT_DOUBLE_EQ(dist[0], 1.0);
+  EXPECT_NEAR(progressive_cost_variance(1, 0.7), 0.0, 1e-12);
+}
+
+TEST(ProgressiveVarianceTest, MatchesMonteCarlo) {
+  const int k = 9;
+  const double r = 0.7;
+  MonteCarloConfig config;
+  config.tasks = 100'000;
+  config.seed = 31;
+  const MonteCarloResult result = run_binary(ProgressiveFactory(k), r,
+                                             config);
+  const double measured = result.jobs_per_task.variance();
+  const double predicted = progressive_cost_variance(k, r);
+  EXPECT_NEAR(measured, predicted, predicted * 0.05);
+}
+
+TEST(IterativeVarianceTest, MatchesMonteCarlo) {
+  const int d = 4;
+  const double r = 0.7;
+  MonteCarloConfig config;
+  config.tasks = 100'000;
+  config.seed = 32;
+  const MonteCarloResult result = run_binary(IterativeFactory(d), r, config);
+  const double measured = result.jobs_per_task.variance();
+  const double predicted = iterative_cost_variance(d, r);
+  EXPECT_NEAR(measured, predicted, predicted * 0.05);
+}
+
+TEST(IterativeVarianceTest, ZeroForPerfectNodes) {
+  EXPECT_NEAR(iterative_cost_variance(5, 1.0), 0.0, 1e-12);
+}
+
+TEST(IterativeVarianceTest, GrowsAsRFallsTowardHalf) {
+  EXPECT_GT(iterative_cost_variance(4, 0.55),
+            iterative_cost_variance(4, 0.7));
+  EXPECT_GT(iterative_cost_variance(4, 0.7),
+            iterative_cost_variance(4, 0.9));
+}
+
+TEST(IterativeQuantileTest, MonotoneAndOnLattice) {
+  const int d = 4;
+  const double r = 0.7;
+  int previous = 0;
+  for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 0.9999}) {
+    const int value = iterative_job_count_quantile(d, r, q);
+    EXPECT_GE(value, previous);
+    EXPECT_GE(value, d);
+    EXPECT_EQ((value - d) % 2, 0);
+    previous = value;
+  }
+}
+
+TEST(IterativeQuantileTest, MedianNearMean) {
+  // The job-count distribution is right-skewed: median <= mean.
+  const int d = 4;
+  const double r = 0.7;
+  const int median = iterative_job_count_quantile(d, r, 0.5);
+  EXPECT_LE(static_cast<double>(median), iterative_cost(d, r));
+}
+
+TEST(IterativeQuantileTest, MatchesMonteCarloTail) {
+  // At most ~1% of simulated tasks may exceed the predicted 99th
+  // percentile of the job count.
+  const int d = 3;
+  const double r = 0.7;
+  const int p99 = iterative_job_count_quantile(d, r, 0.99);
+  std::uint64_t tasks_over = 0;
+  rng::Stream rng(33);
+  constexpr int kTasks = 20'000;
+  for (int task = 0; task < kTasks; ++task) {
+    IterativeRedundancy strategy(d);
+    std::vector<Vote> votes;
+    Decision decision = strategy.decide(votes);
+    while (!decision.done()) {
+      for (int j = 0; j < decision.jobs; ++j) {
+        votes.push_back({static_cast<NodeId>(votes.size()),
+                         rng.bernoulli(r) ? ResultValue{1} : ResultValue{0}});
+      }
+      decision = strategy.decide(votes);
+    }
+    if (static_cast<int>(votes.size()) > p99) ++tasks_over;
+  }
+  EXPECT_LT(static_cast<double>(tasks_over) / kTasks, 0.015);
+}
+
+TEST(QuantileTest, RejectsBadFraction) {
+  EXPECT_THROW((void)iterative_job_count_quantile(3, 0.7, 1.0),
+               PreconditionError);
+  EXPECT_THROW((void)iterative_job_count_quantile(3, 0.7, -0.1),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace smartred::redundancy::analysis

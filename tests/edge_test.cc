@@ -1,0 +1,227 @@
+// Cross-cutting edge cases: API contract corners that the per-module suites
+// do not reach.
+#include <gtest/gtest.h>
+
+#include "boinc/deployment.h"
+#include "common/expect.h"
+#include "dca/task_server.h"
+#include "dca/workload.h"
+#include "fault/failure_model.h"
+#include "redundancy/analysis.h"
+#include "redundancy/calibration.h"
+#include "redundancy/iterative.h"
+#include "redundancy/montecarlo.h"
+#include "redundancy/progressive.h"
+#include "redundancy/traditional.h"
+#include "sim/simulator.h"
+
+namespace smartred {
+namespace {
+
+namespace analysis = redundancy::analysis;
+
+// ---------------------------------------------------------------------------
+// Analysis: large parameters and degenerate corners.
+// ---------------------------------------------------------------------------
+
+TEST(AnalysisEdgeTest, LargeKStaysFiniteAndOrdered) {
+  // k = 199 exercises the log-space binomials far beyond the paper's range.
+  const double r = 0.7;
+  const double rel = analysis::traditional_reliability(199, r);
+  EXPECT_GT(rel, 0.9999999);
+  EXPECT_LE(rel, 1.0);
+  const double cost = analysis::progressive_cost(199, r);
+  EXPECT_GT(cost, 100.0);
+  EXPECT_LT(cost, 199.0);
+}
+
+TEST(AnalysisEdgeTest, LargeMarginCostTracksApproximation) {
+  const double exact = analysis::iterative_cost(50, 0.75);
+  const double approx = analysis::iterative_cost_approx(50, 0.75);
+  EXPECT_NEAR(exact / approx, 1.0, 1e-6);
+}
+
+TEST(AnalysisEdgeTest, TinyFailureProbabilitiesStayPositive) {
+  // d = 40 at r = 0.9: failure odds ~ (1/9)^40 ~ 1e-38. The reliability
+  // form saturates to 1.0 in double precision — that is unavoidable — but
+  // the failure-side evaluator keeps the true magnitude.
+  EXPECT_DOUBLE_EQ(analysis::iterative_reliability(40, 0.9), 1.0);
+  const double failure = analysis::iterative_failure(40, 0.9);
+  EXPECT_GT(failure, 0.0);
+  EXPECT_LT(failure, 1e-35);
+  // Consistency where both forms are representable.
+  EXPECT_NEAR(analysis::iterative_failure(4, 0.7),
+              1.0 - analysis::iterative_reliability(4, 0.7), 1e-12);
+}
+
+TEST(AnalysisEdgeTest, WaveDistributionsForTrivialParameters) {
+  const auto pr = analysis::progressive_wave_distribution(1, 0.7);
+  ASSERT_EQ(pr.size(), 1u);
+  EXPECT_DOUBLE_EQ(pr[0], 1.0);
+  const auto ir = analysis::iterative_wave_distribution(1, 0.7);
+  ASSERT_EQ(ir.size(), 1u);
+  EXPECT_NEAR(ir[0], 1.0, 1e-12);
+}
+
+TEST(AnalysisEdgeTest, ResponseOfSingleJobIsMeanDuration) {
+  // One job, U[0.5, 1.5]: expected response exactly 1.0 for every
+  // technique.
+  EXPECT_NEAR(analysis::expected_response_traditional(1), 1.0, 1e-12);
+  EXPECT_NEAR(analysis::expected_response_progressive(1, 0.7), 1.0, 1e-12);
+  EXPECT_NEAR(analysis::expected_response_iterative(1, 0.7), 1.0, 1e-12);
+}
+
+TEST(AnalysisEdgeTest, ImprovementAtK1IsUnity) {
+  // No redundancy to improve on.
+  EXPECT_DOUBLE_EQ(analysis::progressive_improvement(1, 0.8), 1.0);
+  EXPECT_NEAR(analysis::iterative_improvement(1, 0.8), 1.0, 1e-9);
+}
+
+TEST(CalibrationEdgeTest, TargetAtBoundaryOfHalf) {
+  // R = 0.5 is satisfied by any single vote when r > 0.5.
+  EXPECT_EQ(redundancy::calibration::min_k_for_reliability(0.7, 0.5), 1);
+  EXPECT_EQ(redundancy::calibration::min_d_for_reliability(0.7, 0.5), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Strategies: degenerate vote patterns.
+// ---------------------------------------------------------------------------
+
+TEST(StrategyEdgeTest, AllStrategiesRefuseToDecideOnNothing) {
+  redundancy::TraditionalRedundancy tr(3);
+  redundancy::ProgressiveRedundancy pr(3);
+  redundancy::IterativeRedundancy ir(3);
+  for (redundancy::RedundancyStrategy* strategy :
+       {static_cast<redundancy::RedundancyStrategy*>(&tr),
+        static_cast<redundancy::RedundancyStrategy*>(&pr),
+        static_cast<redundancy::RedundancyStrategy*>(&ir)}) {
+    const redundancy::Decision decision = strategy->decide({});
+    EXPECT_FALSE(decision.done());
+    EXPECT_GT(decision.jobs, 0);
+  }
+}
+
+TEST(StrategyEdgeTest, DispatchDecisionRequiresPositiveJobs) {
+  EXPECT_THROW((void)redundancy::Decision::dispatch(0), PreconditionError);
+  EXPECT_THROW((void)redundancy::Decision::dispatch(-1), PreconditionError);
+}
+
+TEST(StrategyEdgeTest, IterativeHandlesManyDistinctValues) {
+  // 1000 distinct values, one vote each: margin 0 everywhere, keep asking.
+  redundancy::IterativeRedundancy strategy(2);
+  std::vector<redundancy::Vote> votes;
+  for (int i = 0; i < 1'000; ++i) {
+    votes.push_back({static_cast<redundancy::NodeId>(i), i});
+  }
+  const redundancy::Decision decision = strategy.decide(votes);
+  ASSERT_FALSE(decision.done());
+  EXPECT_EQ(decision.jobs, 2);
+}
+
+TEST(StrategyEdgeTest, MonteCarloSingleTaskRun) {
+  redundancy::MonteCarloConfig config;
+  config.tasks = 1;
+  config.seed = 9;
+  const auto result =
+      run_binary(redundancy::TraditionalFactory(3), 1.0, config);
+  EXPECT_EQ(result.tasks, 1u);
+  EXPECT_EQ(result.tasks_correct, 1u);
+  EXPECT_EQ(result.jobs_total, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Substrates: API contract corners.
+// ---------------------------------------------------------------------------
+
+TEST(TaskServerEdgeTest, AcceptedValueContract) {
+  sim::Simulator simulator;
+  dca::DcaConfig config;
+  config.nodes = 50;
+  config.seed = 71;
+  const redundancy::TraditionalFactory factory(3);
+  const dca::SyntheticWorkload workload(20);
+  fault::ByzantineCollusion failures(fault::ReliabilityAssigner(
+      fault::ConstantReliability{1.0}, rng::Stream(72)));
+  dca::TaskServer server(simulator, config, factory, workload, failures);
+  server.run();
+  for (std::uint64_t task = 0; task < 20; ++task) {
+    const auto accepted = server.accepted_value(task);
+    ASSERT_TRUE(accepted.has_value());
+    EXPECT_EQ(*accepted, workload.correct_value(task));
+  }
+  EXPECT_THROW((void)server.accepted_value(20), PreconditionError);
+}
+
+TEST(TaskServerEdgeTest, AbortedTaskReportsNullopt) {
+  sim::Simulator simulator;
+  dca::DcaConfig config;
+  config.nodes = 50;
+  config.seed = 73;
+  config.max_jobs_per_task = 2;  // below the d = 3 initial wave
+  const redundancy::IterativeFactory factory(3);
+  const dca::SyntheticWorkload workload(5);
+  fault::ByzantineCollusion failures(fault::ReliabilityAssigner(
+      fault::ConstantReliability{1.0}, rng::Stream(74)));
+  dca::TaskServer server(simulator, config, factory, workload, failures);
+  const auto& metrics = server.run();
+  EXPECT_EQ(metrics.tasks_aborted, 5u);
+  for (std::uint64_t task = 0; task < 5; ++task) {
+    EXPECT_FALSE(server.accepted_value(task).has_value());
+  }
+}
+
+TEST(WorkloadEdgeTest, SyntheticWorkloadContract) {
+  const dca::SyntheticWorkload workload(3);
+  EXPECT_EQ(workload.task_count(), 3u);
+  EXPECT_DOUBLE_EQ(workload.job_work(2), 1.0);
+  EXPECT_THROW((void)workload.correct_value(3), PreconditionError);
+  EXPECT_THROW((void)workload.job_work(3), PreconditionError);
+  EXPECT_THROW(dca::SyntheticWorkload(0), PreconditionError);
+}
+
+TEST(BoincEdgeTest, AcceptedValueMatchesMetrics) {
+  sim::Simulator simulator;
+  boinc::BoincConfig config;
+  config.seed = 75;
+  const redundancy::IterativeFactory factory(3);
+  const dca::SyntheticWorkload workload(60);
+  boinc::Deployment deployment(simulator, config,
+                               boinc::uniform_profiles(40, 0.8), factory,
+                               workload);
+  const auto& metrics = deployment.run();
+  std::uint64_t correct = 0;
+  for (std::uint64_t task = 0; task < 60; ++task) {
+    const auto accepted = deployment.accepted_value(task);
+    if (accepted.has_value() && *accepted == workload.correct_value(task)) {
+      ++correct;
+    }
+  }
+  EXPECT_EQ(correct, metrics.tasks_correct);
+}
+
+TEST(SimulatorEdgeTest, ZeroDelayEventsRunInOrder) {
+  sim::Simulator sim;
+  std::vector<int> order;
+  sim.schedule(0.0, [&] {
+    order.push_back(1);
+    sim.schedule(0.0, [&] { order.push_back(2); });
+  });
+  sim.schedule(0.0, [&] { order.push_back(3); });
+  sim.run();
+  // The nested zero-delay event lands after its same-time siblings (FIFO by
+  // scheduling order).
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+}
+
+TEST(SimulatorEdgeTest, CancelInsideEventHandler) {
+  sim::Simulator sim;
+  bool second_ran = false;
+  const sim::EventId second = sim.schedule(2.0, [&] { second_ran = true; });
+  sim.schedule(1.0, [&] { EXPECT_TRUE(sim.cancel(second)); });
+  sim.run();
+  EXPECT_FALSE(second_ran);
+}
+
+}  // namespace
+}  // namespace smartred

@@ -1,0 +1,138 @@
+// Proof-by-test of the paper's simplifying insight (§3.3, Theorems 1 and 2):
+// the simple margin-d algorithm deploys exactly the same number of jobs as
+// the naïve confidence-threshold algorithm in every situation, so knowing
+// the node reliability r buys nothing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "redundancy/analysis.h"
+#include "redundancy/iterative.h"
+#include "redundancy/iterative_naive.h"
+
+namespace smartred::redundancy {
+namespace {
+
+struct Setup {
+  double r;
+  double target;
+};
+
+class EquivalenceTest : public testing::TestWithParam<Setup> {};
+
+TEST_P(EquivalenceTest, InitialWaveMatches) {
+  const auto [r, target] = GetParam();
+  IterativeNaive naive(r, target);
+  const int d = analysis::margin_for_confidence(r, target);
+  IterativeRedundancy simple(d);
+  EXPECT_EQ(naive.decide({}).jobs, simple.decide({}).jobs);
+}
+
+TEST_P(EquivalenceTest, DecisionsMatchOnRandomVoteSequences) {
+  const auto [r, target] = GetParam();
+  const int d = analysis::margin_for_confidence(r, target);
+  rng::Stream rng(static_cast<std::uint64_t>(d) * 1000 + 5);
+
+  for (int trial = 0; trial < 400; ++trial) {
+    IterativeNaive naive(r, target);
+    IterativeRedundancy simple(d);
+    std::vector<Vote> votes;
+    while (true) {
+      const Decision from_naive = naive.decide(votes);
+      const Decision from_simple = simple.decide(votes);
+      ASSERT_EQ(from_naive.done(), from_simple.done())
+          << "divergence after " << votes.size() << " votes";
+      if (from_naive.done()) {
+        EXPECT_EQ(from_naive.value, from_simple.value);
+        break;
+      }
+      ASSERT_EQ(from_naive.jobs, from_simple.jobs)
+          << "different wave size after " << votes.size() << " votes";
+      // Feed the actual reliability r — but also adversarial streaks below.
+      for (int j = 0; j < from_naive.jobs; ++j) {
+        votes.push_back({static_cast<NodeId>(votes.size()),
+                         rng.bernoulli(r) ? ResultValue{1} : ResultValue{0}});
+      }
+    }
+  }
+}
+
+TEST_P(EquivalenceTest, DecisionsMatchOnAdversarialAlternation) {
+  // Alternating votes maximize disagreement and exercise deep waves.
+  const auto [r, target] = GetParam();
+  const int d = analysis::margin_for_confidence(r, target);
+  IterativeNaive naive(r, target);
+  IterativeRedundancy simple(d);
+  std::vector<Vote> votes;
+  for (int step = 0; step < 200; ++step) {
+    const Decision from_naive = naive.decide(votes);
+    const Decision from_simple = simple.decide(votes);
+    ASSERT_EQ(from_naive.done(), from_simple.done());
+    if (from_naive.done()) break;
+    ASSERT_EQ(from_naive.jobs, from_simple.jobs);
+    for (int j = 0; j < from_naive.jobs; ++j) {
+      const ResultValue value = votes.size() % 2 == 0 ? 1 : 0;
+      votes.push_back({static_cast<NodeId>(votes.size()), value});
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EquivalenceTest,
+    testing::Values(Setup{0.55, 0.9}, Setup{0.6, 0.95}, Setup{0.7, 0.9},
+                    Setup{0.7, 0.97}, Setup{0.7, 0.999}, Setup{0.8, 0.99},
+                    Setup{0.86, 0.97}, Setup{0.9, 0.9999}, Setup{0.99, 0.95},
+                    Setup{0.51, 0.75},
+                    // Exact-boundary regression: R equals q at margin 1
+                    // (q(1,0) = r), where differently rounded evaluations
+                    // of the same confidence must not diverge.
+                    Setup{0.9, 0.9}),
+    [](const testing::TestParamInfo<Setup>& param_info) {
+      const auto& s = param_info.param;
+      return "r" + std::to_string(static_cast<int>(s.r * 100)) + "_R" +
+             std::to_string(static_cast<int>(s.target * 10000));
+    });
+
+TEST(TheoremOneTest, ConfidenceDependsOnlyOnMargin) {
+  // q(r, a, b) = q(r, a + j, b + j) for all j.
+  for (double r : {0.55, 0.7, 0.9}) {
+    for (int a = 0; a <= 10; ++a) {
+      for (int b = 0; b <= a; ++b) {
+        const double base = analysis::confidence(r, a, b);
+        for (int j : {1, 5, 50}) {
+          EXPECT_NEAR(analysis::confidence(r, a + j, b + j), base, 1e-12)
+              << "r=" << r << " a=" << a << " b=" << b << " j=" << j;
+        }
+      }
+    }
+  }
+}
+
+TEST(TheoremTwoTest, ConstantIndependentOfB) {
+  // Out of 2b + d samples, b + d heads: P[coin biased to heads] is a
+  // constant c(d) independent of b.
+  for (double r : {0.6, 0.7, 0.85}) {
+    for (int d = 1; d <= 8; ++d) {
+      const double c = analysis::confidence(r, d, 0);
+      for (int b : {1, 3, 10, 100}) {
+        EXPECT_NEAR(analysis::confidence(r, b + d, b), c, 1e-12);
+      }
+    }
+  }
+}
+
+TEST(TheoremTwoTest, MatchesClosedForm) {
+  // c = P(X)^d / (P(X)^d + (1−P(X))^d), per the proof of Theorem 2.
+  for (double r : {0.6, 0.75, 0.95}) {
+    for (int d = 1; d <= 12; ++d) {
+      const double expected = std::pow(r, d) /
+                              (std::pow(r, d) + std::pow(1.0 - r, d));
+      EXPECT_NEAR(analysis::confidence(r, d, 0), expected, 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace smartred::redundancy

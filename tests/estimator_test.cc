@@ -1,0 +1,131 @@
+#include "redundancy/estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "common/expect.h"
+#include "common/rng.h"
+#include "redundancy/analysis.h"
+#include "redundancy/iterative.h"
+#include "redundancy/montecarlo.h"
+
+namespace smartred::redundancy {
+namespace {
+
+TEST(EstimatorTest, NoEstimateBeforeObservations) {
+  ReliabilityEstimator estimator;
+  EXPECT_FALSE(estimator.has_estimate());
+  EXPECT_THROW((void)estimator.estimate(), PreconditionError);
+  EXPECT_THROW((void)estimator.interval(), PreconditionError);
+}
+
+TEST(EstimatorTest, SingleObservation) {
+  ReliabilityEstimator estimator;
+  estimator.observe_votes(7, 10);
+  EXPECT_TRUE(estimator.has_estimate());
+  EXPECT_DOUBLE_EQ(estimator.estimate(), 0.7);
+  EXPECT_EQ(estimator.votes_observed(), 10u);
+}
+
+TEST(EstimatorTest, ObserveTaskCountsAgreement) {
+  ReliabilityEstimator estimator;
+  VoteTally tally;
+  tally.add(5);
+  tally.add(5);
+  tally.add(5);
+  tally.add(9);
+  estimator.observe_task(tally, 5);
+  EXPECT_DOUBLE_EQ(estimator.estimate(), 0.75);
+}
+
+TEST(EstimatorTest, ZeroVoteObservationIgnored) {
+  ReliabilityEstimator estimator;
+  estimator.observe_votes(0, 0);
+  EXPECT_FALSE(estimator.has_estimate());
+}
+
+TEST(EstimatorTest, RejectsInconsistentCounts) {
+  ReliabilityEstimator estimator;
+  EXPECT_THROW(estimator.observe_votes(5, 4), PreconditionError);
+  EXPECT_THROW(estimator.observe_votes(-1, 4), PreconditionError);
+}
+
+TEST(EstimatorTest, RejectsBadForgetting) {
+  EXPECT_THROW(ReliabilityEstimator(0.0), PreconditionError);
+  EXPECT_THROW(ReliabilityEstimator(1.5), PreconditionError);
+}
+
+TEST(EstimatorTest, ConvergesToTrueReliability) {
+  // Feed genuine iterative-redundancy runs: the agreement fraction must
+  // come out near the true r (tiny upward bias from accepted wrong tasks).
+  const double r = 0.7;
+  ReliabilityEstimator estimator;
+  rng::Stream rng(5);
+  for (int task = 0; task < 3'000; ++task) {
+    IterativeRedundancy strategy(4);
+    std::vector<Vote> votes;
+    Decision decision = strategy.decide(votes);
+    while (!decision.done()) {
+      for (int j = 0; j < decision.jobs; ++j) {
+        votes.push_back({static_cast<NodeId>(votes.size()),
+                         rng.bernoulli(r) ? ResultValue{1} : ResultValue{0}});
+      }
+      decision = strategy.decide(votes);
+    }
+    estimator.observe_task(VoteTally{votes}, decision.value);
+  }
+  EXPECT_NEAR(estimator.estimate(), r, 0.015);
+  EXPECT_TRUE(estimator.interval(3.9).contains(estimator.estimate()));
+}
+
+TEST(EstimatorTest, ForgettingTracksDrift) {
+  ReliabilityEstimator sticky(1.0);
+  ReliabilityEstimator nimble(0.98);
+  // Phase 1: r = 0.9 for 300 tasks of 10 votes.
+  for (int i = 0; i < 300; ++i) {
+    sticky.observe_votes(9, 10);
+    nimble.observe_votes(9, 10);
+  }
+  // Phase 2: the pool degrades to r = 0.6.
+  for (int i = 0; i < 100; ++i) {
+    sticky.observe_votes(6, 10);
+    nimble.observe_votes(6, 10);
+  }
+  // The forgetting estimator has mostly re-converged; the sticky one lags.
+  EXPECT_GT(sticky.estimate(), 0.8);
+  EXPECT_LT(nimble.estimate(), 0.65);
+}
+
+TEST(EstimatorTest, EffectiveVotesSaturateUnderForgetting) {
+  ReliabilityEstimator estimator(0.9);
+  for (int i = 0; i < 1'000; ++i) estimator.observe_votes(1, 1);
+  // Geometric series: effective sample size tends to 1/(1−λ) = 10.
+  EXPECT_NEAR(estimator.effective_votes(), 10.0, 0.1);
+  EXPECT_EQ(estimator.votes_observed(), 1'000u);
+}
+
+TEST(EstimateFromCostTest, InvertsTheApproximation) {
+  // C = d/(2r−1) -> r recovered exactly.
+  const double cost = 4.0 / (2.0 * 0.8 - 1.0);
+  EXPECT_NEAR(estimate_from_cost(4, cost), 0.8, 1e-12);
+}
+
+TEST(EstimateFromCostTest, RecoversRFromMeasuredRuns) {
+  const double r = 0.7;
+  const int d = 5;
+  MonteCarloConfig config;
+  config.tasks = 50'000;
+  config.seed = 3;
+  const MonteCarloResult result =
+      run_binary(IterativeFactory(d), r, config);
+  // The approximation is an upper bound on cost, so the estimate lands
+  // slightly above r; within a point and a half for d = 5.
+  EXPECT_NEAR(estimate_from_cost(d, result.cost_factor()), r, 0.015);
+}
+
+TEST(EstimateFromCostTest, RejectsImpossibleCost) {
+  EXPECT_THROW((void)estimate_from_cost(4, 3.0), PreconditionError);
+  EXPECT_THROW((void)estimate_from_cost(0, 3.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace smartred::redundancy

@@ -1,0 +1,125 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace smartred::flags {
+namespace {
+
+TEST(FlagsTest, DefaultsSurviveEmptyCommandLine) {
+  Parser parser("prog", "test");
+  auto tasks = parser.add_int("tasks", 100, "task count");
+  auto rate = parser.add_double("rate", 0.5, "a rate");
+  auto label = parser.add_string("label", "abc", "a label");
+  auto verbose = parser.add_bool("verbose", false, "chatty output");
+  const std::array argv = {"prog"};
+  parser.parse(1, argv.data());
+  EXPECT_EQ(*tasks, 100);
+  EXPECT_DOUBLE_EQ(*rate, 0.5);
+  EXPECT_EQ(*label, "abc");
+  EXPECT_FALSE(*verbose);
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  Parser parser("prog", "test");
+  auto tasks = parser.add_int("tasks", 100, "task count");
+  auto rate = parser.add_double("rate", 0.5, "a rate");
+  const std::array argv = {"prog", "--tasks=42", "--rate=0.75"};
+  parser.parse(3, argv.data());
+  EXPECT_EQ(*tasks, 42);
+  EXPECT_DOUBLE_EQ(*rate, 0.75);
+}
+
+TEST(FlagsTest, SpaceSeparatedSyntax) {
+  Parser parser("prog", "test");
+  auto label = parser.add_string("label", "x", "a label");
+  const std::array argv = {"prog", "--label", "hello"};
+  parser.parse(3, argv.data());
+  EXPECT_EQ(*label, "hello");
+}
+
+TEST(FlagsTest, BareBooleanTurnsOn) {
+  Parser parser("prog", "test");
+  auto verbose = parser.add_bool("verbose", false, "chatty");
+  const std::array argv = {"prog", "--verbose"};
+  parser.parse(2, argv.data());
+  EXPECT_TRUE(*verbose);
+}
+
+TEST(FlagsTest, BooleanExplicitValues) {
+  Parser parser("prog", "test");
+  auto a = parser.add_bool("a", false, "");
+  auto b = parser.add_bool("b", true, "");
+  const std::array argv = {"prog", "--a=true", "--b=off"};
+  parser.parse(3, argv.data());
+  EXPECT_TRUE(*a);
+  EXPECT_FALSE(*b);
+}
+
+TEST(FlagsTest, UnknownFlagIsError) {
+  Parser parser("prog", "test");
+  const std::array argv = {"prog", "--nope=1"};
+  EXPECT_THROW(parser.parse(2, argv.data()), ParseError);
+}
+
+TEST(FlagsTest, MalformedIntIsError) {
+  Parser parser("prog", "test");
+  parser.add_int("tasks", 1, "");
+  const std::array argv = {"prog", "--tasks=12x"};
+  EXPECT_THROW(parser.parse(2, argv.data()), ParseError);
+}
+
+TEST(FlagsTest, MalformedDoubleIsError) {
+  Parser parser("prog", "test");
+  parser.add_double("rate", 1.0, "");
+  const std::array argv = {"prog", "--rate=abc"};
+  EXPECT_THROW(parser.parse(2, argv.data()), ParseError);
+}
+
+TEST(FlagsTest, MissingValueIsError) {
+  Parser parser("prog", "test");
+  parser.add_int("tasks", 1, "");
+  const std::array argv = {"prog", "--tasks"};
+  EXPECT_THROW(parser.parse(2, argv.data()), ParseError);
+}
+
+TEST(FlagsTest, PositionalArgumentIsError) {
+  Parser parser("prog", "test");
+  const std::array argv = {"prog", "stray"};
+  EXPECT_THROW(parser.parse(2, argv.data()), ParseError);
+}
+
+TEST(FlagsTest, NegativeNumbersParse) {
+  Parser parser("prog", "test");
+  auto offset = parser.add_int("offset", 0, "");
+  auto shift = parser.add_double("shift", 0.0, "");
+  const std::array argv = {"prog", "--offset=-7", "--shift=-2.5"};
+  parser.parse(3, argv.data());
+  EXPECT_EQ(*offset, -7);
+  EXPECT_DOUBLE_EQ(*shift, -2.5);
+}
+
+TEST(FlagsTest, UsageMentionsEveryFlag) {
+  Parser parser("prog", "does things");
+  parser.add_int("alpha", 1, "first flag");
+  parser.add_bool("beta", false, "second flag");
+  const std::string usage = parser.usage();
+  EXPECT_NE(usage.find("--alpha"), std::string::npos);
+  EXPECT_NE(usage.find("--beta"), std::string::npos);
+  EXPECT_NE(usage.find("first flag"), std::string::npos);
+}
+
+TEST(FlagsTest, HandlesValueStaysValidAfterParserGone) {
+  std::shared_ptr<std::int64_t> tasks;
+  {
+    Parser parser("prog", "test");
+    tasks = parser.add_int("tasks", 5, "");
+    const std::array argv = {"prog", "--tasks=9"};
+    parser.parse(2, argv.data());
+  }
+  EXPECT_EQ(*tasks, 9);
+}
+
+}  // namespace
+}  // namespace smartred::flags

@@ -1,0 +1,196 @@
+#include "mapreduce/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "common/expect.h"
+#include "fault/failure_model.h"
+#include "redundancy/iterative.h"
+#include "redundancy/traditional.h"
+
+namespace smartred::mapreduce {
+namespace {
+
+Corpus small_corpus(std::uint64_t seed = 1) {
+  return Corpus(/*documents=*/64, /*words_per_document=*/50,
+                /*vocabulary=*/200, rng::Stream(seed));
+}
+
+fault::ByzantineCollusion collusion(double r, std::uint64_t seed = 2) {
+  return fault::ByzantineCollusion(fault::ReliabilityAssigner(
+      fault::ConstantReliability{r}, rng::Stream(seed)));
+}
+
+MapReduceConfig small_config() {
+  MapReduceConfig config;
+  config.map_tasks = 16;
+  config.reduce_tasks = 4;
+  config.dca.nodes = 200;
+  config.dca.seed = 5;
+  return config;
+}
+
+TEST(CorpusTest, GeneratesRequestedShape) {
+  const Corpus corpus = small_corpus();
+  EXPECT_EQ(corpus.document_count(), 64u);
+  EXPECT_EQ(corpus.document(0).size(), 50u);
+  for (const WordId word : corpus.document(3)) {
+    EXPECT_GE(word, 0);
+    EXPECT_LT(word, 200);
+  }
+}
+
+TEST(CorpusTest, DeterministicForSeed) {
+  const Corpus a = small_corpus(7);
+  const Corpus b = small_corpus(7);
+  EXPECT_EQ(a.document(5), b.document(5));
+  EXPECT_EQ(fingerprint(a.true_counts()), fingerprint(b.true_counts()));
+}
+
+TEST(CorpusTest, RangeCountsTileTheTruth) {
+  const Corpus corpus = small_corpus();
+  WordCounts merged = corpus.count_range(0, 20);
+  merge_counts(merged, corpus.count_range(20, 64));
+  EXPECT_EQ(merged, corpus.true_counts());
+}
+
+TEST(CorpusTest, TrueCountsSumToCorpusSize) {
+  const Corpus corpus = small_corpus();
+  std::int64_t total = 0;
+  for (const auto& [word, count] : corpus.true_counts()) total += count;
+  EXPECT_EQ(total, 64 * 50);
+}
+
+TEST(FingerprintTest, SensitiveToAnyChange) {
+  const Corpus corpus = small_corpus();
+  WordCounts counts = corpus.true_counts();
+  const std::int32_t base = fingerprint(counts);
+  WordCounts changed = counts;
+  ++changed.begin()->second;
+  EXPECT_NE(fingerprint(changed), base);
+  WordCounts extra = counts;
+  extra[99'999] = 1;
+  EXPECT_NE(fingerprint(extra), base);
+  EXPECT_EQ(fingerprint(counts), base);  // unchanged stays stable
+}
+
+TEST(CorruptTest, AlwaysDiffersAndIsDetectable) {
+  const Corpus corpus = small_corpus();
+  const WordCounts truth = corpus.true_counts();
+  const WordCounts corrupted = corrupt_counts(truth);
+  EXPECT_NE(fingerprint(corrupted), fingerprint(truth));
+  // One corrupted table perturbs ~1/8 of its entries (plus the phantom):
+  // detectable but not annihilating.
+  const double score = accuracy(corrupted, truth);
+  EXPECT_LT(score, 0.95);
+  EXPECT_GT(score, 0.75);
+  EXPECT_TRUE(corrupted.contains(-1));
+}
+
+TEST(AccuracyTest, ExactMatchIsOne) {
+  const Corpus corpus = small_corpus();
+  EXPECT_DOUBLE_EQ(accuracy(corpus.true_counts(), corpus.true_counts()), 1.0);
+}
+
+TEST(AccuracyTest, PartialCorruptionScoresBetween) {
+  const Corpus corpus = small_corpus();
+  const WordCounts truth = corpus.true_counts();
+  WordCounts half = truth;
+  std::size_t flipped = 0;
+  for (auto& [word, count] : half) {
+    if (flipped * 2 >= truth.size()) break;
+    ++count;
+    ++flipped;
+  }
+  const double score = accuracy(half, truth);
+  EXPECT_GT(score, 0.3);
+  EXPECT_LT(score, 0.7);
+}
+
+TEST(EngineTest, PartitionCoversAllWordsIncludingPhantoms) {
+  const Corpus corpus = small_corpus();
+  const WordCountEngine engine(corpus, small_config());
+  for (WordId word : {WordId{-1}, WordId{0}, WordId{3}, WordId{199}}) {
+    EXPECT_LT(engine.partition_of(word), 4u);
+  }
+}
+
+TEST(EngineTest, PerfectPoolReproducesTruthExactly) {
+  const Corpus corpus = small_corpus();
+  const WordCountEngine engine(corpus, small_config());
+  const redundancy::TraditionalFactory factory(3);
+  auto failures = collusion(1.0);
+  const MapReduceResult result = engine.run(factory, failures);
+  EXPECT_EQ(result.output, corpus.true_counts());
+  EXPECT_DOUBLE_EQ(result.output_accuracy, 1.0);
+  EXPECT_EQ(result.map_phase.corrupted_tasks, 0u);
+  EXPECT_EQ(result.reduce_phase.corrupted_tasks, 0u);
+  EXPECT_DOUBLE_EQ(result.total_cost_factor(), 3.0);
+  EXPECT_GT(result.total_makespan(), 0.0);
+}
+
+TEST(EngineTest, DeterministicForSeed) {
+  const Corpus corpus = small_corpus();
+  const WordCountEngine engine(corpus, small_config());
+  const redundancy::IterativeFactory factory(3);
+  auto failures_a = collusion(0.7);
+  auto failures_b = collusion(0.7);
+  const MapReduceResult a = engine.run(factory, failures_a);
+  const MapReduceResult b = engine.run(factory, failures_b);
+  EXPECT_EQ(a.output, b.output);
+  EXPECT_EQ(a.map_phase.metrics.jobs_dispatched,
+            b.map_phase.metrics.jobs_dispatched);
+}
+
+TEST(EngineTest, CorruptedMapTaskPropagatesUnlessOutvoted) {
+  // With no redundancy (k = 1) and a mediocre pool, corruption is frequent
+  // and the output accuracy collapses; with iterative redundancy at d = 5
+  // the same pool yields a near-perfect histogram.
+  const Corpus corpus = small_corpus();
+  const MapReduceConfig config = small_config();
+  const WordCountEngine engine(corpus, config);
+
+  const redundancy::TraditionalFactory none(1);
+  auto failures_none = collusion(0.7, 11);
+  const MapReduceResult bare = engine.run(none, failures_none);
+
+  const redundancy::IterativeFactory strong(5);
+  auto failures_strong = collusion(0.7, 11);
+  const MapReduceResult guarded = engine.run(strong, failures_strong);
+
+  EXPECT_GT(bare.map_phase.corrupted_tasks +
+                bare.reduce_phase.corrupted_tasks,
+            0u);
+  EXPECT_LT(bare.output_accuracy, 0.8);
+  EXPECT_GT(guarded.output_accuracy, 0.9);
+  EXPECT_GT(guarded.output_accuracy, bare.output_accuracy);
+  EXPECT_GT(guarded.total_cost_factor(), bare.total_cost_factor());
+}
+
+TEST(EngineTest, RejectsBadConfiguration) {
+  const Corpus corpus = small_corpus();
+  MapReduceConfig config = small_config();
+  config.map_tasks = 0;
+  EXPECT_THROW(WordCountEngine(corpus, config), PreconditionError);
+  config = small_config();
+  config.map_tasks = corpus.document_count() + 1;
+  EXPECT_THROW(WordCountEngine(corpus, config), PreconditionError);
+  config = small_config();
+  config.reduce_tasks = 0;
+  EXPECT_THROW(WordCountEngine(corpus, config), PreconditionError);
+}
+
+TEST(EngineTest, WeightsFollowSplitSizes) {
+  // Uneven splits: the last map task gets the remainder; the engine must
+  // still tile the corpus (verified through exact output equality).
+  const Corpus corpus = small_corpus();
+  MapReduceConfig config = small_config();
+  config.map_tasks = 7;  // 64 documents / 7 splits: ragged
+  const WordCountEngine engine(corpus, config);
+  const redundancy::TraditionalFactory factory(3);
+  auto failures = collusion(1.0);
+  const MapReduceResult result = engine.run(factory, failures);
+  EXPECT_EQ(result.output, corpus.true_counts());
+}
+
+}  // namespace
+}  // namespace smartred::mapreduce

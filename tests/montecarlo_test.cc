@@ -1,0 +1,148 @@
+// Monte-Carlo driver tests, including the empirical verification of
+// Equations (1)–(6) that §4 of the paper performs by simulation.
+#include "redundancy/montecarlo.h"
+
+#include <gtest/gtest.h>
+
+#include "common/expect.h"
+#include "redundancy/analysis.h"
+#include "redundancy/iterative.h"
+#include "redundancy/progressive.h"
+#include "redundancy/traditional.h"
+
+namespace smartred::redundancy {
+namespace {
+
+MonteCarloConfig quick(std::uint64_t tasks, std::uint64_t seed = 1) {
+  MonteCarloConfig config;
+  config.tasks = tasks;
+  config.seed = seed;
+  return config;
+}
+
+TEST(MonteCarloTest, PerfectNodesAlwaysCorrect) {
+  const TraditionalFactory factory(5);
+  const MonteCarloResult result = run_binary(factory, 1.0, quick(1'000));
+  EXPECT_EQ(result.tasks_correct, 1'000u);
+  EXPECT_DOUBLE_EQ(result.reliability(), 1.0);
+  EXPECT_DOUBLE_EQ(result.cost_factor(), 5.0);
+  EXPECT_EQ(result.tasks_aborted, 0u);
+}
+
+TEST(MonteCarloTest, AlwaysWrongNodesAlwaysWrong) {
+  const IterativeFactory factory(3);
+  const MonteCarloResult result = run_binary(factory, 0.0, quick(500));
+  EXPECT_EQ(result.tasks_correct, 0u);
+  EXPECT_DOUBLE_EQ(result.cost_factor(), 3.0);  // unanimous wrong, one wave
+}
+
+TEST(MonteCarloTest, DeterministicGivenSeed) {
+  const IterativeFactory factory(4);
+  const MonteCarloResult a = run_binary(factory, 0.7, quick(2'000, 99));
+  const MonteCarloResult b = run_binary(factory, 0.7, quick(2'000, 99));
+  EXPECT_EQ(a.tasks_correct, b.tasks_correct);
+  EXPECT_EQ(a.jobs_total, b.jobs_total);
+  const MonteCarloResult c = run_binary(factory, 0.7, quick(2'000, 100));
+  EXPECT_NE(a.jobs_total, c.jobs_total);
+}
+
+TEST(MonteCarloTest, TraditionalMatchesEquationsOneAndTwo) {
+  const int k = 7;
+  const double r = 0.7;
+  const TraditionalFactory factory(k);
+  const MonteCarloResult result = run_binary(factory, r, quick(100'000));
+  EXPECT_DOUBLE_EQ(result.cost_factor(), analysis::traditional_cost(k));
+  EXPECT_TRUE(result.reliability_interval(3.9).contains(
+      analysis::traditional_reliability(k, r)))
+      << result.reliability();
+}
+
+TEST(MonteCarloTest, ProgressiveMatchesEquationsThreeAndFour) {
+  const int k = 9;
+  const double r = 0.7;
+  const ProgressiveFactory factory(k);
+  const MonteCarloResult result = run_binary(factory, r, quick(100'000));
+  EXPECT_NEAR(result.cost_factor(), analysis::progressive_cost(k, r), 0.03);
+  EXPECT_TRUE(result.reliability_interval(3.9).contains(
+      analysis::progressive_reliability(k, r)))
+      << result.reliability();
+}
+
+TEST(MonteCarloTest, IterativeMatchesEquationsFiveAndSix) {
+  const int d = 4;
+  const double r = 0.7;
+  const IterativeFactory factory(d);
+  const MonteCarloResult result = run_binary(factory, r, quick(100'000));
+  EXPECT_NEAR(result.cost_factor(), analysis::iterative_cost(d, r), 0.06);
+  EXPECT_TRUE(result.reliability_interval(3.9).contains(
+      analysis::iterative_reliability(d, r)))
+      << result.reliability();
+}
+
+TEST(MonteCarloTest, IterativeJobCountsLieOnLattice) {
+  const int d = 3;
+  const IterativeFactory factory(d);
+  const MonteCarloResult result = run_binary(factory, 0.6, quick(5'000));
+  EXPECT_GE(result.max_jobs_single_task, d);
+  EXPECT_EQ((result.max_jobs_single_task - d) % 2, 0);
+  EXPECT_GE(result.jobs_per_task.min(), static_cast<double>(d));
+}
+
+TEST(MonteCarloTest, WavesTrackTechniqueShape) {
+  const MonteCarloResult tr =
+      run_binary(TraditionalFactory(9), 0.7, quick(5'000));
+  EXPECT_DOUBLE_EQ(tr.waves_per_task.max(), 1.0);
+  const MonteCarloResult pr =
+      run_binary(ProgressiveFactory(9), 0.7, quick(5'000));
+  EXPECT_GT(pr.waves_per_task.mean(), 1.0);
+  EXPECT_LE(pr.waves_per_task.max(), 5.0);  // (k+1)/2 bound
+  const MonteCarloResult ir = run_binary(IterativeFactory(5), 0.7,
+                                         quick(5'000));
+  EXPECT_GT(ir.waves_per_task.mean(), 1.0);
+}
+
+TEST(MonteCarloTest, AbortsWhenCapReached) {
+  // d = 2 with r = 0.5 has expected 4 jobs but unbounded support; a cap of
+  // 4 forces some aborts and they are counted incorrect.
+  const IterativeFactory factory(2);
+  MonteCarloConfig config = quick(20'000);
+  config.max_jobs_per_task = 4;
+  const MonteCarloResult result = run_binary(factory, 0.5, config);
+  EXPECT_GT(result.tasks_aborted, 0u);
+  EXPECT_LE(result.max_jobs_single_task, 4);
+  // Aborted tasks never count correct.
+  EXPECT_LE(result.tasks_aborted, result.tasks - result.tasks_correct);
+}
+
+TEST(MonteCarloTest, CustomSourceDrivesNonBinaryResults) {
+  // Wrong answers scatter across many values: plurality finds the truth
+  // even below r = 0.5 (the paper's §5.3 argument).
+  const VoteSource scattered = [](std::uint64_t /*task*/, int job,
+                                  rng::Stream& rng) {
+    const bool correct = rng.bernoulli(0.4);
+    const ResultValue value =
+        correct ? kCorrectValue
+                : static_cast<ResultValue>(100 + rng.uniform_int(0, 999));
+    return Vote{static_cast<NodeId>(job), value};
+  };
+  const IterativeFactory factory(3);
+  const MonteCarloResult result =
+      run_custom(factory, scattered, kCorrectValue, quick(5'000));
+  EXPECT_GT(result.reliability(), 0.95);
+}
+
+TEST(MonteCarloTest, EmptyRunRejected) {
+  const TraditionalFactory factory(3);
+  MonteCarloConfig config;
+  config.tasks = 0;
+  EXPECT_THROW((void)run_binary(factory, 0.7, config), PreconditionError);
+}
+
+TEST(MonteCarloTest, BadReliabilityRejected) {
+  const TraditionalFactory factory(3);
+  EXPECT_THROW((void)run_binary(factory, -0.1, quick(10)), PreconditionError);
+  EXPECT_THROW((void)run_binary(factory, 1.5, quick(10)), PreconditionError);
+}
+
+}  // namespace
+}  // namespace smartred::redundancy

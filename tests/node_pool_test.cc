@@ -1,0 +1,163 @@
+#include "dca/node_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/expect.h"
+#include "common/rng.h"
+
+namespace smartred::dca {
+namespace {
+
+TEST(NodePoolTest, InitialPopulation) {
+  NodePool pool(100);
+  EXPECT_EQ(pool.live_count(), 100u);
+  EXPECT_EQ(pool.idle_count(), 100u);
+  EXPECT_EQ(pool.busy_count(), 0u);
+}
+
+TEST(NodePoolTest, AcquireMarksBusy) {
+  NodePool pool(3);
+  rng::Stream rng(1);
+  const auto node = pool.acquire_random(rng);
+  ASSERT_TRUE(node.has_value());
+  EXPECT_EQ(pool.idle_count(), 2u);
+  EXPECT_EQ(pool.busy_count(), 1u);
+}
+
+TEST(NodePoolTest, ExhaustionReturnsNullopt) {
+  NodePool pool(2);
+  rng::Stream rng(1);
+  EXPECT_TRUE(pool.acquire_random(rng).has_value());
+  EXPECT_TRUE(pool.acquire_random(rng).has_value());
+  EXPECT_FALSE(pool.acquire_random(rng).has_value());
+}
+
+TEST(NodePoolTest, ReleaseReturnsToIdle) {
+  NodePool pool(2);
+  rng::Stream rng(1);
+  const auto node = pool.acquire_random(rng);
+  pool.release(*node);
+  EXPECT_EQ(pool.idle_count(), 2u);
+  // The released node can be acquired again.
+  std::set<redundancy::NodeId> seen;
+  for (int i = 0; i < 50; ++i) {
+    const auto again = pool.acquire_random(rng);
+    seen.insert(*again);
+    pool.release(*again);
+  }
+  EXPECT_TRUE(seen.contains(*node));
+}
+
+TEST(NodePoolTest, SelectionIsUniform) {
+  NodePool pool(10);
+  rng::Stream rng(7);
+  std::map<redundancy::NodeId, int> counts;
+  constexpr int kDraws = 50'000;
+  for (int i = 0; i < kDraws; ++i) {
+    const auto node = pool.acquire_random(rng);
+    ++counts[*node];
+    pool.release(*node);
+  }
+  ASSERT_EQ(counts.size(), 10u);
+  for (const auto& [node, count] : counts) {
+    EXPECT_NEAR(count, kDraws / 10, kDraws / 10 / 5) << "node " << node;
+  }
+}
+
+TEST(NodePoolTest, JoinAddsFreshIds) {
+  NodePool pool(2);
+  const auto id = pool.join(2.0);
+  EXPECT_EQ(pool.live_count(), 3u);
+  EXPECT_DOUBLE_EQ(pool.speed(id), 2.0);
+  const auto id2 = pool.join();
+  EXPECT_NE(id, id2);
+}
+
+TEST(NodePoolTest, JoinRejectsNonPositiveSpeed) {
+  NodePool pool(1);
+  EXPECT_THROW((void)pool.join(0.0), PreconditionError);
+  EXPECT_THROW((void)pool.join(-1.0), PreconditionError);
+}
+
+TEST(NodePoolTest, LeaveIdleNodeShrinksPool) {
+  NodePool pool(3);
+  rng::Stream rng(1);
+  const auto node = pool.acquire_random(rng);
+  pool.release(*node);
+  EXPECT_FALSE(pool.leave(*node));  // was idle
+  EXPECT_EQ(pool.live_count(), 2u);
+  EXPECT_EQ(pool.idle_count(), 2u);
+}
+
+TEST(NodePoolTest, LeaveBusyNodeReportsBusy) {
+  NodePool pool(2);
+  rng::Stream rng(1);
+  const auto node = pool.acquire_random(rng);
+  EXPECT_TRUE(pool.leave(*node));
+  EXPECT_EQ(pool.live_count(), 1u);
+  EXPECT_EQ(pool.busy_count(), 0u);
+}
+
+TEST(NodePoolTest, ReleaseAfterLeaveIsNoop) {
+  NodePool pool(2);
+  rng::Stream rng(1);
+  const auto node = pool.acquire_random(rng);
+  pool.leave(*node);
+  pool.release(*node);  // node left while busy; nothing to return
+  EXPECT_EQ(pool.live_count(), 1u);
+  EXPECT_EQ(pool.idle_count(), 1u);
+}
+
+TEST(NodePoolTest, LeaveUnknownNodeThrows) {
+  NodePool pool(1);
+  EXPECT_THROW((void)pool.leave(999), PreconditionError);
+}
+
+TEST(NodePoolTest, PickAnyCoversBusyAndIdle) {
+  NodePool pool(4);
+  rng::Stream rng(3);
+  const auto busy = pool.acquire_random(rng);
+  std::set<redundancy::NodeId> seen;
+  for (int i = 0; i < 400; ++i) seen.insert(*pool.pick_any(rng));
+  EXPECT_EQ(seen.size(), 4u);
+  EXPECT_TRUE(seen.contains(*busy));
+}
+
+TEST(NodePoolTest, PickAnyOnEmptyPool) {
+  NodePool pool(1);
+  rng::Stream rng(3);
+  const auto node = pool.pick_any(rng);
+  pool.leave(*node);
+  EXPECT_FALSE(pool.pick_any(rng).has_value());
+}
+
+TEST(NodePoolTest, StressChurnKeepsInvariants) {
+  NodePool pool(50);
+  rng::Stream rng(11);
+  std::set<redundancy::NodeId> busy;
+  for (int step = 0; step < 10'000; ++step) {
+    const auto action = rng.uniform_int(0, 3);
+    if (action == 0) {
+      const auto node = pool.acquire_random(rng);
+      if (node.has_value()) busy.insert(*node);
+    } else if (action == 1 && !busy.empty()) {
+      const auto node = *busy.begin();
+      busy.erase(busy.begin());
+      pool.release(node);
+    } else if (action == 2) {
+      pool.join();
+    } else if (pool.live_count() > 0) {
+      const auto victim = pool.pick_any(rng);
+      pool.leave(*victim);
+      busy.erase(*victim);
+    }
+    EXPECT_EQ(pool.busy_count(), busy.size());
+    EXPECT_EQ(pool.idle_count() + pool.busy_count(), pool.live_count());
+  }
+}
+
+}  // namespace
+}  // namespace smartred::dca

@@ -1,0 +1,199 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace smartred::rng {
+namespace {
+
+TEST(SplitMix64Test, ProducesKnownSequence) {
+  // Reference values for seed 0 from the canonical splitmix64
+  // implementation (Vigna).
+  std::uint64_t state = 0;
+  EXPECT_EQ(splitmix64(state), 0xe220a8397b1dcdafull);
+  EXPECT_EQ(splitmix64(state), 0x6e789e6aa1b965f4ull);
+  EXPECT_EQ(splitmix64(state), 0x06c45d188009454full);
+}
+
+TEST(StreamTest, SameSeedSameSequence) {
+  Stream a(42);
+  Stream b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(StreamTest, DifferentSeedsDiffer) {
+  Stream a(1);
+  Stream b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(StreamTest, ForkByNameIsStable) {
+  const Stream parent(7);
+  Stream child1 = parent.fork("alpha");
+  Stream child2 = parent.fork("alpha");
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(child1(), child2());
+}
+
+TEST(StreamTest, ForkByNameIndependentOfParentConsumption) {
+  Stream parent(7);
+  const Stream snapshot = parent;
+  Stream before = snapshot.fork("x");
+  // fork() keys off the stream's state words; consuming the parent changes
+  // them, so this property is about *copies*, which share identity.
+  Stream again = snapshot.fork("x");
+  EXPECT_EQ(before(), again());
+}
+
+TEST(StreamTest, DifferentForkNamesDiffer) {
+  const Stream parent(7);
+  Stream a = parent.fork("a");
+  Stream b = parent.fork("b");
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(StreamTest, ForkByIndexIsStable) {
+  const Stream parent(9);
+  Stream a = parent.fork(std::uint64_t{12});
+  Stream b = parent.fork(std::uint64_t{12});
+  EXPECT_EQ(a(), b());
+  Stream c = parent.fork(std::uint64_t{13});
+  EXPECT_NE(a(), c());
+}
+
+TEST(StreamTest, Uniform01InRange) {
+  Stream stream(3);
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = stream.uniform01();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(StreamTest, Uniform01MeanIsHalf) {
+  Stream stream(4);
+  double total = 0.0;
+  constexpr int kSamples = 100'000;
+  for (int i = 0; i < kSamples; ++i) total += stream.uniform01();
+  EXPECT_NEAR(total / kSamples, 0.5, 0.01);
+}
+
+TEST(StreamTest, UniformRespectsBounds) {
+  Stream stream(5);
+  for (int i = 0; i < 1'000; ++i) {
+    const double x = stream.uniform(2.5, 7.5);
+    EXPECT_GE(x, 2.5);
+    EXPECT_LT(x, 7.5);
+  }
+}
+
+TEST(StreamTest, UniformRejectsInvertedBounds) {
+  Stream stream(5);
+  EXPECT_THROW((void)stream.uniform(2.0, 1.0), PreconditionError);
+}
+
+TEST(StreamTest, UniformIntCoversRangeInclusive) {
+  Stream stream(6);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1'000; ++i) seen.insert(stream.uniform_int(3, 7));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), 3u);
+  EXPECT_EQ(*seen.rbegin(), 7u);
+}
+
+TEST(StreamTest, UniformIntSingleton) {
+  Stream stream(6);
+  EXPECT_EQ(stream.uniform_int(9, 9), 9u);
+}
+
+TEST(StreamTest, UniformIntIsUnbiased) {
+  Stream stream(8);
+  std::vector<int> counts(10, 0);
+  constexpr int kSamples = 100'000;
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[stream.uniform_int(0, 9)];
+  }
+  for (int count : counts) {
+    EXPECT_NEAR(count, kSamples / 10, kSamples / 10 / 5);
+  }
+}
+
+TEST(StreamTest, BernoulliMatchesProbability) {
+  Stream stream(10);
+  int hits = 0;
+  constexpr int kSamples = 100'000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (stream.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.3, 0.01);
+}
+
+TEST(StreamTest, BernoulliEdges) {
+  Stream stream(10);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(stream.bernoulli(0.0));
+    EXPECT_TRUE(stream.bernoulli(1.0));
+  }
+  EXPECT_THROW((void)stream.bernoulli(-0.1), PreconditionError);
+  EXPECT_THROW((void)stream.bernoulli(1.1), PreconditionError);
+}
+
+TEST(StreamTest, ExponentialHasRequestedMean) {
+  Stream stream(11);
+  double total = 0.0;
+  constexpr int kSamples = 200'000;
+  for (int i = 0; i < kSamples; ++i) total += stream.exponential(2.0);
+  EXPECT_NEAR(total / kSamples, 2.0, 0.05);
+}
+
+TEST(StreamTest, NormalHasRequestedMoments) {
+  Stream stream(12);
+  double total = 0.0;
+  double total_sq = 0.0;
+  constexpr int kSamples = 200'000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = stream.normal(5.0, 2.0);
+    total += x;
+    total_sq += x * x;
+  }
+  const double mean = total / kSamples;
+  const double var = total_sq / kSamples - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(StreamTest, IndexStaysInRange) {
+  Stream stream(13);
+  for (int i = 0; i < 1'000; ++i) EXPECT_LT(stream.index(17), 17u);
+  EXPECT_THROW((void)stream.index(0), PreconditionError);
+}
+
+TEST(StreamTest, ShufflePreservesElements) {
+  Stream stream(14);
+  std::vector<int> items{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = items;
+  stream.shuffle(items);
+  std::sort(items.begin(), items.end());
+  EXPECT_EQ(items, original);
+}
+
+TEST(StreamTest, ShuffleActuallyPermutes) {
+  Stream stream(15);
+  std::vector<int> items(100);
+  for (int i = 0; i < 100; ++i) items[static_cast<std::size_t>(i)] = i;
+  const std::vector<int> original = items;
+  stream.shuffle(items);
+  EXPECT_NE(items, original);
+}
+
+}  // namespace
+}  // namespace smartred::rng

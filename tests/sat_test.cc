@@ -1,0 +1,166 @@
+#include "sat/sat_workload.h"
+
+#include <gtest/gtest.h>
+
+#include "common/expect.h"
+#include "common/rng.h"
+#include "sat/generator.h"
+
+namespace smartred::sat {
+namespace {
+
+// (x0 | x1 | x2) & (!x0 | x1 | !x2)
+Formula tiny_formula() {
+  return Formula{3,
+                 {Clause{{0, false}, {1, false}, {2, false}},
+                  Clause{{0, true}, {1, false}, {2, true}}}};
+}
+
+TEST(LiteralTest, PolarityAndAssignmentBits) {
+  const Literal positive{2, false};
+  const Literal negative{2, true};
+  EXPECT_TRUE(positive.satisfied(0b100));
+  EXPECT_FALSE(positive.satisfied(0b011));
+  EXPECT_FALSE(negative.satisfied(0b100));
+  EXPECT_TRUE(negative.satisfied(0b011));
+}
+
+TEST(ClauseTest, SatisfiedIfAnyLiteralHolds) {
+  const Clause clause{{0, false}, {1, true}, {2, false}};
+  EXPECT_TRUE(clause.satisfied(0b001));   // x0
+  EXPECT_TRUE(clause.satisfied(0b000));   // !x1
+  EXPECT_FALSE(clause.satisfied(0b010));  // only x1 true
+}
+
+TEST(FormulaTest, EvaluatesAllClauses) {
+  const Formula formula = tiny_formula();
+  EXPECT_TRUE(formula.satisfied(0b010));   // x1 satisfies both
+  EXPECT_FALSE(formula.satisfied(0b101));  // first ok, second: !x0 F, x1 F, !x2 F
+  EXPECT_EQ(formula.satisfied_clause_count(0b101), 1u);
+}
+
+TEST(FormulaTest, AssignmentCount) {
+  EXPECT_EQ(tiny_formula().assignment_count(), 8u);
+}
+
+TEST(FormulaTest, ValidationRejectsBadClauses) {
+  EXPECT_THROW(Formula(0, {}), PreconditionError);
+  EXPECT_THROW(Formula(3, {}), PreconditionError);
+  // Repeated variable in a clause.
+  EXPECT_THROW(
+      Formula(3, {Clause{{0, false}, {0, true}, {1, false}}}),
+      PreconditionError);
+  // Variable out of range.
+  EXPECT_THROW(
+      Formula(3, {Clause{{0, false}, {1, false}, {3, false}}}),
+      PreconditionError);
+}
+
+TEST(GeneratorTest, RandomFormulaIsWellFormed) {
+  rng::Stream rng(5);
+  const Formula formula = random_formula(22, 94, rng);
+  EXPECT_EQ(formula.num_vars(), 22);
+  EXPECT_EQ(formula.clauses().size(), 94u);
+}
+
+TEST(GeneratorTest, DeterministicForSameSeed) {
+  rng::Stream a(6);
+  rng::Stream b(6);
+  const Formula fa = random_formula(10, 42, a);
+  const Formula fb = random_formula(10, 42, b);
+  EXPECT_EQ(fa.clauses(), fb.clauses());
+}
+
+TEST(GeneratorTest, PlantedFormulaIsSatisfiedByPlant) {
+  rng::Stream rng(7);
+  const Assignment planted = 0b1010110101u;
+  const Formula formula = planted_formula(10, 43, planted, rng);
+  EXPECT_TRUE(formula.satisfied(planted));
+}
+
+TEST(DecomposeTest, RangesTileTheSpace) {
+  const auto ranges = decompose(10, 7);
+  ASSERT_EQ(ranges.size(), 7u);
+  EXPECT_EQ(ranges.front().begin, 0u);
+  EXPECT_EQ(ranges.back().end, 1024u);
+  for (std::size_t i = 1; i < ranges.size(); ++i) {
+    EXPECT_EQ(ranges[i].begin, ranges[i - 1].end);
+  }
+  // Near-equal sizes.
+  for (const auto& range : ranges) {
+    EXPECT_NEAR(static_cast<double>(range.size()), 1024.0 / 7.0, 1.0);
+  }
+}
+
+TEST(DecomposeTest, PaperShape140TasksOf22Vars) {
+  const auto ranges = decompose(22, 140);
+  EXPECT_EQ(ranges.size(), 140u);
+  EXPECT_EQ(ranges.back().end, std::uint64_t{1} << 22);
+}
+
+TEST(DecomposeTest, RejectsBadTaskCounts) {
+  EXPECT_THROW((void)decompose(3, 0), PreconditionError);
+  EXPECT_THROW((void)decompose(3, 9), PreconditionError);
+}
+
+TEST(FindSatisfyingTest, LocatesFirstWitness) {
+  const Formula formula = tiny_formula();
+  // Assignments 0..7; 0b000 fails (first clause), 0b001: c1 ok (x0),
+  // c2: !x0 F, x1 F, !x2 T -> ok. So first witness is 1.
+  const auto found = find_satisfying(formula, {0, 8});
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, 1u);
+}
+
+TEST(FindSatisfyingTest, EmptyRangeAndMisses) {
+  const Formula formula = tiny_formula();
+  EXPECT_FALSE(find_satisfying(formula, {0, 0}).has_value());
+  EXPECT_FALSE(find_satisfying(formula, {0, 1}).has_value());  // 0b000 fails
+}
+
+TEST(SatWorkloadTest, BinaryGroundTruth) {
+  SatWorkload workload(tiny_formula(), 4, ResultMode::kBinary);
+  EXPECT_EQ(workload.task_count(), 4u);
+  // Ranges of size 2: [0,2) contains 1 -> satisfiable.
+  EXPECT_EQ(workload.correct_value(0), 1);
+}
+
+TEST(SatWorkloadTest, FirstAssignmentGroundTruth) {
+  SatWorkload workload(tiny_formula(), 4, ResultMode::kFirstAssignment);
+  EXPECT_EQ(workload.correct_value(0), 1);  // first witness in [0,2)
+}
+
+TEST(SatWorkloadTest, UnsatisfiableRangeYieldsNegative) {
+  // (x0 | x1 | x2): only assignment 0b000 fails, so range [0, 1) is
+  // unsatisfiable and every other singleton range is satisfiable.
+  const Formula simple{3, {Clause{{0, false}, {1, false}, {2, false}}}};
+  SatWorkload workload(simple, 8, ResultMode::kFirstAssignment);
+  EXPECT_EQ(workload.correct_value(0), -1);  // 0b000 unsatisfied
+  EXPECT_EQ(workload.correct_value(1), 1);
+  SatWorkload binary(simple, 8, ResultMode::kBinary);
+  EXPECT_EQ(binary.correct_value(0), 0);
+  EXPECT_EQ(binary.correct_value(1), 1);
+}
+
+TEST(SatWorkloadTest, SatisfiableDetection) {
+  rng::Stream rng(8);
+  const Formula planted = planted_formula(12, 51, 0b101010101010u, rng);
+  const SatWorkload workload(planted, 16);
+  EXPECT_TRUE(workload.satisfiable());
+}
+
+TEST(SatWorkloadTest, JobWorkAveragesToOne) {
+  SatWorkload workload(tiny_formula(), 3);
+  double total = 0.0;
+  for (std::uint64_t task = 0; task < 3; ++task) {
+    total += workload.job_work(task);
+  }
+  EXPECT_NEAR(total / 3.0, 1.0, 1e-12);
+}
+
+TEST(SatWorkloadTest, HardRatioConstant) {
+  EXPECT_NEAR(kHardRatio, 4.26, 1e-9);
+}
+
+}  // namespace
+}  // namespace smartred::sat

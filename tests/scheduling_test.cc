@@ -1,0 +1,115 @@
+// Queue-policy and checkpointing features of the DCA task server.
+#include <gtest/gtest.h>
+
+#include "dca/task_server.h"
+#include "dca/workload.h"
+#include "fault/failure_model.h"
+#include "redundancy/iterative.h"
+#include "sim/simulator.h"
+
+namespace smartred::dca {
+namespace {
+
+fault::ByzantineCollusion collusion(double r, std::uint64_t seed = 2) {
+  return fault::ByzantineCollusion(fault::ReliabilityAssigner(
+      fault::ConstantReliability{r}, rng::Stream(seed)));
+}
+
+RunMetrics run_with(const DcaConfig& config, std::uint64_t tasks, double r,
+                    int d = 4) {
+  sim::Simulator simulator;
+  const redundancy::IterativeFactory factory(d);
+  const SyntheticWorkload workload(tasks);
+  auto failures = collusion(r, config.seed + 1);
+  TaskServer server(simulator, config, factory, workload, failures);
+  return server.run();
+}
+
+TEST(QueuePolicyTest, PriorityCutsResponseTimeUnderContention) {
+  // A narrow pool forces queueing; prioritizing top-up waves lets started
+  // tasks finish instead of waiting behind the backlog of initial waves.
+  DcaConfig fifo;
+  fifo.nodes = 100;
+  fifo.seed = 61;
+  DcaConfig priority = fifo;
+  priority.queue_policy = QueuePolicy::kStartedTasksFirst;
+
+  const RunMetrics slow = run_with(fifo, 5'000, 0.7);
+  const RunMetrics fast = run_with(priority, 5'000, 0.7);
+
+  EXPECT_LT(fast.response_time.mean(), slow.response_time.mean() * 0.5);
+  // Throughput-side metrics are untouched by ordering.
+  EXPECT_NEAR(fast.cost_factor(), slow.cost_factor(), 0.2);
+  EXPECT_NEAR(fast.makespan, slow.makespan, slow.makespan * 0.05);
+  EXPECT_NEAR(fast.reliability(), slow.reliability(), 0.02);
+}
+
+TEST(QueuePolicyTest, NoEffectWithoutContention) {
+  // With an abundant pool nothing ever queues, so the policies coincide.
+  DcaConfig fifo;
+  fifo.nodes = 100'000;
+  fifo.seed = 62;
+  DcaConfig priority = fifo;
+  priority.queue_policy = QueuePolicy::kStartedTasksFirst;
+
+  const RunMetrics a = run_with(fifo, 2'000, 0.7);
+  const RunMetrics b = run_with(priority, 2'000, 0.7);
+  EXPECT_DOUBLE_EQ(a.response_time.mean(), b.response_time.mean());
+  EXPECT_EQ(a.jobs_dispatched, b.jobs_dispatched);
+}
+
+TEST(CheckpointTest, ReducesMakespanUnderChurn) {
+  // Long jobs + aggressive churn: without checkpointing every departure
+  // restarts the job's full work; with it only the slice since the last
+  // checkpoint repeats.
+  DcaConfig plain;
+  plain.nodes = 100;
+  plain.seed = 63;
+  plain.duration_lo = 5.0;  // long jobs make lost work expensive
+  plain.duration_hi = 15.0;
+  plain.churn.join_rate = 10.0;
+  plain.churn.leave_rate = 10.0;
+  plain.timeout = 5.0;
+  DcaConfig checkpointed = plain;
+  checkpointed.checkpoint_interval = 1.0;
+
+  const RunMetrics wasteful = run_with(plain, 1'000, 0.9, 3);
+  const RunMetrics thrifty = run_with(checkpointed, 1'000, 0.9, 3);
+
+  // Same dispatch/vote accounting and reliability...
+  EXPECT_TRUE(wasteful.jobs_conserved());
+  EXPECT_TRUE(thrifty.jobs_conserved());
+  EXPECT_NEAR(thrifty.reliability(), wasteful.reliability(), 0.03);
+  // ... but less recomputed work, so the computation finishes sooner.
+  EXPECT_LT(thrifty.makespan, wasteful.makespan);
+}
+
+TEST(CheckpointTest, NoChurnMeansNoDifference) {
+  DcaConfig plain;
+  plain.nodes = 500;
+  plain.seed = 64;
+  DcaConfig checkpointed = plain;
+  checkpointed.checkpoint_interval = 0.25;
+  const RunMetrics a = run_with(plain, 1'000, 0.7);
+  const RunMetrics b = run_with(checkpointed, 1'000, 0.7);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.jobs_dispatched, b.jobs_dispatched);
+}
+
+TEST(CheckpointTest, ConservationHoldsWithAllFeaturesOn) {
+  DcaConfig config;
+  config.nodes = 300;
+  config.seed = 65;
+  config.queue_policy = QueuePolicy::kStartedTasksFirst;
+  config.checkpoint_interval = 0.5;
+  config.silent_prob = 0.05;
+  config.timeout = 3.0;
+  config.churn.join_rate = 5.0;
+  config.churn.leave_rate = 5.0;
+  const RunMetrics metrics = run_with(config, 2'000, 0.7);
+  EXPECT_TRUE(metrics.jobs_conserved());
+  EXPECT_GT(metrics.reliability(), 0.9);
+}
+
+}  // namespace
+}  // namespace smartred::dca

@@ -1,0 +1,158 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/expect.h"
+#include "common/rng.h"
+
+namespace smartred::stats {
+namespace {
+
+TEST(StreamingStatsTest, EmptyAccumulatorThrows) {
+  StreamingStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_THROW((void)stats.mean(), PreconditionError);
+  EXPECT_THROW((void)stats.min(), PreconditionError);
+  EXPECT_THROW((void)stats.max(), PreconditionError);
+}
+
+TEST(StreamingStatsTest, SingleValue) {
+  StreamingStats stats;
+  stats.add(3.5);
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(stats.min(), 3.5);
+  EXPECT_DOUBLE_EQ(stats.max(), 3.5);
+  EXPECT_THROW((void)stats.variance(), PreconditionError);
+}
+
+TEST(StreamingStatsTest, KnownMoments) {
+  StreamingStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(x);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  // Sample variance of this classic data set is 32/7.
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(StreamingStatsTest, MergeMatchesSequential) {
+  StreamingStats all;
+  StreamingStats left;
+  StreamingStats right;
+  rng::Stream rng(21);
+  for (int i = 0; i < 1'000; ++i) {
+    const double x = rng.normal(10.0, 3.0);
+    all.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(StreamingStatsTest, MergeWithEmptySides) {
+  StreamingStats empty;
+  StreamingStats filled;
+  filled.add(1.0);
+  filled.add(2.0);
+  StreamingStats target = filled;
+  target.merge(empty);
+  EXPECT_EQ(target.count(), 2u);
+  StreamingStats other;
+  other.merge(filled);
+  EXPECT_EQ(other.count(), 2u);
+  EXPECT_DOUBLE_EQ(other.mean(), 1.5);
+}
+
+TEST(StreamingStatsTest, CiHalfwidthShrinksWithSamples) {
+  rng::Stream rng(22);
+  StreamingStats small;
+  StreamingStats large;
+  for (int i = 0; i < 100; ++i) small.add(rng.uniform01());
+  for (int i = 0; i < 10'000; ++i) large.add(rng.uniform01());
+  EXPECT_GT(small.ci_halfwidth(), large.ci_halfwidth());
+}
+
+TEST(WilsonIntervalTest, CoversTrueProportion) {
+  // 70 of 100: the 95% interval must contain 0.7 and be inside [0, 1].
+  const Interval interval = wilson_interval(70, 100);
+  EXPECT_TRUE(interval.contains(0.7));
+  EXPECT_GE(interval.lo, 0.0);
+  EXPECT_LE(interval.hi, 1.0);
+  EXPECT_LT(interval.lo, interval.hi);
+}
+
+TEST(WilsonIntervalTest, DegenerateEndpointsStayInUnit) {
+  const Interval zero = wilson_interval(0, 50);
+  EXPECT_DOUBLE_EQ(zero.lo, 0.0);
+  EXPECT_GT(zero.hi, 0.0);
+  const Interval one = wilson_interval(50, 50);
+  EXPECT_DOUBLE_EQ(one.hi, 1.0);
+  EXPECT_LT(one.lo, 1.0);
+}
+
+TEST(WilsonIntervalTest, NarrowsWithMoreTrials) {
+  const Interval small = wilson_interval(7, 10);
+  const Interval large = wilson_interval(7'000, 10'000);
+  EXPECT_LT(large.width(), small.width());
+}
+
+TEST(WilsonIntervalTest, RejectsBadInput) {
+  EXPECT_THROW((void)wilson_interval(1, 0), PreconditionError);
+  EXPECT_THROW((void)wilson_interval(5, 4), PreconditionError);
+}
+
+TEST(HistogramTest, CountsFallIntoCorrectBuckets) {
+  Histogram histogram(0.0, 10.0, 10);
+  histogram.add(0.5);
+  histogram.add(5.5);
+  histogram.add(5.6);
+  histogram.add(9.9);
+  EXPECT_EQ(histogram.total(), 4u);
+  EXPECT_EQ(histogram.bucket(0), 1u);
+  EXPECT_EQ(histogram.bucket(5), 2u);
+  EXPECT_EQ(histogram.bucket(9), 1u);
+}
+
+TEST(HistogramTest, OutOfRangeIsClamped) {
+  Histogram histogram(0.0, 1.0, 4);
+  histogram.add(-5.0);
+  histogram.add(42.0);
+  EXPECT_EQ(histogram.bucket(0), 1u);
+  EXPECT_EQ(histogram.bucket(3), 1u);
+  EXPECT_EQ(histogram.total(), 2u);
+}
+
+TEST(HistogramTest, QuantileInterpolates) {
+  Histogram histogram(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) histogram.add(i + 0.5);
+  EXPECT_NEAR(histogram.quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(histogram.quantile(0.9), 90.0, 1.5);
+  EXPECT_NEAR(histogram.quantile(0.0), 0.0, 1.5);
+}
+
+TEST(HistogramTest, BucketLoIsLinear) {
+  Histogram histogram(10.0, 20.0, 5);
+  EXPECT_DOUBLE_EQ(histogram.bucket_lo(0), 10.0);
+  EXPECT_DOUBLE_EQ(histogram.bucket_lo(4), 18.0);
+}
+
+TEST(HistogramTest, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), PreconditionError);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), PreconditionError);
+}
+
+TEST(HistogramTest, QuantileOfEmptyThrows) {
+  Histogram histogram(0.0, 1.0, 4);
+  EXPECT_THROW((void)histogram.quantile(0.5), PreconditionError);
+}
+
+}  // namespace
+}  // namespace smartred::stats

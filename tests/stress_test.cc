@@ -1,0 +1,223 @@
+// Failure-injection and stress scenarios: the substrates must terminate,
+// conserve job accounting, and degrade gracefully under every combination
+// of silent crashes, churn, drained pools, and impossible deadlines.
+#include <gtest/gtest.h>
+
+#include "boinc/deployment.h"
+#include "dca/task_server.h"
+#include "dca/workload.h"
+#include "fault/failure_model.h"
+#include "redundancy/iterative.h"
+#include "redundancy/traditional.h"
+#include "sim/simulator.h"
+
+namespace smartred {
+namespace {
+
+fault::ByzantineCollusion collusion(double r, std::uint64_t seed = 2) {
+  return fault::ByzantineCollusion(fault::ReliabilityAssigner(
+      fault::ConstantReliability{r}, rng::Stream(seed)));
+}
+
+// ---------------------------------------------------------------------------
+// DCA stress.
+// ---------------------------------------------------------------------------
+
+TEST(DcaStressTest, PoolDrainsToZeroWithoutJoins) {
+  // Leaves only, no joins: eventually no nodes remain. The run must
+  // terminate, surface the stranded tasks as aborted, and conserve jobs.
+  sim::Simulator simulator;
+  dca::DcaConfig config;
+  config.nodes = 30;
+  config.seed = 41;
+  config.churn.leave_rate = 20.0;  // drains ~30 nodes in ~1.5 time units
+  config.timeout = 2.0;
+  const redundancy::TraditionalFactory factory(5);
+  const dca::SyntheticWorkload workload(200);
+  auto failures = collusion(0.9);
+  dca::TaskServer server(simulator, config, factory, workload, failures);
+  const dca::RunMetrics& metrics = server.run();
+  EXPECT_GT(metrics.tasks_aborted, 0u);
+  EXPECT_GT(metrics.jobs_unrun, 0u);
+  EXPECT_TRUE(metrics.jobs_conserved());
+  EXPECT_EQ(metrics.tasks_total, 200u);
+}
+
+TEST(DcaStressTest, EverythingAtOnce) {
+  // Silent crashes + churn + a tight job cap, simultaneously. Crashed
+  // nodes leave the pool permanently, so the pool must be provisioned to
+  // outlast the expected ~0.05 * jobs crash removals.
+  sim::Simulator simulator;
+  dca::DcaConfig config;
+  config.nodes = 2'000;
+  config.seed = 43;
+  config.silent_prob = 0.05;
+  config.timeout = 3.0;
+  config.churn.join_rate = 10.0;
+  config.churn.leave_rate = 10.0;
+  config.max_jobs_per_task = 60;
+  const redundancy::IterativeFactory factory(4);
+  const dca::SyntheticWorkload workload(2'000);
+  auto failures = collusion(0.7);
+  dca::TaskServer server(simulator, config, factory, workload, failures);
+  const dca::RunMetrics& metrics = server.run();
+  EXPECT_TRUE(metrics.jobs_conserved());
+  EXPECT_GT(metrics.jobs_lost, 0u);
+  // Despite the chaos, the vast majority of tasks settle correctly.
+  EXPECT_GT(metrics.reliability(), 0.9);
+  EXPECT_LT(metrics.tasks_aborted, 20u);
+}
+
+TEST(DcaStressTest, SingleNodePool) {
+  // One node executes every job serially; correctness is unaffected.
+  sim::Simulator simulator;
+  dca::DcaConfig config;
+  config.nodes = 1;
+  config.seed = 44;
+  const redundancy::IterativeFactory factory(3);
+  const dca::SyntheticWorkload workload(50);
+  auto failures = collusion(1.0);
+  dca::TaskServer server(simulator, config, factory, workload, failures);
+  const dca::RunMetrics& metrics = server.run();
+  EXPECT_EQ(metrics.tasks_correct, 50u);
+  EXPECT_TRUE(metrics.jobs_conserved());
+  // Fully serial: makespan ~= total jobs * mean duration.
+  EXPECT_GT(metrics.makespan,
+            static_cast<double>(metrics.jobs_completed) * 0.5);
+}
+
+TEST(DcaStressTest, ExtremeSilentProbability) {
+  // 60% of assignments crash silently: heavy re-issue traffic, but the
+  // computation still completes correctly (crashes produce no votes).
+  sim::Simulator simulator;
+  dca::DcaConfig config;
+  config.nodes = 50'000;  // crashes permanently remove nodes; start big
+  config.seed = 45;
+  config.silent_prob = 0.6;
+  config.timeout = 2.0;
+  const redundancy::TraditionalFactory factory(3);
+  const dca::SyntheticWorkload workload(500);
+  auto failures = collusion(1.0);
+  dca::TaskServer server(simulator, config, factory, workload, failures);
+  const dca::RunMetrics& metrics = server.run();
+  EXPECT_EQ(metrics.tasks_correct, 500u);
+  EXPECT_TRUE(metrics.jobs_conserved());
+  // Each vote costs ~1/(1-0.6) = 2.5 dispatches on average.
+  EXPECT_NEAR(metrics.cost_factor(), 3.0 / 0.4, 0.6);
+}
+
+TEST(DcaStressTest, ZeroReliabilityPoolStillTerminates) {
+  sim::Simulator simulator;
+  dca::DcaConfig config;
+  config.nodes = 200;
+  config.seed = 46;
+  const redundancy::IterativeFactory factory(4);
+  const dca::SyntheticWorkload workload(300);
+  auto failures = collusion(0.0);
+  dca::TaskServer server(simulator, config, factory, workload, failures);
+  const dca::RunMetrics& metrics = server.run();
+  EXPECT_EQ(metrics.tasks_correct, 0u);  // unanimous collusion wins
+  EXPECT_DOUBLE_EQ(metrics.cost_factor(), 4.0);
+  EXPECT_TRUE(metrics.jobs_conserved());
+}
+
+// ---------------------------------------------------------------------------
+// BOINC deployment stress.
+// ---------------------------------------------------------------------------
+
+TEST(BoincStressTest, HeavyUnresponsivenessStillCompletes) {
+  sim::Simulator simulator;
+  boinc::BoincConfig config;
+  config.seed = 51;
+  config.report_deadline = 5.0;
+  auto profiles = boinc::uniform_profiles(100, 0.9);
+  for (auto& profile : profiles) profile.unresponsive_prob = 0.7;
+  const redundancy::IterativeFactory factory(3);
+  const dca::SyntheticWorkload workload(100);
+  boinc::Deployment deployment(simulator, config, profiles, factory,
+                               workload);
+  const dca::RunMetrics& metrics = deployment.run();
+  EXPECT_TRUE(metrics.jobs_conserved());
+  EXPECT_GT(metrics.jobs_lost, 0u);
+  EXPECT_GT(metrics.reliability(), 0.9);
+}
+
+TEST(BoincStressTest, ImpossibleDeadlineDegradesGracefully) {
+  // Deadline far below any job duration: every job goes stale before its
+  // report arrives, tasks burn through their cap and abort — but the run
+  // terminates and the accounting balances.
+  sim::Simulator simulator;
+  boinc::BoincConfig config;
+  config.seed = 52;
+  config.report_deadline = 0.05;  // durations are >= 0.5
+  config.max_jobs_per_task = 40;
+  const redundancy::TraditionalFactory factory(3);
+  const dca::SyntheticWorkload workload(10);
+  boinc::Deployment deployment(simulator, config,
+                               boinc::uniform_profiles(30, 1.0), factory,
+                               workload);
+  const dca::RunMetrics& metrics = deployment.run();
+  EXPECT_EQ(metrics.tasks_aborted, 10u);
+  EXPECT_TRUE(metrics.jobs_conserved());
+  EXPECT_EQ(metrics.tasks_correct, 0u);
+}
+
+TEST(BoincStressTest, SlowestClientsDominatedByDeadline) {
+  // Very slow clients miss deadlines; fast ones carry the computation.
+  sim::Simulator simulator;
+  boinc::BoincConfig config;
+  config.seed = 53;
+  config.report_deadline = 3.0;
+  auto profiles = boinc::uniform_profiles(60, 1.0);
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    profiles[i].speed = (i % 2 == 0) ? 2.0 : 0.05;  // half are crawlers
+  }
+  const redundancy::TraditionalFactory factory(3);
+  const dca::SyntheticWorkload workload(200);
+  boinc::Deployment deployment(simulator, config, profiles, factory,
+                               workload);
+  const dca::RunMetrics& metrics = deployment.run();
+  EXPECT_EQ(metrics.tasks_correct, 200u);
+  EXPECT_GT(metrics.jobs_lost, 0u);  // crawler jobs re-issued
+  EXPECT_TRUE(metrics.jobs_conserved());
+}
+
+TEST(BoincStressTest, ConservationAcrossSeeds) {
+  // Sweep seeds on the full PlanetLab-like setup: the invariant is not a
+  // lucky accident of one schedule.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    sim::Simulator simulator;
+    boinc::BoincConfig config;
+    config.seed = seed;
+    rng::Stream profile_rng(seed + 100);
+    const auto profiles = boinc::planetlab_profiles(80, profile_rng);
+    const redundancy::IterativeFactory factory(4);
+    const dca::SyntheticWorkload workload(150);
+    boinc::Deployment deployment(simulator, config, profiles, factory,
+                                 workload);
+    const dca::RunMetrics& metrics = deployment.run();
+    EXPECT_TRUE(metrics.jobs_conserved()) << "seed " << seed;
+  }
+}
+
+TEST(DcaStressTest, ConservationAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    sim::Simulator simulator;
+    dca::DcaConfig config;
+    config.nodes = 150;
+    config.seed = seed;
+    config.silent_prob = 0.05;
+    config.timeout = 4.0;
+    config.churn.join_rate = 3.0;
+    config.churn.leave_rate = 3.0;
+    const redundancy::IterativeFactory factory(4);
+    const dca::SyntheticWorkload workload(300);
+    auto failures = collusion(0.7, seed);
+    dca::TaskServer server(simulator, config, factory, workload, failures);
+    const dca::RunMetrics& metrics = server.run();
+    EXPECT_TRUE(metrics.jobs_conserved()) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace smartred

@@ -1,0 +1,86 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/expect.h"
+
+namespace smartred::table {
+namespace {
+
+TEST(TableTest, PrintsHeadersAndRows) {
+  Table table({"name", "count", "rate"});
+  table.add_row({std::string("alpha"), 42LL, 0.5});
+  table.add_row({std::string("beta"), 7LL, 1.25});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("42"), std::string::npos);
+  EXPECT_NE(text.find("1.2500"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(TableTest, PrecisionIsRespected) {
+  Table table({"x"}, 2);
+  table.add_row({3.14159});
+  std::ostringstream out;
+  table.print(out);
+  EXPECT_NE(out.str().find("3.14"), std::string::npos);
+  EXPECT_EQ(out.str().find("3.1416"), std::string::npos);
+}
+
+TEST(TableTest, RowWidthMismatchThrows) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({1LL}), PreconditionError);
+}
+
+TEST(TableTest, EmptyHeaderListThrows) {
+  EXPECT_THROW(Table({}), PreconditionError);
+}
+
+TEST(TableTest, CsvRoundTrip) {
+  Table table({"k", "cost"});
+  table.add_row({3LL, 3.0});
+  table.add_row({5LL, 5.0});
+  const std::string path = testing::TempDir() + "smartred_table_test.csv";
+  table.write_csv(path);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "k,cost");
+  std::getline(in, line);
+  EXPECT_EQ(line, "3,3.0000");
+  std::remove(path.c_str());
+}
+
+TEST(TableTest, CsvQuotesSpecialCharacters) {
+  Table table({"text"});
+  table.add_row({std::string("a,b \"c\"")});
+  const std::string path = testing::TempDir() + "smartred_table_quote.csv";
+  table.write_csv(path);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);  // header
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"a,b \"\"c\"\"\"");
+  std::remove(path.c_str());
+}
+
+TEST(TableTest, CsvToUnwritablePathThrows) {
+  Table table({"x"});
+  EXPECT_THROW(table.write_csv("/nonexistent-dir/t.csv"), std::runtime_error);
+}
+
+TEST(BannerTest, WrapsTitle) {
+  std::ostringstream out;
+  banner(out, "Figure 3");
+  EXPECT_EQ(out.str(), "\n== Figure 3 ==\n");
+}
+
+}  // namespace
+}  // namespace smartred::table

@@ -1,0 +1,108 @@
+#include "redundancy/types.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/expect.h"
+
+namespace smartred::redundancy {
+namespace {
+
+TEST(VoteTallyTest, EmptyTallyState) {
+  VoteTally tally;
+  EXPECT_EQ(tally.total(), 0);
+  EXPECT_EQ(tally.distinct(), 0u);
+  EXPECT_EQ(tally.count(1), 0);
+  EXPECT_THROW((void)tally.leader(), PreconditionError);
+  EXPECT_THROW((void)tally.margin(), PreconditionError);
+}
+
+TEST(VoteTallyTest, SingleVote) {
+  VoteTally tally;
+  tally.add(7);
+  EXPECT_EQ(tally.total(), 1);
+  EXPECT_EQ(tally.leader(), 7);
+  EXPECT_EQ(tally.leader_count(), 1);
+  EXPECT_EQ(tally.runner_up_count(), 0);
+  EXPECT_EQ(tally.margin(), 1);
+  EXPECT_EQ(tally.minority_total(), 0);
+}
+
+TEST(VoteTallyTest, BinaryMajority) {
+  VoteTally tally;
+  for (int i = 0; i < 5; ++i) tally.add(1);
+  for (int i = 0; i < 3; ++i) tally.add(0);
+  EXPECT_EQ(tally.total(), 8);
+  EXPECT_EQ(tally.leader(), 1);
+  EXPECT_EQ(tally.leader_count(), 5);
+  EXPECT_EQ(tally.runner_up_count(), 3);
+  EXPECT_EQ(tally.margin(), 2);
+  EXPECT_EQ(tally.minority_total(), 3);
+}
+
+TEST(VoteTallyTest, TieBreaksTowardFirstSeen) {
+  VoteTally tally;
+  tally.add(4);
+  tally.add(9);
+  EXPECT_EQ(tally.leader(), 4);
+  EXPECT_EQ(tally.margin(), 0);
+  tally.add(9);
+  EXPECT_EQ(tally.leader(), 9);
+}
+
+TEST(VoteTallyTest, MultiValuePlurality) {
+  VoteTally tally;
+  for (int i = 0; i < 4; ++i) tally.add(10);
+  for (int i = 0; i < 3; ++i) tally.add(20);
+  for (int i = 0; i < 2; ++i) tally.add(30);
+  EXPECT_EQ(tally.distinct(), 3u);
+  EXPECT_EQ(tally.leader(), 10);
+  EXPECT_EQ(tally.leader_count(), 4);
+  EXPECT_EQ(tally.runner_up_count(), 3);
+  EXPECT_EQ(tally.margin(), 1);
+  EXPECT_EQ(tally.minority_total(), 5);
+}
+
+TEST(VoteTallyTest, CountQueriesSpecificValues) {
+  VoteTally tally;
+  tally.add(1);
+  tally.add(1);
+  tally.add(2);
+  EXPECT_EQ(tally.count(1), 2);
+  EXPECT_EQ(tally.count(2), 1);
+  EXPECT_EQ(tally.count(3), 0);
+}
+
+TEST(VoteTallyTest, ConstructFromVoteSpan) {
+  const std::vector<Vote> votes{{0, 5}, {1, 5}, {2, 6}};
+  const VoteTally tally{votes};
+  EXPECT_EQ(tally.total(), 3);
+  EXPECT_EQ(tally.leader(), 5);
+  EXPECT_EQ(tally.margin(), 1);
+}
+
+TEST(VoteTallyTest, NegativeValuesSupported) {
+  VoteTally tally;
+  tally.add(-1);
+  tally.add(-1);
+  tally.add(0);
+  EXPECT_EQ(tally.leader(), -1);
+  EXPECT_EQ(tally.count(-1), 2);
+}
+
+TEST(VoteTallyTest, MarginEqualsBinaryDifference) {
+  // For binary tallies, margin() must equal |a − b| of the pseudocode.
+  VoteTally tally;
+  int a = 0;
+  int b = 0;
+  const std::vector<int> pattern{1, 1, 0, 1, 0, 0, 1, 1, 1};
+  for (int v : pattern) {
+    tally.add(v);
+    (v == 1 ? a : b) += 1;
+    EXPECT_EQ(tally.margin(), std::abs(a - b));
+  }
+}
+
+}  // namespace
+}  // namespace smartred::redundancy

@@ -1,0 +1,218 @@
+// DCA task-server tests: the Figure 1 model running on the DES kernel.
+#include "dca/task_server.h"
+
+#include <gtest/gtest.h>
+
+#include "common/expect.h"
+#include "dca/workload.h"
+#include "fault/failure_model.h"
+#include "redundancy/analysis.h"
+#include "redundancy/iterative.h"
+#include "redundancy/progressive.h"
+#include "redundancy/traditional.h"
+
+namespace smartred::dca {
+namespace {
+
+fault::ByzantineCollusion collusion_model(double r, std::uint64_t seed = 5) {
+  return fault::ByzantineCollusion(fault::ReliabilityAssigner(
+      fault::ConstantReliability{r}, rng::Stream(seed)));
+}
+
+DcaConfig small_config(std::size_t nodes = 200, std::uint64_t seed = 1) {
+  DcaConfig config;
+  config.nodes = nodes;
+  config.seed = seed;
+  return config;
+}
+
+TEST(TaskServerTest, PerfectPoolAllCorrect) {
+  sim::Simulator simulator;
+  const DcaConfig config = small_config();
+  const redundancy::TraditionalFactory factory(3);
+  const SyntheticWorkload workload(500);
+  auto failures = collusion_model(1.0);
+  TaskServer server(simulator, config, factory, workload, failures);
+  const RunMetrics& metrics = server.run();
+  EXPECT_EQ(metrics.tasks_total, 500u);
+  EXPECT_EQ(metrics.tasks_correct, 500u);
+  EXPECT_EQ(metrics.tasks_aborted, 0u);
+  EXPECT_DOUBLE_EQ(metrics.cost_factor(), 3.0);
+  EXPECT_EQ(metrics.jobs_dispatched, metrics.jobs_completed);
+  EXPECT_GT(metrics.makespan, 0.0);
+}
+
+TEST(TaskServerTest, DeterministicGivenSeed) {
+  const redundancy::IterativeFactory factory(4);
+  const SyntheticWorkload workload(300);
+  RunMetrics first;
+  RunMetrics second;
+  for (RunMetrics* out : {&first, &second}) {
+    sim::Simulator simulator;
+    auto failures = collusion_model(0.7);
+    TaskServer server(simulator, small_config(100, 7), factory, workload,
+                      failures);
+    *out = server.run();
+  }
+  EXPECT_EQ(first.tasks_correct, second.tasks_correct);
+  EXPECT_EQ(first.jobs_dispatched, second.jobs_dispatched);
+  EXPECT_DOUBLE_EQ(first.makespan, second.makespan);
+}
+
+TEST(TaskServerTest, MeasuredCostTracksEquationFive) {
+  sim::Simulator simulator;
+  const redundancy::IterativeFactory factory(4);
+  const SyntheticWorkload workload(20'000);
+  auto failures = collusion_model(0.7);
+  TaskServer server(simulator, small_config(2'000), factory, workload,
+                    failures);
+  const RunMetrics& metrics = server.run();
+  EXPECT_NEAR(metrics.cost_factor(),
+              redundancy::analysis::iterative_cost(4, 0.7), 0.15);
+  EXPECT_TRUE(metrics.reliability_interval(3.9).contains(
+      redundancy::analysis::iterative_reliability(4, 0.7)));
+}
+
+TEST(TaskServerTest, EmpiricalNodeReliabilityMatchesModel) {
+  sim::Simulator simulator;
+  const redundancy::TraditionalFactory factory(5);
+  const SyntheticWorkload workload(5'000);
+  auto failures = collusion_model(0.7);
+  TaskServer server(simulator, small_config(500), factory, workload,
+                    failures);
+  const RunMetrics& metrics = server.run();
+  EXPECT_NEAR(metrics.empirical_node_reliability(), 0.7, 0.01);
+}
+
+TEST(TaskServerTest, ResponseTimeWithinWaveModel) {
+  // Traditional: one wave of k parallel jobs, each U[0.5, 1.5] -> expected
+  // response 0.5 + k/(k+1) when the pool is uncontended.
+  sim::Simulator simulator;
+  const redundancy::TraditionalFactory factory(9);
+  const SyntheticWorkload workload(2'000);
+  auto failures = collusion_model(0.7);
+  DcaConfig config = small_config(50'000);  // no queueing
+  TaskServer server(simulator, config, factory, workload, failures);
+  const RunMetrics& metrics = server.run();
+  EXPECT_NEAR(metrics.response_time.mean(),
+              redundancy::analysis::expected_response_traditional(9), 0.02);
+}
+
+TEST(TaskServerTest, ContentionStretchesMakespanNotCost) {
+  const redundancy::TraditionalFactory factory(5);
+  const SyntheticWorkload workload(2'000);
+  RunMetrics wide;
+  RunMetrics narrow;
+  {
+    sim::Simulator simulator;
+    auto failures = collusion_model(0.7);
+    TaskServer server(simulator, small_config(10'000, 3), factory, workload,
+                      failures);
+    wide = server.run();
+  }
+  {
+    sim::Simulator simulator;
+    auto failures = collusion_model(0.7);
+    TaskServer server(simulator, small_config(50, 3), factory, workload,
+                      failures);
+    narrow = server.run();
+  }
+  EXPECT_DOUBLE_EQ(wide.cost_factor(), 5.0);
+  EXPECT_DOUBLE_EQ(narrow.cost_factor(), 5.0);
+  EXPECT_GT(narrow.makespan, wide.makespan * 5);
+}
+
+TEST(TaskServerTest, SilentNodesAreReissuedAndCounted) {
+  sim::Simulator simulator;
+  const redundancy::TraditionalFactory factory(3);
+  const SyntheticWorkload workload(1'000);
+  auto failures = collusion_model(1.0);
+  DcaConfig config = small_config(20'000);
+  config.silent_prob = 0.2;
+  config.timeout = 5.0;
+  TaskServer server(simulator, config, factory, workload, failures);
+  const RunMetrics& metrics = server.run();
+  EXPECT_EQ(metrics.tasks_correct, 1'000u);  // reliability unaffected
+  EXPECT_GT(metrics.jobs_lost, 0u);
+  EXPECT_EQ(metrics.jobs_dispatched,
+            metrics.jobs_completed + metrics.jobs_lost);
+  // Every task still ends with exactly 3 counted votes, but dispatches more.
+  EXPECT_GT(metrics.cost_factor(), 3.0);
+}
+
+TEST(TaskServerTest, SilentWithoutTimeoutRejected) {
+  sim::Simulator simulator;
+  const redundancy::TraditionalFactory factory(3);
+  const SyntheticWorkload workload(10);
+  auto failures = collusion_model(1.0);
+  DcaConfig config = small_config();
+  config.silent_prob = 0.1;
+  config.timeout = 0.0;
+  EXPECT_THROW(
+      TaskServer(simulator, config, factory, workload, failures),
+      PreconditionError);
+}
+
+TEST(TaskServerTest, ChurnKeepsComputationAlive) {
+  sim::Simulator simulator;
+  const redundancy::IterativeFactory factory(3);
+  const SyntheticWorkload workload(500);
+  auto failures = collusion_model(0.8);
+  DcaConfig config = small_config(100, 13);
+  config.churn.join_rate = 5.0;
+  config.churn.leave_rate = 5.0;
+  TaskServer server(simulator, config, factory, workload, failures);
+  const RunMetrics& metrics = server.run();
+  EXPECT_GT(metrics.nodes_joined, 0u);
+  EXPECT_GT(metrics.nodes_left, 0u);
+  EXPECT_EQ(metrics.tasks_aborted, 0u);
+  // Reliability stays in the expected band despite churn.
+  EXPECT_GT(metrics.reliability(), 0.85);
+}
+
+TEST(TaskServerTest, JobCapAbortsPathologicalTasks) {
+  sim::Simulator simulator;
+  const redundancy::IterativeFactory factory(2);
+  const SyntheticWorkload workload(2'000);
+  auto failures = collusion_model(0.5);
+  DcaConfig config = small_config(5'000);
+  config.max_jobs_per_task = 4;
+  TaskServer server(simulator, config, factory, workload, failures);
+  const RunMetrics& metrics = server.run();
+  EXPECT_GT(metrics.tasks_aborted, 0u);
+  EXPECT_LE(metrics.max_jobs_single_task, 4);
+}
+
+TEST(TaskServerTest, WavesMatchStrategyShape) {
+  sim::Simulator simulator;
+  const redundancy::ProgressiveFactory factory(9);
+  const SyntheticWorkload workload(3'000);
+  auto failures = collusion_model(0.7);
+  TaskServer server(simulator, small_config(2'000), factory, workload,
+                    failures);
+  const RunMetrics& metrics = server.run();
+  EXPECT_GE(metrics.waves_per_task.min(), 1.0);
+  EXPECT_LE(metrics.waves_per_task.max(), 5.0);  // (k+1)/2
+  EXPECT_NEAR(metrics.waves_per_task.mean(),
+              redundancy::analysis::expected_waves(
+                  redundancy::analysis::progressive_wave_distribution(9, 0.7)),
+              0.05);
+}
+
+TEST(TaskServerTest, HeterogeneousReliabilityStillWorks) {
+  // §5.3 relaxation: node reliabilities vary; the margin rule needs no
+  // change and the average-r formulas stay approximately valid.
+  sim::Simulator simulator;
+  const redundancy::IterativeFactory factory(4);
+  const SyntheticWorkload workload(20'000);
+  fault::ByzantineCollusion failures(fault::ReliabilityAssigner(
+      fault::UniformReliability{0.5, 0.9}, rng::Stream(17)));
+  TaskServer server(simulator, small_config(2'000, 23), factory, workload,
+                    failures);
+  const RunMetrics& metrics = server.run();
+  EXPECT_NEAR(metrics.empirical_node_reliability(), 0.7, 0.01);
+  EXPECT_GT(metrics.reliability(), 0.93);
+}
+
+}  // namespace
+}  // namespace smartred::dca
