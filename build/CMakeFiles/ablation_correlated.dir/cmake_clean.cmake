@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_correlated.dir/bench/ablation_correlated.cc.o"
+  "CMakeFiles/ablation_correlated.dir/bench/ablation_correlated.cc.o.d"
+  "bench/ablation_correlated"
+  "bench/ablation_correlated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_correlated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

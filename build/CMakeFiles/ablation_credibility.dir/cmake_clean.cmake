@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_credibility.dir/bench/ablation_credibility.cc.o"
+  "CMakeFiles/ablation_credibility.dir/bench/ablation_credibility.cc.o.d"
+  "bench/ablation_credibility"
+  "bench/ablation_credibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_credibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_equivalence.dir/bench/ablation_equivalence.cc.o"
+  "CMakeFiles/ablation_equivalence.dir/bench/ablation_equivalence.cc.o.d"
+  "bench/ablation_equivalence"
+  "bench/ablation_equivalence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

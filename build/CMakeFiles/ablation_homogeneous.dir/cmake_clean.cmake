@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_homogeneous.dir/bench/ablation_homogeneous.cc.o"
+  "CMakeFiles/ablation_homogeneous.dir/bench/ablation_homogeneous.cc.o.d"
+  "bench/ablation_homogeneous"
+  "bench/ablation_homogeneous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_homogeneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

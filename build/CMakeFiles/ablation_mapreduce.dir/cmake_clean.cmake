@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mapreduce.dir/bench/ablation_mapreduce.cc.o"
+  "CMakeFiles/ablation_mapreduce.dir/bench/ablation_mapreduce.cc.o.d"
+  "bench/ablation_mapreduce"
+  "bench/ablation_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_nonbinary.dir/bench/ablation_nonbinary.cc.o"
+  "CMakeFiles/ablation_nonbinary.dir/bench/ablation_nonbinary.cc.o.d"
+  "bench/ablation_nonbinary"
+  "bench/ablation_nonbinary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_nonbinary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_scheduling.dir/bench/ablation_scheduling.cc.o"
+  "CMakeFiles/ablation_scheduling.dir/bench/ablation_scheduling.cc.o.d"
+  "bench/ablation_scheduling"
+  "bench/ablation_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_selftuning.dir/bench/ablation_selftuning.cc.o"
+  "CMakeFiles/ablation_selftuning.dir/bench/ablation_selftuning.cc.o.d"
+  "bench/ablation_selftuning"
+  "bench/ablation_selftuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_selftuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

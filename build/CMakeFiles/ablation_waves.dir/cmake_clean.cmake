@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_waves.dir/bench/ablation_waves.cc.o"
+  "CMakeFiles/ablation_waves.dir/bench/ablation_waves.cc.o.d"
+  "bench/ablation_waves"
+  "bench/ablation_waves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_waves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

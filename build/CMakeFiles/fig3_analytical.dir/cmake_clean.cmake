@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_analytical.dir/bench/fig3_analytical.cc.o"
+  "CMakeFiles/fig3_analytical.dir/bench/fig3_analytical.cc.o.d"
+  "bench/fig3_analytical"
+  "bench/fig3_analytical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_analytical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5a_xdevs.dir/bench/fig5a_xdevs.cc.o"
+  "CMakeFiles/fig5a_xdevs.dir/bench/fig5a_xdevs.cc.o.d"
+  "bench/fig5a_xdevs"
+  "bench/fig5a_xdevs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_xdevs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

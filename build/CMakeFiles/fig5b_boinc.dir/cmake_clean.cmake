@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5b_boinc.dir/bench/fig5b_boinc.cc.o"
+  "CMakeFiles/fig5b_boinc.dir/bench/fig5b_boinc.cc.o.d"
+  "bench/fig5b_boinc"
+  "bench/fig5b_boinc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_boinc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

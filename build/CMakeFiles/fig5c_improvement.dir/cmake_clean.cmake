@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5c_improvement.dir/bench/fig5c_improvement.cc.o"
+  "CMakeFiles/fig5c_improvement.dir/bench/fig5c_improvement.cc.o.d"
+  "bench/fig5c_improvement"
+  "bench/fig5c_improvement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5c_improvement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

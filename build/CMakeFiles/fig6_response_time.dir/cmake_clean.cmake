@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_response_time.dir/bench/fig6_response_time.cc.o"
+  "CMakeFiles/fig6_response_time.dir/bench/fig6_response_time.cc.o.d"
+  "bench/fig6_response_time"
+  "bench/fig6_response_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_response_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

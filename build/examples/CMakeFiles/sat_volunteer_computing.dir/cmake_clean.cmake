@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sat_volunteer_computing.dir/sat_volunteer_computing.cpp.o"
+  "CMakeFiles/sat_volunteer_computing.dir/sat_volunteer_computing.cpp.o.d"
+  "sat_volunteer_computing"
+  "sat_volunteer_computing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sat_volunteer_computing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartred_boinc.dir/comparator.cc.o"
+  "CMakeFiles/smartred_boinc.dir/comparator.cc.o.d"
+  "CMakeFiles/smartred_boinc.dir/deployment.cc.o"
+  "CMakeFiles/smartred_boinc.dir/deployment.cc.o.d"
+  "CMakeFiles/smartred_boinc.dir/profile.cc.o"
+  "CMakeFiles/smartred_boinc.dir/profile.cc.o.d"
+  "libsmartred_boinc.a"
+  "libsmartred_boinc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartred_boinc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

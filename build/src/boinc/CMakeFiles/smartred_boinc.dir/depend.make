@@ -1,0 +1,2 @@
+# Empty dependencies file for smartred_boinc.
+# This may be replaced when dependencies are built.

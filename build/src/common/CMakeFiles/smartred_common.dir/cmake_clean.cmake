@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartred_common.dir/binomial.cc.o"
+  "CMakeFiles/smartred_common.dir/binomial.cc.o.d"
+  "CMakeFiles/smartred_common.dir/flags.cc.o"
+  "CMakeFiles/smartred_common.dir/flags.cc.o.d"
+  "CMakeFiles/smartred_common.dir/rng.cc.o"
+  "CMakeFiles/smartred_common.dir/rng.cc.o.d"
+  "CMakeFiles/smartred_common.dir/stats.cc.o"
+  "CMakeFiles/smartred_common.dir/stats.cc.o.d"
+  "CMakeFiles/smartred_common.dir/table.cc.o"
+  "CMakeFiles/smartred_common.dir/table.cc.o.d"
+  "libsmartred_common.a"
+  "libsmartred_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartred_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dca/metrics.cc" "src/dca/CMakeFiles/smartred_dca.dir/metrics.cc.o" "gcc" "src/dca/CMakeFiles/smartred_dca.dir/metrics.cc.o.d"
+  "/root/repo/src/dca/node_pool.cc" "src/dca/CMakeFiles/smartred_dca.dir/node_pool.cc.o" "gcc" "src/dca/CMakeFiles/smartred_dca.dir/node_pool.cc.o.d"
+  "/root/repo/src/dca/task_server.cc" "src/dca/CMakeFiles/smartred_dca.dir/task_server.cc.o" "gcc" "src/dca/CMakeFiles/smartred_dca.dir/task_server.cc.o.d"
+  "/root/repo/src/dca/workload.cc" "src/dca/CMakeFiles/smartred_dca.dir/workload.cc.o" "gcc" "src/dca/CMakeFiles/smartred_dca.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/smartred_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/smartred_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/smartred_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/redundancy/CMakeFiles/smartred_redundancy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartred_dca.dir/metrics.cc.o"
+  "CMakeFiles/smartred_dca.dir/metrics.cc.o.d"
+  "CMakeFiles/smartred_dca.dir/node_pool.cc.o"
+  "CMakeFiles/smartred_dca.dir/node_pool.cc.o.d"
+  "CMakeFiles/smartred_dca.dir/task_server.cc.o"
+  "CMakeFiles/smartred_dca.dir/task_server.cc.o.d"
+  "CMakeFiles/smartred_dca.dir/workload.cc.o"
+  "CMakeFiles/smartred_dca.dir/workload.cc.o.d"
+  "libsmartred_dca.a"
+  "libsmartred_dca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartred_dca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

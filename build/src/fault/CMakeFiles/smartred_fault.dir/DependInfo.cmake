@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fault/failure_model.cc" "src/fault/CMakeFiles/smartred_fault.dir/failure_model.cc.o" "gcc" "src/fault/CMakeFiles/smartred_fault.dir/failure_model.cc.o.d"
+  "/root/repo/src/fault/reliability.cc" "src/fault/CMakeFiles/smartred_fault.dir/reliability.cc.o" "gcc" "src/fault/CMakeFiles/smartred_fault.dir/reliability.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/smartred_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/redundancy/CMakeFiles/smartred_redundancy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartred_fault.dir/failure_model.cc.o"
+  "CMakeFiles/smartred_fault.dir/failure_model.cc.o.d"
+  "CMakeFiles/smartred_fault.dir/reliability.cc.o"
+  "CMakeFiles/smartred_fault.dir/reliability.cc.o.d"
+  "libsmartred_fault.a"
+  "libsmartred_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartred_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

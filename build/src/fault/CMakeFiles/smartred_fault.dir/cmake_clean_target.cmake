@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsmartred_fault.a"
+)

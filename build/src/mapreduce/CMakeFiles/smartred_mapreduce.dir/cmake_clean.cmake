@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartred_mapreduce.dir/engine.cc.o"
+  "CMakeFiles/smartred_mapreduce.dir/engine.cc.o.d"
+  "CMakeFiles/smartred_mapreduce.dir/wordcount.cc.o"
+  "CMakeFiles/smartred_mapreduce.dir/wordcount.cc.o.d"
+  "libsmartred_mapreduce.a"
+  "libsmartred_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartred_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

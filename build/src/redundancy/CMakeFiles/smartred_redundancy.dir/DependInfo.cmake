@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/redundancy/adaptive.cc" "src/redundancy/CMakeFiles/smartred_redundancy.dir/adaptive.cc.o" "gcc" "src/redundancy/CMakeFiles/smartred_redundancy.dir/adaptive.cc.o.d"
+  "/root/repo/src/redundancy/analysis.cc" "src/redundancy/CMakeFiles/smartred_redundancy.dir/analysis.cc.o" "gcc" "src/redundancy/CMakeFiles/smartred_redundancy.dir/analysis.cc.o.d"
+  "/root/repo/src/redundancy/calibration.cc" "src/redundancy/CMakeFiles/smartred_redundancy.dir/calibration.cc.o" "gcc" "src/redundancy/CMakeFiles/smartred_redundancy.dir/calibration.cc.o.d"
+  "/root/repo/src/redundancy/credibility.cc" "src/redundancy/CMakeFiles/smartred_redundancy.dir/credibility.cc.o" "gcc" "src/redundancy/CMakeFiles/smartred_redundancy.dir/credibility.cc.o.d"
+  "/root/repo/src/redundancy/estimator.cc" "src/redundancy/CMakeFiles/smartred_redundancy.dir/estimator.cc.o" "gcc" "src/redundancy/CMakeFiles/smartred_redundancy.dir/estimator.cc.o.d"
+  "/root/repo/src/redundancy/iterative.cc" "src/redundancy/CMakeFiles/smartred_redundancy.dir/iterative.cc.o" "gcc" "src/redundancy/CMakeFiles/smartred_redundancy.dir/iterative.cc.o.d"
+  "/root/repo/src/redundancy/iterative_naive.cc" "src/redundancy/CMakeFiles/smartred_redundancy.dir/iterative_naive.cc.o" "gcc" "src/redundancy/CMakeFiles/smartred_redundancy.dir/iterative_naive.cc.o.d"
+  "/root/repo/src/redundancy/montecarlo.cc" "src/redundancy/CMakeFiles/smartred_redundancy.dir/montecarlo.cc.o" "gcc" "src/redundancy/CMakeFiles/smartred_redundancy.dir/montecarlo.cc.o.d"
+  "/root/repo/src/redundancy/progressive.cc" "src/redundancy/CMakeFiles/smartred_redundancy.dir/progressive.cc.o" "gcc" "src/redundancy/CMakeFiles/smartred_redundancy.dir/progressive.cc.o.d"
+  "/root/repo/src/redundancy/self_tuning.cc" "src/redundancy/CMakeFiles/smartred_redundancy.dir/self_tuning.cc.o" "gcc" "src/redundancy/CMakeFiles/smartred_redundancy.dir/self_tuning.cc.o.d"
+  "/root/repo/src/redundancy/tally.cc" "src/redundancy/CMakeFiles/smartred_redundancy.dir/tally.cc.o" "gcc" "src/redundancy/CMakeFiles/smartred_redundancy.dir/tally.cc.o.d"
+  "/root/repo/src/redundancy/traditional.cc" "src/redundancy/CMakeFiles/smartred_redundancy.dir/traditional.cc.o" "gcc" "src/redundancy/CMakeFiles/smartred_redundancy.dir/traditional.cc.o.d"
+  "/root/repo/src/redundancy/weighted.cc" "src/redundancy/CMakeFiles/smartred_redundancy.dir/weighted.cc.o" "gcc" "src/redundancy/CMakeFiles/smartred_redundancy.dir/weighted.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/smartred_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

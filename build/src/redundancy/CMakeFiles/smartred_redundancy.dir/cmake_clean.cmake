@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartred_redundancy.dir/adaptive.cc.o"
+  "CMakeFiles/smartred_redundancy.dir/adaptive.cc.o.d"
+  "CMakeFiles/smartred_redundancy.dir/analysis.cc.o"
+  "CMakeFiles/smartred_redundancy.dir/analysis.cc.o.d"
+  "CMakeFiles/smartred_redundancy.dir/calibration.cc.o"
+  "CMakeFiles/smartred_redundancy.dir/calibration.cc.o.d"
+  "CMakeFiles/smartred_redundancy.dir/credibility.cc.o"
+  "CMakeFiles/smartred_redundancy.dir/credibility.cc.o.d"
+  "CMakeFiles/smartred_redundancy.dir/estimator.cc.o"
+  "CMakeFiles/smartred_redundancy.dir/estimator.cc.o.d"
+  "CMakeFiles/smartred_redundancy.dir/iterative.cc.o"
+  "CMakeFiles/smartred_redundancy.dir/iterative.cc.o.d"
+  "CMakeFiles/smartred_redundancy.dir/iterative_naive.cc.o"
+  "CMakeFiles/smartred_redundancy.dir/iterative_naive.cc.o.d"
+  "CMakeFiles/smartred_redundancy.dir/montecarlo.cc.o"
+  "CMakeFiles/smartred_redundancy.dir/montecarlo.cc.o.d"
+  "CMakeFiles/smartred_redundancy.dir/progressive.cc.o"
+  "CMakeFiles/smartred_redundancy.dir/progressive.cc.o.d"
+  "CMakeFiles/smartred_redundancy.dir/self_tuning.cc.o"
+  "CMakeFiles/smartred_redundancy.dir/self_tuning.cc.o.d"
+  "CMakeFiles/smartred_redundancy.dir/tally.cc.o"
+  "CMakeFiles/smartred_redundancy.dir/tally.cc.o.d"
+  "CMakeFiles/smartred_redundancy.dir/traditional.cc.o"
+  "CMakeFiles/smartred_redundancy.dir/traditional.cc.o.d"
+  "CMakeFiles/smartred_redundancy.dir/weighted.cc.o"
+  "CMakeFiles/smartred_redundancy.dir/weighted.cc.o.d"
+  "libsmartred_redundancy.a"
+  "libsmartred_redundancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartred_redundancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

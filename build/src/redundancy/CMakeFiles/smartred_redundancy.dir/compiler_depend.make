@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for smartred_redundancy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartred_sat.dir/decompose.cc.o"
+  "CMakeFiles/smartred_sat.dir/decompose.cc.o.d"
+  "CMakeFiles/smartred_sat.dir/formula.cc.o"
+  "CMakeFiles/smartred_sat.dir/formula.cc.o.d"
+  "CMakeFiles/smartred_sat.dir/generator.cc.o"
+  "CMakeFiles/smartred_sat.dir/generator.cc.o.d"
+  "CMakeFiles/smartred_sat.dir/sat_workload.cc.o"
+  "CMakeFiles/smartred_sat.dir/sat_workload.cc.o.d"
+  "libsmartred_sat.a"
+  "libsmartred_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartred_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartred_sim.dir/simulator.cc.o"
+  "CMakeFiles/smartred_sim.dir/simulator.cc.o.d"
+  "libsmartred_sim.a"
+  "libsmartred_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartred_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

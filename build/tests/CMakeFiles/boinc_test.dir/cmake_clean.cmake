@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boinc_test.dir/boinc_test.cc.o"
+  "CMakeFiles/boinc_test.dir/boinc_test.cc.o.d"
+  "boinc_test"
+  "boinc_test.pdb"
+  "boinc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boinc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

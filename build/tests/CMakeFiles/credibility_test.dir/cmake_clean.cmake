@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/credibility_test.dir/credibility_test.cc.o"
+  "CMakeFiles/credibility_test.dir/credibility_test.cc.o.d"
+  "credibility_test"
+  "credibility_test.pdb"
+  "credibility_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/credibility_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampling_bias_test.dir/sampling_bias_test.cc.o"
+  "CMakeFiles/sampling_bias_test.dir/sampling_bias_test.cc.o.d"
+  "sampling_bias_test"
+  "sampling_bias_test.pdb"
+  "sampling_bias_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampling_bias_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/self_tuning_test.dir/self_tuning_test.cc.o"
+  "CMakeFiles/self_tuning_test.dir/self_tuning_test.cc.o.d"
+  "self_tuning_test"
+  "self_tuning_test.pdb"
+  "self_tuning_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/self_tuning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tally_test.dir/tally_test.cc.o"
+  "CMakeFiles/tally_test.dir/tally_test.cc.o.d"
+  "tally_test"
+  "tally_test.pdb"
+  "tally_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tally_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

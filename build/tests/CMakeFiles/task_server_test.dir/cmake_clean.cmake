@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/task_server_test.dir/task_server_test.cc.o"
+  "CMakeFiles/task_server_test.dir/task_server_test.cc.o.d"
+  "task_server_test"
+  "task_server_test.pdb"
+  "task_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/task_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

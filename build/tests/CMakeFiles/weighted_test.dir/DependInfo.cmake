@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/weighted_test.cc" "tests/CMakeFiles/weighted_test.dir/weighted_test.cc.o" "gcc" "tests/CMakeFiles/weighted_test.dir/weighted_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/smartred_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/smartred_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/smartred_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/redundancy/CMakeFiles/smartred_redundancy.dir/DependInfo.cmake"
+  "/root/repo/build/src/dca/CMakeFiles/smartred_dca.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/smartred_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/boinc/CMakeFiles/smartred_boinc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/smartred_mapreduce.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
