@@ -43,6 +43,33 @@ class StreamingStats {
   double max_ = 0.0;
 };
 
+/// Streaming quantile estimator: the P² algorithm (Jain & Chlamtac 1985).
+/// Tracks one quantile of a data stream in O(1) memory and O(1) time per
+/// observation by maintaining five markers whose heights approximate the
+/// quantile curve with piecewise-parabolic interpolation. Deterministic:
+/// the estimate depends only on the observation sequence.
+class P2Quantile {
+ public:
+  /// Requires quantile strictly inside (0, 1).
+  explicit P2Quantile(double quantile);
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  /// Current estimate of the tracked quantile. Until five observations have
+  /// arrived this is the exact sample quantile of what has been seen.
+  /// Requires count() > 0.
+  [[nodiscard]] double estimate() const;
+
+ private:
+  double quantile_;
+  std::size_t count_ = 0;
+  double heights_[5] = {};        ///< marker heights (sorted)
+  double positions_[5] = {};      ///< actual marker positions (1-based)
+  double desired_[5] = {};        ///< desired marker positions
+  double increments_[5] = {};     ///< per-observation desired-position steps
+};
+
 /// A closed interval [lo, hi], as returned by the interval estimators.
 struct Interval {
   double lo = 0.0;

@@ -1,0 +1,43 @@
+#include "dca/deadline.h"
+
+#include "common/expect.h"
+
+namespace smartred::dca {
+
+DeadlineEstimator::DeadlineEstimator(double quantile, double multiplier,
+                                     double fallback, std::size_t warmup)
+    : quantile_(quantile),
+      multiplier_(multiplier),
+      fallback_(fallback),
+      warmup_(warmup) {
+  SMARTRED_EXPECT(quantile > 0.0 && quantile < 1.0,
+                  "deadline quantile must be strictly inside (0, 1)");
+  SMARTRED_EXPECT(multiplier >= 1.0, "deadline multiplier must be >= 1");
+  SMARTRED_EXPECT(fallback > 0.0, "fallback timeout must be positive");
+  SMARTRED_EXPECT(warmup > 0, "warmup must be at least one observation");
+}
+
+void DeadlineEstimator::observe(double weight, double elapsed) {
+  SMARTRED_EXPECT(elapsed >= 0.0, "completion time cannot be negative");
+  auto found = buckets_.find(weight);
+  if (found == buckets_.end()) {
+    found = buckets_.emplace(weight, stats::P2Quantile(quantile_)).first;
+  }
+  found->second.add(elapsed);
+  ++observations_;
+}
+
+bool DeadlineEstimator::warmed(double weight) const {
+  const auto found = buckets_.find(weight);
+  return found != buckets_.end() && found->second.count() >= warmup_;
+}
+
+double DeadlineEstimator::deadline(double weight) const {
+  const auto found = buckets_.find(weight);
+  if (found == buckets_.end() || found->second.count() < warmup_) {
+    return fallback_;
+  }
+  return multiplier_ * found->second.estimate();
+}
+
+}  // namespace smartred::dca

@@ -1,0 +1,59 @@
+// Adaptive re-issue deadlines.
+//
+// The DCA's only original defence against unresponsive nodes was a single
+// fixed timeout. That is the wrong tool for heavy-tailed pools: a timeout
+// tight enough to catch stragglers misfires constantly, one loose enough
+// never to misfire lets one slow node pin a task for tens of time units.
+// DeadlineEstimator instead tracks a streaming quantile (P², O(1) memory)
+// of observed attempt completion times, bucketed by workload work weight —
+// heavier tasks legitimately take longer — and derives the deadline as
+// `multiplier` times the running quantile estimate. Until a bucket has
+// `warmup` observations the configured fixed timeout is used as fallback.
+//
+// Censoring caveat: attempts that never complete (silent nodes) are by
+// construction absent from the sample, which biases the quantile low; the
+// multiplier exists to absorb exactly that bias, and the speculative
+// re-execution layer makes a too-tight deadline cost only a duplicate job,
+// never a lost vote.
+#pragma once
+
+#include <cstddef>
+#include <map>
+
+#include "common/stats.h"
+
+namespace smartred::dca {
+
+class DeadlineEstimator {
+ public:
+  /// Requires quantile in (0, 1), multiplier >= 1, fallback > 0.
+  DeadlineEstimator(double quantile, double multiplier, double fallback,
+                    std::size_t warmup);
+
+  /// Records the observed completion time of one attempt of a job with the
+  /// given work weight.
+  void observe(double weight, double elapsed);
+
+  /// Current deadline for jobs of the given work weight: multiplier times
+  /// the quantile estimate once that weight's bucket is warmed up, the
+  /// fixed fallback before.
+  [[nodiscard]] double deadline(double weight) const;
+
+  /// Whether the bucket for `weight` has at least `warmup` observations.
+  [[nodiscard]] bool warmed(double weight) const;
+
+  [[nodiscard]] std::size_t observations() const { return observations_; }
+
+ private:
+  double quantile_;
+  double multiplier_;
+  double fallback_;
+  std::size_t warmup_;
+  std::size_t observations_ = 0;
+  /// Ordered map keyed by exact work weight: deterministic iteration and a
+  /// handful of distinct weights in practice (the synthetic workload has
+  /// one; heterogeneous workloads a few).
+  std::map<double, stats::P2Quantile> buckets_;
+};
+
+}  // namespace smartred::dca

@@ -20,13 +20,20 @@ struct RunMetrics {
   std::uint64_t jobs_correct = 0;    ///< completed jobs whose vote was right
   std::uint64_t jobs_lost = 0;       ///< silent node, departure, or deadline
   std::uint64_t jobs_discarded = 0;  ///< finished after its task had settled
+                                     ///< or lost the race to a speculative
+                                     ///< sibling
   std::uint64_t jobs_unrun = 0;      ///< still queued when the run ended
+  std::uint64_t jobs_speculative = 0; ///< extra copies launched on deadline
+  std::uint64_t jobs_timed_out = 0;  ///< deadline expiries on running copies
   std::uint64_t nodes_joined = 0;
   std::uint64_t nodes_left = 0;
+  std::uint64_t nodes_quarantined = 0;  ///< quarantine events (not distinct)
+  std::uint64_t nodes_readmitted = 0;   ///< quarantine backoffs that expired
   int max_jobs_single_task = 0;
   stats::StreamingStats jobs_per_task;
   stats::StreamingStats waves_per_task;
   stats::StreamingStats response_time;  ///< first dispatch -> acceptance
+  stats::StreamingStats deadline_estimate;  ///< deadline armed per attempt
   sim::Time makespan = 0.0;             ///< simulated time to finish all tasks
 
   /// Average jobs per task, counting re-issues — the measured cost factor.

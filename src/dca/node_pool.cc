@@ -33,7 +33,7 @@ std::optional<redundancy::NodeId> NodePool::acquire_random(rng::Stream& rng) {
 
 void NodePool::remove_from_idle(redundancy::NodeId node) {
   Record& record = records_.at(node);
-  SMARTRED_EXPECT(!record.busy, "node is not idle");
+  SMARTRED_EXPECT(!record.busy && !record.quarantined, "node is not idle");
   const std::size_t slot = record.idle_slot;
   const redundancy::NodeId moved = idle_.back();
   idle_[slot] = moved;
@@ -54,8 +54,13 @@ void NodePool::release(redundancy::NodeId node) {
 bool NodePool::leave(redundancy::NodeId node) {
   const auto found = records_.find(node);
   SMARTRED_EXPECT(found != records_.end(), "leave() of an unknown node");
-  const bool was_busy = found->second.busy;
-  if (!was_busy) remove_from_idle(node);
+  const Record& record = found->second;
+  const bool was_busy = record.busy;
+  if (record.quarantined) {
+    --quarantined_;
+  } else if (!was_busy) {
+    remove_from_idle(node);
+  }
   records_.erase(found);
   return was_busy;
 }
@@ -77,6 +82,54 @@ double NodePool::speed(redundancy::NodeId node) const {
   const auto found = records_.find(node);
   SMARTRED_EXPECT(found != records_.end(), "speed() of an unknown node");
   return found->second.speed;
+}
+
+int NodePool::add_strike(redundancy::NodeId node) {
+  const auto found = records_.find(node);
+  SMARTRED_EXPECT(found != records_.end(), "add_strike() of an unknown node");
+  return ++found->second.strikes;
+}
+
+void NodePool::clear_strikes(redundancy::NodeId node) {
+  const auto found = records_.find(node);
+  SMARTRED_EXPECT(found != records_.end(),
+                  "clear_strikes() of an unknown node");
+  found->second.strikes = 0;
+}
+
+int NodePool::quarantine(redundancy::NodeId node) {
+  const auto found = records_.find(node);
+  SMARTRED_EXPECT(found != records_.end(), "quarantine() of an unknown node");
+  Record& record = found->second;
+  SMARTRED_EXPECT(!record.quarantined, "node is already quarantined");
+  if (record.busy) {
+    record.busy = false;  // its in-flight attempt is the caller's problem
+  } else {
+    remove_from_idle(node);
+  }
+  record.quarantined = true;
+  record.strikes = 0;
+  ++quarantined_;
+  return ++record.quarantine_rounds;
+}
+
+bool NodePool::readmit(redundancy::NodeId node) {
+  const auto found = records_.find(node);
+  if (found == records_.end()) return false;  // churned out while sidelined
+  Record& record = found->second;
+  SMARTRED_EXPECT(record.quarantined, "readmit() of a node not quarantined");
+  record.quarantined = false;
+  record.idle_slot = idle_.size();
+  idle_.push_back(node);
+  --quarantined_;
+  return true;
+}
+
+bool NodePool::is_quarantined(redundancy::NodeId node) const {
+  const auto found = records_.find(node);
+  SMARTRED_EXPECT(found != records_.end(),
+                  "is_quarantined() of an unknown node");
+  return found->second.quarantined;
 }
 
 }  // namespace smartred::dca

@@ -1,6 +1,9 @@
 // The node pool of Figure 1: volunteer nodes that are selected at random,
 // perform one job at a time, rejoin the pool afterwards, and may join or
-// leave at any time.
+// leave at any time. Nodes that repeatedly miss deadlines can additionally
+// be *quarantined* — sidelined from the assignment rotation while staying
+// in the pool — so a pool poisoned by slow or flaky volunteers degrades
+// gracefully instead of re-sampling the same bad nodes.
 #pragma once
 
 #include <cstdint>
@@ -14,7 +17,7 @@
 namespace smartred::dca {
 
 /// Pool of volunteer nodes with O(1) uniform-random selection among idle
-/// nodes (index-swap trick) and support for churn.
+/// nodes (index-swap trick) and support for churn and quarantine.
 class NodePool {
  public:
   /// Creates `initial_nodes` nodes with speeds drawn from `speed_sampler`
@@ -26,7 +29,7 @@ class NodePool {
   redundancy::NodeId join(double speed = 1.0);
 
   /// Picks a uniformly random idle node, marks it busy, and returns its id;
-  /// nullopt when every live node is busy.
+  /// nullopt when every live node is busy or quarantined.
   [[nodiscard]] std::optional<redundancy::NodeId> acquire_random(
       rng::Stream& rng);
 
@@ -39,24 +42,55 @@ class NodePool {
   /// whether the node was busy. Requires the node to be present.
   bool leave(redundancy::NodeId node);
 
-  /// Picks a uniformly random live node (idle or busy) — used to choose a
-  /// churn victim. nullopt when the pool is empty.
+  /// Picks a uniformly random live node (idle, busy, or quarantined) — used
+  /// to choose a churn victim. nullopt when the pool is empty.
   [[nodiscard]] std::optional<redundancy::NodeId> pick_any(rng::Stream& rng);
 
   /// Speed multiplier of a live node. Requires the node to be present.
   [[nodiscard]] double speed(redundancy::NodeId node) const;
 
+  // --- Quarantine: strike bookkeeping and sidelining -----------------------
+
+  /// Records one deadline strike against a live node (missed deadline or
+  /// silent failure). Returns the node's current consecutive-strike count.
+  int add_strike(redundancy::NodeId node);
+
+  /// Clears a live node's strikes (it met its deadline).
+  void clear_strikes(redundancy::NodeId node);
+
+  /// Sidelines a live node: it is taken out of the assignment rotation but
+  /// remains in the pool (and can still churn out). Works on idle and busy
+  /// nodes alike — a busy node's in-flight attempt is the caller's problem,
+  /// exactly as with leave(). Resets the strike count and increments the
+  /// node's quarantine round (which drives the caller's backoff schedule).
+  /// Returns the new round number (1 for the first quarantine). Requires
+  /// the node to be present and not already quarantined.
+  int quarantine(redundancy::NodeId node);
+
+  /// Returns a quarantined node to the idle rotation. Returns false when
+  /// the node has meanwhile left the pool (churn) — a no-op in that case.
+  /// Requires the node, if present, to be quarantined.
+  bool readmit(redundancy::NodeId node);
+
+  /// Whether a live node is currently quarantined. Requires the node to be
+  /// present.
+  [[nodiscard]] bool is_quarantined(redundancy::NodeId node) const;
+
   [[nodiscard]] std::size_t live_count() const { return records_.size(); }
   [[nodiscard]] std::size_t idle_count() const { return idle_.size(); }
+  [[nodiscard]] std::size_t quarantined_count() const { return quarantined_; }
   [[nodiscard]] std::size_t busy_count() const {
-    return records_.size() - idle_.size();
+    return records_.size() - idle_.size() - quarantined_;
   }
 
  private:
   struct Record {
     double speed = 1.0;
     bool busy = false;
-    /// Position in idle_ when not busy; meaningless otherwise.
+    bool quarantined = false;
+    int strikes = 0;            ///< consecutive deadline strikes
+    int quarantine_rounds = 0;  ///< times this node has been quarantined
+    /// Position in idle_ when idle (not busy, not quarantined).
     std::size_t idle_slot = 0;
   };
 
@@ -65,6 +99,7 @@ class NodePool {
   redundancy::NodeId next_id_ = 0;
   std::unordered_map<redundancy::NodeId, Record> records_;
   std::vector<redundancy::NodeId> idle_;
+  std::size_t quarantined_ = 0;
 };
 
 }  // namespace smartred::dca

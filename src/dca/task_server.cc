@@ -29,7 +29,34 @@ TaskServer::TaskServer(sim::Simulator& simulator, const DcaConfig& config,
                   "silent probability must be in [0, 1)");
   SMARTRED_EXPECT(config.silent_prob == 0.0 || config.timeout > 0.0,
                   "silent nodes require a positive re-issue timeout");
+  SMARTRED_EXPECT(config.churn.leave_rate <= 0.0 || config.timeout > 0.0,
+                  "churn can lose jobs and requires a positive re-issue "
+                  "timeout");
   SMARTRED_EXPECT(config.max_jobs_per_task > 0, "job cap must be positive");
+  SMARTRED_EXPECT(!config.speculation.enabled || config.timeout > 0.0,
+                  "speculation needs a deadline: set a positive timeout "
+                  "(the adaptive estimator's fallback)");
+  SMARTRED_EXPECT(config.speculation.max_copies >= 0,
+                  "speculative copy cap cannot be negative");
+  if (config.quarantine.enabled) {
+    SMARTRED_EXPECT(config.quarantine.strike_threshold >= 1,
+                    "quarantine needs a strike threshold of at least one");
+    SMARTRED_EXPECT(config.quarantine.backoff_base > 0.0,
+                    "quarantine backoff base must be positive");
+    SMARTRED_EXPECT(config.quarantine.backoff_factor >= 1.0,
+                    "quarantine backoff factor must be >= 1");
+    SMARTRED_EXPECT(config.quarantine.backoff_cap >=
+                        config.quarantine.backoff_base,
+                    "quarantine backoff cap must be >= the base");
+  }
+  if (config.deadline.adaptive) {
+    SMARTRED_EXPECT(config.timeout > 0.0,
+                    "adaptive deadlines need the fixed timeout as the "
+                    "pre-warmup fallback");
+    // Parameter ranges are validated by the estimator itself.
+    deadline_.emplace(config.deadline.quantile, config.deadline.multiplier,
+                      config.timeout, config.deadline.warmup);
+  }
 }
 
 const RunMetrics& TaskServer::run() {
@@ -56,18 +83,18 @@ const RunMetrics& TaskServer::run() {
   metrics_.jobs_unrun = job_queue_.size();
   SMARTRED_ENSURE(metrics_.jobs_conserved(),
                   "every dispatched job must reach a terminal state");
-  metrics_.makespan = simulator_.now();
+  if (task_count == 0) metrics_.makespan = simulator_.now();
   return metrics_;
 }
 
-void TaskServer::enqueue_job(std::uint64_t task, QueuedJob job,
-                             bool prioritized) {
+void TaskServer::enqueue_copy(std::uint64_t job, std::uint64_t task,
+                              double carried_work, bool prioritized) {
   ++tasks_[task].jobs_started;
   ++metrics_.jobs_dispatched;
   if (prioritized && config_.queue_policy == QueuePolicy::kStartedTasksFirst) {
-    job_queue_.push_front(job);
+    job_queue_.push_front(QueuedJob{job, task, carried_work});
   } else {
-    job_queue_.push_back(job);
+    job_queue_.push_back(QueuedJob{job, task, carried_work});
   }
 }
 
@@ -79,7 +106,12 @@ void TaskServer::enqueue_wave(std::uint64_t task, int jobs) {
   // started-tasks-first policy.
   const bool prioritized = state.waves > 1;
   for (int j = 0; j < jobs; ++j) {
-    enqueue_job(task, QueuedJob{task, -1.0}, prioritized);
+    const std::uint64_t job = next_job_id_++;
+    LogicalJob logical;
+    logical.task = task;
+    logical.copies = 1;
+    jobs_.emplace(job, logical);
+    enqueue_copy(job, task, /*carried_work=*/-1.0, prioritized);
   }
 }
 
@@ -93,44 +125,140 @@ void TaskServer::assign_available() {
   }
 }
 
+double TaskServer::effective_deadline(std::uint64_t task) const {
+  if (deadline_.has_value()) {
+    return deadline_->deadline(workload_.job_work(task));
+  }
+  return config_.timeout;
+}
+
 void TaskServer::start_job(const QueuedJob& job, redundancy::NodeId node) {
   const std::uint64_t task = job.task;
+  const std::uint64_t job_id = job.job;
   TaskState& state = tasks_[task];
   if (!state.started) {
     state.started = true;
     state.first_dispatch = simulator_.now();
   }
+  const double deadline = effective_deadline(task);
+  if (deadline_.has_value()) metrics_.deadline_estimate.add(deadline);
   if (config_.silent_prob > 0.0 && rng_fault_.bernoulli(config_.silent_prob)) {
-    // The node never reports: it is treated as crashed (§2.2) and its job
-    // is re-issued once the deadline passes. Nothing was computed, so no
-    // checkpointed work carries over.
-    pool_.leave(node);
-    simulator_.schedule(config_.timeout,
-                        [this, task] { job_lost(task, -1.0); });
+    // The node never reports. Without quarantine it is treated as crashed
+    // (§2.2) and removed; with quarantine it is sidelined as transiently
+    // unresponsive and re-admitted after backoff. Either way the copy is
+    // declared lost once the deadline passes and nothing was computed, so
+    // no checkpointed work carries over.
+    if (config_.quarantine.enabled) {
+      quarantine_node(node);
+    } else {
+      pool_.leave(node);
+    }
+    simulator_.schedule(deadline, [this, job_id] {
+      ++metrics_.jobs_timed_out;
+      copy_lost(job_id, -1.0);
+    });
     return;
   }
   const double speed = pool_.speed(node);
-  // Fresh jobs draw their work; checkpoint-resumed jobs carry theirs.
-  const double work = job.carried_work >= 0.0
-                          ? job.carried_work
-                          : rng_duration_.uniform(config_.duration_lo,
-                                                  config_.duration_hi) *
-                                workload_.job_work(task);
+  // Fresh copies draw their work; checkpoint-resumed copies carry theirs.
+  double work = job.carried_work;
+  if (work < 0.0) {
+    const double base =
+        config_.latency != nullptr
+            ? config_.latency->sample(node, task, rng_duration_)
+            : rng_duration_.uniform(config_.duration_lo, config_.duration_hi);
+    work = base * workload_.job_work(task);
+  }
   const double duration = work / speed;
   const sim::EventId event = simulator_.schedule(
-      duration, [this, task, node] { complete_job(task, node); });
-  inflight_.emplace(node,
-                    InFlight{event, task, simulator_.now(), duration, speed});
+      duration, [this, job_id, node] { complete_job(job_id, node); });
+  inflight_.emplace(node, InFlight{event, job_id, task, simulator_.now(),
+                                   duration, speed, deadline});
+  maybe_arm_speculation(job_id);
 }
 
-void TaskServer::complete_job(std::uint64_t task, redundancy::NodeId node) {
-  inflight_.erase(node);
+void TaskServer::maybe_arm_speculation(std::uint64_t job) {
+  if (!config_.speculation.enabled) return;
+  LogicalJob& logical = jobs_.at(job);
+  if (logical.resolved || logical.spec_armed) return;
+  if (logical.speculative >= config_.speculation.max_copies) return;
+  const double deadline = effective_deadline(logical.task);
+  if (deadline <= 0.0) return;
+  logical.spec_armed = true;
+  logical.spec_timer =
+      simulator_.schedule(deadline, [this, job] { speculate(job); });
+}
+
+void TaskServer::speculate(std::uint64_t job) {
+  const auto found = jobs_.find(job);
+  if (found == jobs_.end()) return;  // settled and cleaned up meanwhile
+  LogicalJob& logical = found->second;
+  logical.spec_armed = false;
+  TaskState& state = tasks_[logical.task];
+  if (logical.resolved || state.decided) return;
+  // The copy is past its deadline and still running: back it up with a
+  // speculative copy on a fresh node. The original keeps running — the
+  // first finisher casts the vote, the loser is discarded.
+  ++metrics_.jobs_timed_out;
+  if (state.jobs_started >= config_.max_jobs_per_task) return;
+  ++logical.speculative;
+  ++logical.copies;
+  ++metrics_.jobs_speculative;
+  enqueue_copy(job, logical.task, /*carried_work=*/-1.0, /*prioritized=*/true);
+  assign_available();
+}
+
+void TaskServer::judge_completion(redundancy::NodeId node, bool late) {
+  if (!config_.quarantine.enabled) return;
+  if (!late) {
+    pool_.clear_strikes(node);
+    return;
+  }
+  if (pool_.add_strike(node) >= config_.quarantine.strike_threshold) {
+    quarantine_node(node);
+  }
+}
+
+void TaskServer::quarantine_node(redundancy::NodeId node) {
+  const int round = pool_.quarantine(node);
+  ++metrics_.nodes_quarantined;
+  const double backoff =
+      std::min(config_.quarantine.backoff_cap,
+               config_.quarantine.backoff_base *
+                   std::pow(config_.quarantine.backoff_factor,
+                            static_cast<double>(round - 1)));
+  simulator_.schedule(backoff, [this, node] {
+    if (pool_.readmit(node)) {
+      ++metrics_.nodes_readmitted;
+      assign_available();
+    }
+  });
+}
+
+void TaskServer::complete_job(std::uint64_t job, redundancy::NodeId node) {
+  const auto flight_it = inflight_.find(node);
+  SMARTRED_ENSURE(flight_it != inflight_.end(),
+                  "completion without an in-flight record");
+  const InFlight flight = flight_it->second;
+  inflight_.erase(flight_it);
   pool_.release(node);
+  const auto job_it = jobs_.find(job);
+  SMARTRED_ENSURE(job_it != jobs_.end(), "completion of an unknown job");
+  LogicalJob& logical = job_it->second;
+  --logical.copies;
+  const std::uint64_t task = logical.task;
   TaskState& state = tasks_[task];
-  if (state.decided) {
-    // Result of a job that outlived its task (the task was aborted); the
-    // vote is discarded but the node is back in the pool.
+  const double elapsed = simulator_.now() - flight.started;
+  if (deadline_.has_value()) {
+    deadline_->observe(workload_.job_work(task), elapsed);
+  }
+  judge_completion(node, flight.deadline > 0.0 && elapsed > flight.deadline);
+  if (state.decided || logical.resolved) {
+    // This copy outlived its purpose: the task settled without it, or a
+    // sibling copy won the race. The vote is discarded but the node is
+    // back in the pool.
     ++metrics_.jobs_discarded;
+    if (logical.copies == 0) jobs_.erase(job_it);
     assign_available();
     return;
   }
@@ -140,24 +268,40 @@ void TaskServer::complete_job(std::uint64_t task, redundancy::NodeId node) {
       failures_.report(node, task, correct, rng_fault_);
   if (value == correct) ++metrics_.jobs_correct;
   state.votes.push_back(redundancy::Vote{node, value});
+  logical.resolved = true;
+  if (logical.spec_armed) {
+    simulator_.cancel(logical.spec_timer);
+    logical.spec_armed = false;
+  }
+  if (logical.copies == 0) jobs_.erase(job_it);
   --state.outstanding;
   if (state.outstanding == 0) consult_strategy(task);
   assign_available();
 }
 
-void TaskServer::job_lost(std::uint64_t task, double carried_work) {
-  TaskState& state = tasks_[task];
+void TaskServer::copy_lost(std::uint64_t job, double carried_work) {
+  const auto job_it = jobs_.find(job);
+  SMARTRED_ENSURE(job_it != jobs_.end(), "lost copy of an unknown job");
+  LogicalJob& logical = job_it->second;
+  --logical.copies;
   ++metrics_.jobs_lost;
-  if (state.decided) return;
-  if (state.jobs_started >= config_.max_jobs_per_task) {
-    abort_task(task);
+  TaskState& state = tasks_[logical.task];
+  if (state.decided || logical.resolved) {
+    if (logical.copies == 0) jobs_.erase(job_it);
     return;
   }
-  // Replace the lost job: one new dispatch, same wave (outstanding already
-  // accounts for the lost job, which will never resolve). Replacements
-  // jump the queue under the started-tasks-first policy, and resume from
-  // the last checkpoint when checkpointing is on.
-  enqueue_job(task, QueuedJob{task, carried_work}, /*prioritized=*/true);
+  if (state.jobs_started >= config_.max_jobs_per_task) {
+    abort_task(logical.task);
+    if (logical.copies == 0) jobs_.erase(job_it);
+    return;
+  }
+  // A speculative sibling may still be racing; only when the last copy is
+  // gone does the job need a replacement. Replacements jump the queue under
+  // the started-tasks-first policy, and resume from the last checkpoint
+  // when checkpointing is on.
+  if (logical.copies > 0) return;
+  ++logical.copies;  // the queued replacement counts until it terminates
+  enqueue_copy(job, logical.task, carried_work, /*prioritized=*/true);
   assign_available();
 }
 
@@ -195,6 +339,9 @@ void TaskServer::finish_task(std::uint64_t task,
   if (state.started) {
     metrics_.response_time.add(simulator_.now() - state.first_dispatch);
   }
+  // The last decision marks the end of useful work; trailing events
+  // (discarded stragglers, quarantine re-admissions) do not extend it.
+  if (undecided_ == 0) metrics_.makespan = simulator_.now();
   state.strategy.reset();
   state.votes.clear();
   state.votes.shrink_to_fit();
@@ -208,6 +355,7 @@ void TaskServer::abort_task(std::uint64_t task) {
   --undecided_;
   ++metrics_.tasks_aborted;
   record_task_metrics(state);
+  if (undecided_ == 0) metrics_.makespan = simulator_.now();
   state.strategy.reset();
   state.votes.clear();
   state.votes.shrink_to_fit();
@@ -256,7 +404,7 @@ void TaskServer::churn_leave() {
   ++metrics_.nodes_left;
   const bool was_busy = pool_.leave(*victim);
   if (!was_busy) return;
-  // The departing volunteer abandons its in-flight job (if the job was a
+  // The departing volunteer abandons its in-flight copy (if the copy was a
   // silent crash there is no in-flight record; its re-issue timer is
   // already armed).
   const auto found = inflight_.find(*victim);
@@ -276,7 +424,7 @@ void TaskServer::churn_leave() {
     carried_work = (flight.duration - checkpointed) * flight.speed;
     SMARTRED_ENSURE(carried_work >= 0.0, "carried work cannot be negative");
   }
-  job_lost(flight.task, carried_work);
+  copy_lost(flight.job, carried_work);
 }
 
 }  // namespace smartred::dca

@@ -5,22 +5,35 @@
 //
 // This is the DES-backed execution substrate used for the XDEVS experiments
 // (Figures 5(a) and 6): job durations are uniform in
-// [duration_lo, duration_hi] scaled by workload weight over node speed, a
+// [duration_lo, duration_hi] scaled by workload weight over node speed
+// (pluggable via fault::LatencyModel for heavy-tailed straggler regimes), a
 // wave's jobs run in parallel on distinct nodes, and a task's response time
 // runs from its first job assignment to its acceptance.
+//
+// Straggler resilience (all opt-in, off by default):
+//  - adaptive deadlines: a streaming quantile of observed completion times
+//    per workload weight replaces the single fixed `timeout`;
+//  - speculative re-execution: a job that exceeds its deadline is re-issued
+//    on a fresh node without cancelling the original — the first completed
+//    attempt produces the vote and the loser is discarded;
+//  - node quarantine: nodes that repeatedly miss deadlines (or go silent)
+//    are sidelined with capped-exponential-backoff re-admission.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "common/rng.h"
+#include "dca/deadline.h"
 #include "dca/metrics.h"
 #include "dca/node_pool.h"
 #include "dca/workload.h"
 #include "fault/failure_model.h"
+#include "fault/latency_model.h"
 #include "redundancy/strategy.h"
 #include "sim/simulator.h"
 
@@ -45,19 +58,62 @@ enum class QueuePolicy {
   kStartedTasksFirst,
 };
 
+/// Adaptive re-issue deadlines (see dca/deadline.h). When enabled, the
+/// per-job deadline is `multiplier` times the running `quantile` estimate
+/// of observed completion times for the job's work weight; the fixed
+/// `DcaConfig::timeout` remains as the fallback until `warmup` completions
+/// have been observed for that weight.
+struct DeadlineConfig {
+  bool adaptive = false;
+  double quantile = 0.95;
+  double multiplier = 2.0;
+  std::size_t warmup = 50;
+};
+
+/// Speculative re-execution: when a running job exceeds its deadline, up to
+/// `max_copies` extra copies are dispatched to fresh nodes without
+/// cancelling the original. The first completed copy produces the task's
+/// vote; later copies are discarded (counted in `jobs_discarded`).
+struct SpeculationConfig {
+  bool enabled = false;
+  int max_copies = 1;  ///< concurrent speculative copies per job
+};
+
+/// Node quarantine: a node accumulating `strike_threshold` consecutive
+/// deadline misses — completions slower than the armed deadline — is
+/// sidelined from the assignment rotation and re-admitted after a
+/// capped-exponential backoff (backoff_base * backoff_factor^(round-1),
+/// capped at backoff_cap). A node that goes silent is quarantined
+/// immediately (treated as transiently unresponsive) instead of being
+/// removed from the pool forever as in the paper's §2.2 crash model.
+struct QuarantineConfig {
+  bool enabled = false;
+  int strike_threshold = 3;
+  double backoff_base = 20.0;
+  double backoff_factor = 2.0;
+  double backoff_cap = 500.0;
+};
+
 struct DcaConfig {
   std::size_t nodes = 10'000;
   /// Base job duration bounds before speed scaling (paper: U[0.5, 1.5]).
+  /// Used when `latency` is null; a LatencyModel overrides them.
   double duration_lo = 0.5;
   double duration_hi = 1.5;
+  /// Optional pluggable base-duration model (heavy tails, slow nodes,
+  /// transient stalls — see fault/latency_model.h). Not owned; must outlive
+  /// the server. Null selects the paper's uniform draw.
+  fault::LatencyModel* latency = nullptr;
   /// Probability that a node silently never reports a result; such a node
   /// is treated as crashed (§2.2: unresponsive == failed) and its job is
-  /// re-issued after `timeout`.
+  /// re-issued after the deadline. With quarantine enabled the node is
+  /// sidelined and later re-admitted instead of removed permanently.
   double silent_prob = 0.0;
   /// Deadline after which an unreported job is re-issued. Must be positive
-  /// when silent_prob > 0 or churn can lose jobs.
+  /// when silent_prob > 0 or when churn can lose jobs (leave_rate > 0).
+  /// With adaptive deadlines this is the pre-warmup fallback.
   double timeout = 10.0;
-  /// Safety cap: a task reaching this many completed jobs is aborted and
+  /// Safety cap: a task reaching this many dispatched jobs is aborted and
   /// counted incorrect.
   int max_jobs_per_task = 100'000;
   ChurnConfig churn;
@@ -67,6 +123,9 @@ struct DcaConfig {
   /// re-issued with only the work after its last checkpoint remaining
   /// (related work [26]/[2] in §6) — fewer wasted cycles, same votes.
   double checkpoint_interval = 0.0;
+  DeadlineConfig deadline;
+  SpeculationConfig speculation;
+  QuarantineConfig quarantine;
   std::uint64_t seed = 1;
 };
 
@@ -98,9 +157,9 @@ class TaskServer {
   struct TaskState {
     std::unique_ptr<redundancy::RedundancyStrategy> strategy;
     std::vector<redundancy::Vote> votes;
-    int outstanding = 0;  ///< jobs dispatched but not yet resolved
+    int outstanding = 0;  ///< logical jobs dispatched but not yet voted
     int waves = 0;
-    int jobs_started = 0;  ///< dispatched jobs including re-issues
+    int jobs_started = 0;  ///< physical dispatches incl. re-issues + copies
     bool started = false;
     bool decided = false;
     bool aborted = false;
@@ -108,28 +167,46 @@ class TaskServer {
     redundancy::ResultValue accepted = 0;  ///< valid when decided && !aborted
   };
 
+  /// One logical job: the unit the strategy asked for, which exactly one
+  /// vote must eventually answer (or the task settles without it). May have
+  /// several physical copies racing: the original, lost-copy replacements,
+  /// and speculative re-executions.
+  struct LogicalJob {
+    std::uint64_t task = 0;
+    int copies = 0;       ///< physical copies queued, running, or silent
+    int speculative = 0;  ///< speculative copies launched so far
+    bool resolved = false;          ///< a copy completed and cast the vote
+    bool spec_armed = false;        ///< speculation timer pending
+    sim::EventId spec_timer{};
+  };
+
+  /// One running physical copy (keyed by the node executing it).
   struct InFlight {
     sim::EventId event;
+    std::uint64_t job = 0;      ///< logical job this copy belongs to
     std::uint64_t task = 0;
     sim::Time started = 0.0;
     double duration = 0.0;      ///< node-local duration of this attempt
     double speed = 1.0;         ///< speed of the node running it
+    double deadline = 0.0;      ///< armed deadline; <= 0 means none
   };
 
-  /// One queue entry. carried_work < 0 means a fresh job (duration drawn
-  /// at assignment); >= 0 means a checkpoint-resumed job with that much
+  /// One queue entry. carried_work < 0 means a fresh copy (duration drawn
+  /// at assignment); >= 0 means a checkpoint-resumed copy with that much
   /// speed-normalized work left.
   struct QueuedJob {
+    std::uint64_t job = 0;
     std::uint64_t task = 0;
     double carried_work = -1.0;
   };
 
-  void enqueue_job(std::uint64_t task, QueuedJob job, bool prioritized);
+  void enqueue_copy(std::uint64_t job, std::uint64_t task, double carried_work,
+                    bool prioritized);
   void enqueue_wave(std::uint64_t task, int jobs);
   void assign_available();
   void start_job(const QueuedJob& job, redundancy::NodeId node);
-  void complete_job(std::uint64_t task, redundancy::NodeId node);
-  void job_lost(std::uint64_t task, double carried_work);
+  void complete_job(std::uint64_t job, redundancy::NodeId node);
+  void copy_lost(std::uint64_t job, double carried_work);
   void consult_strategy(std::uint64_t task);
   void finish_task(std::uint64_t task, redundancy::ResultValue accepted);
   void abort_task(std::uint64_t task);
@@ -138,6 +215,20 @@ class TaskServer {
   void schedule_churn_leave();
   void churn_leave();
 
+  /// The current re-issue/speculation deadline for a copy of `task`:
+  /// adaptive estimate when enabled, else the fixed timeout (<= 0 = none).
+  [[nodiscard]] double effective_deadline(std::uint64_t task) const;
+  /// Arms the speculation timer for a logical job whose copy just started,
+  /// unless already armed, resolved, or out of speculative budget.
+  void maybe_arm_speculation(std::uint64_t job);
+  /// Deadline expired on a still-running copy: dispatch a speculative copy.
+  void speculate(std::uint64_t job);
+  /// Deadline verdict for a completed copy: a strike (and possibly
+  /// quarantine) when late, a clean slate when on time.
+  void judge_completion(redundancy::NodeId node, bool late);
+  /// Sidelines a node and schedules its backed-off re-admission.
+  void quarantine_node(redundancy::NodeId node);
+
   sim::Simulator& simulator_;
   DcaConfig config_;
   const redundancy::StrategyFactory& factory_;
@@ -145,10 +236,13 @@ class TaskServer {
   fault::FailureModel& failures_;
 
   NodePool pool_;
-  std::deque<QueuedJob> job_queue_;  ///< jobs awaiting a node
+  std::deque<QueuedJob> job_queue_;  ///< copies awaiting a node
   std::vector<TaskState> tasks_;
+  std::unordered_map<std::uint64_t, LogicalJob> jobs_;  ///< live logical jobs
   std::unordered_map<redundancy::NodeId, InFlight> inflight_;
+  std::uint64_t next_job_id_ = 0;
   std::uint64_t undecided_ = 0;
+  std::optional<DeadlineEstimator> deadline_;
 
   rng::Stream rng_assign_;
   rng::Stream rng_duration_;

@@ -1,0 +1,71 @@
+// Adaptive-deadline tests: fixed fallback before warmup, convergence to
+// multiplier * quantile afterwards, independent per-weight buckets.
+#include "dca/deadline.h"
+
+#include <gtest/gtest.h>
+
+#include "common/expect.h"
+#include "common/rng.h"
+
+namespace smartred::dca {
+namespace {
+
+TEST(DeadlineEstimatorTest, RejectsBadParameters) {
+  EXPECT_THROW(DeadlineEstimator(0.0, 2.0, 10.0, 5), PreconditionError);
+  EXPECT_THROW(DeadlineEstimator(1.0, 2.0, 10.0, 5), PreconditionError);
+  EXPECT_THROW(DeadlineEstimator(0.9, 0.5, 10.0, 5), PreconditionError);
+  EXPECT_THROW(DeadlineEstimator(0.9, 2.0, 0.0, 5), PreconditionError);
+}
+
+TEST(DeadlineEstimatorTest, FallsBackBeforeWarmup) {
+  DeadlineEstimator estimator(0.9, 2.0, 25.0, 10);
+  EXPECT_DOUBLE_EQ(estimator.deadline(1.0), 25.0);
+  for (int i = 0; i < 9; ++i) estimator.observe(1.0, 1.0);
+  EXPECT_FALSE(estimator.warmed(1.0));
+  EXPECT_DOUBLE_EQ(estimator.deadline(1.0), 25.0);
+  estimator.observe(1.0, 1.0);
+  EXPECT_TRUE(estimator.warmed(1.0));
+  EXPECT_EQ(estimator.observations(), 10u);
+}
+
+TEST(DeadlineEstimatorTest, ConvergesToScaledQuantile) {
+  // U[0.5, 1.5] completions: the 0.9-quantile is 1.4, so the deadline must
+  // approach multiplier * 1.4 = 2.8 — far below the fallback of 25.
+  DeadlineEstimator estimator(0.9, 2.0, 25.0, 50);
+  rng::Stream rng(61);
+  for (int i = 0; i < 20'000; ++i) {
+    estimator.observe(1.0, rng.uniform(0.5, 1.5));
+  }
+  EXPECT_NEAR(estimator.deadline(1.0), 2.8, 0.05);
+}
+
+TEST(DeadlineEstimatorTest, BucketsAreIndependentPerWeight) {
+  // Heavier tasks take proportionally longer; each weight's deadline must
+  // reflect its own completions, not a pooled mixture.
+  DeadlineEstimator estimator(0.5, 1.0, 25.0, 10);
+  rng::Stream rng(62);
+  for (int i = 0; i < 5'000; ++i) {
+    estimator.observe(1.0, rng.uniform(0.9, 1.1));
+    estimator.observe(4.0, rng.uniform(3.6, 4.4));
+  }
+  EXPECT_NEAR(estimator.deadline(1.0), 1.0, 0.05);
+  EXPECT_NEAR(estimator.deadline(4.0), 4.0, 0.2);
+  // An unseen weight still gets the fallback.
+  EXPECT_DOUBLE_EQ(estimator.deadline(2.0), 25.0);
+  EXPECT_FALSE(estimator.warmed(2.0));
+}
+
+TEST(DeadlineEstimatorTest, DeterministicForSameObservations) {
+  DeadlineEstimator a(0.95, 1.5, 10.0, 20);
+  DeadlineEstimator b(0.95, 1.5, 10.0, 20);
+  rng::Stream rng(63);
+  for (int i = 0; i < 2'000; ++i) {
+    const double x = rng.exponential(1.0);
+    a.observe(1.0, x);
+    b.observe(1.0, x);
+  }
+  EXPECT_DOUBLE_EQ(a.deadline(1.0), b.deadline(1.0));
+}
+
+}  // namespace
+}  // namespace smartred::dca

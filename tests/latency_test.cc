@@ -1,0 +1,158 @@
+// Latency-model tests: the paper-default uniform draw must be reproduced
+// bit-for-bit, the heavy-tailed models must have their nominal moments, and
+// per-node traits must be deterministic and query-order independent.
+#include "fault/latency_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/expect.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace smartred::fault {
+namespace {
+
+TEST(UniformLatencyTest, MatchesInlineDrawExactly) {
+  // The model must consume the stream identically to the inlined
+  // rng.uniform(lo, hi) it replaces, or seeded runs would shift.
+  UniformLatency model(0.5, 1.5);
+  rng::Stream a(97);
+  rng::Stream b(97);
+  for (int i = 0; i < 1'000; ++i) {
+    const double expected = a.uniform(0.5, 1.5);
+    const double got = model.sample(/*node=*/7, /*task=*/static_cast<
+                                        std::uint64_t>(i), b);
+    EXPECT_DOUBLE_EQ(got, expected);
+  }
+}
+
+TEST(UniformLatencyTest, RejectsBadRange) {
+  EXPECT_THROW(UniformLatency(0.0, 1.0), PreconditionError);
+  EXPECT_THROW(UniformLatency(2.0, 1.0), PreconditionError);
+}
+
+TEST(LognormalLatencyTest, MeanIsParameterized) {
+  // The mu shift makes E[X] equal the requested mean regardless of sigma.
+  LognormalLatency model(2.0, 1.0);
+  rng::Stream rng(98);
+  stats::StreamingStats stats;
+  for (int i = 0; i < 200'000; ++i) {
+    stats.add(model.sample(1, static_cast<std::uint64_t>(i), rng));
+  }
+  EXPECT_NEAR(stats.mean(), 2.0, 0.05);
+  EXPECT_GT(stats.min(), 0.0);
+}
+
+TEST(LognormalLatencyTest, SigmaZeroDegeneratesToConstant) {
+  LognormalLatency model(1.5, 0.0);
+  rng::Stream rng(99);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_NEAR(model.sample(1, static_cast<std::uint64_t>(i), rng), 1.5,
+                1e-12);
+  }
+}
+
+TEST(LognormalLatencyTest, RejectsBadParameters) {
+  EXPECT_THROW(LognormalLatency(0.0, 1.0), PreconditionError);
+  EXPECT_THROW(LognormalLatency(1.0, -0.1), PreconditionError);
+}
+
+TEST(ParetoLatencyTest, SamplesRespectScaleFloorAndMean) {
+  // Pareto(x_m, alpha): support [x_m, inf), mean x_m * alpha / (alpha - 1).
+  ParetoLatency model(0.5, 3.0);
+  rng::Stream rng(100);
+  stats::StreamingStats stats;
+  for (int i = 0; i < 200'000; ++i) {
+    stats.add(model.sample(1, static_cast<std::uint64_t>(i), rng));
+  }
+  EXPECT_GE(stats.min(), 0.5);
+  EXPECT_NEAR(stats.mean(), 0.5 * 3.0 / 2.0, 0.01);
+  // Heavy tail: the max dwarfs the mean.
+  EXPECT_GT(stats.max(), 10.0 * stats.mean());
+}
+
+TEST(ParetoLatencyTest, RejectsBadParameters) {
+  EXPECT_THROW(ParetoLatency(0.0, 2.0), PreconditionError);
+  EXPECT_THROW(ParetoLatency(1.0, 0.0), PreconditionError);
+}
+
+TEST(SlowNodeLatencyTest, DesignationIsOrderIndependent) {
+  // Two instances with the same seed stream must agree on which nodes are
+  // slow even when queried in opposite orders — the memoized fork-by-node
+  // scheme, as used by ReliabilityAssigner.
+  LognormalLatency base(1.0, 0.5);
+  SlowNodeLatency forward(base, 0.3, 4.0, rng::Stream(101));
+  SlowNodeLatency backward(base, 0.3, 4.0, rng::Stream(101));
+  for (redundancy::NodeId node = 0; node < 500; ++node) {
+    (void)forward.is_slow(node);
+  }
+  for (redundancy::NodeId node = 500; node-- > 0;) {
+    (void)backward.is_slow(node);
+  }
+  int slow = 0;
+  for (redundancy::NodeId node = 0; node < 500; ++node) {
+    EXPECT_EQ(forward.is_slow(node), backward.is_slow(node))
+        << "node " << node;
+    if (forward.is_slow(node)) ++slow;
+  }
+  EXPECT_NEAR(slow, 150, 50);  // ~30% of 500
+}
+
+TEST(SlowNodeLatencyTest, SlowNodesScaleTheBaseDraw) {
+  // With a constant base the designation is directly visible in the draw.
+  LognormalLatency base(1.0, 0.0);
+  SlowNodeLatency model(base, 0.5, 8.0, rng::Stream(102));
+  rng::Stream rng(103);
+  bool saw_slow = false;
+  bool saw_fast = false;
+  for (redundancy::NodeId node = 0; node < 100; ++node) {
+    const double draw = model.sample(node, 0, rng);
+    if (model.is_slow(node)) {
+      EXPECT_NEAR(draw, 8.0, 1e-9);
+      saw_slow = true;
+    } else {
+      EXPECT_NEAR(draw, 1.0, 1e-9);
+      saw_fast = true;
+    }
+  }
+  EXPECT_TRUE(saw_slow);
+  EXPECT_TRUE(saw_fast);
+}
+
+TEST(SlowNodeLatencyTest, RejectsBadParameters) {
+  LognormalLatency base(1.0, 0.5);
+  EXPECT_THROW(SlowNodeLatency(base, -0.1, 2.0, rng::Stream(1)),
+               PreconditionError);
+  EXPECT_THROW(SlowNodeLatency(base, 1.5, 2.0, rng::Stream(1)),
+               PreconditionError);
+  EXPECT_THROW(SlowNodeLatency(base, 0.5, 0.5, rng::Stream(1)),
+               PreconditionError);
+}
+
+TEST(TransientStallLatencyTest, StallProbabilityBoundsTheDelay) {
+  LognormalLatency base(1.0, 0.0);
+  TransientStallLatency never(base, 0.0, 5.0);
+  TransientStallLatency always(base, 1.0, 5.0);
+  rng::Stream rng(104);
+  stats::StreamingStats stalled;
+  for (int i = 0; i < 20'000; ++i) {
+    EXPECT_NEAR(never.sample(1, static_cast<std::uint64_t>(i), rng), 1.0,
+                1e-12);
+    stalled.add(always.sample(1, static_cast<std::uint64_t>(i), rng));
+  }
+  // Every draw pays the Exp(5) pause on top of the constant base.
+  EXPECT_GT(stalled.min(), 1.0);
+  EXPECT_NEAR(stalled.mean(), 1.0 + 5.0, 0.15);
+}
+
+TEST(TransientStallLatencyTest, RejectsBadParameters) {
+  LognormalLatency base(1.0, 0.5);
+  EXPECT_THROW(TransientStallLatency(base, -0.1, 1.0), PreconditionError);
+  EXPECT_THROW(TransientStallLatency(base, 1.1, 1.0), PreconditionError);
+  EXPECT_THROW(TransientStallLatency(base, 0.1, 0.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace smartred::fault

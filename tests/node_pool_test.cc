@@ -134,6 +134,91 @@ TEST(NodePoolTest, PickAnyOnEmptyPool) {
   EXPECT_FALSE(pool.pick_any(rng).has_value());
 }
 
+TEST(NodePoolTest, StrikesAccumulateAndClear) {
+  NodePool pool(2);
+  EXPECT_EQ(pool.add_strike(0), 1);
+  EXPECT_EQ(pool.add_strike(0), 2);
+  EXPECT_EQ(pool.add_strike(1), 1);  // per-node counters
+  pool.clear_strikes(0);
+  EXPECT_EQ(pool.add_strike(0), 1);
+}
+
+TEST(NodePoolTest, QuarantineRemovesIdleNodeFromRotation) {
+  NodePool pool(2);
+  rng::Stream rng(5);
+  EXPECT_EQ(pool.quarantine(0), 1);
+  EXPECT_TRUE(pool.is_quarantined(0));
+  EXPECT_EQ(pool.quarantined_count(), 1u);
+  EXPECT_EQ(pool.idle_count(), 1u);
+  EXPECT_EQ(pool.live_count(), 2u);  // sidelined, not removed
+  // Only the healthy node can be acquired.
+  for (int i = 0; i < 20; ++i) {
+    const auto node = pool.acquire_random(rng);
+    ASSERT_TRUE(node.has_value());
+    EXPECT_EQ(*node, 1u);
+    pool.release(*node);
+  }
+}
+
+TEST(NodePoolTest, QuarantineBusyNodeFreesNoSlot) {
+  NodePool pool(2);
+  rng::Stream rng(5);
+  const auto node = pool.acquire_random(rng);
+  EXPECT_EQ(pool.quarantine(*node), 1);
+  EXPECT_EQ(pool.busy_count(), 0u);
+  EXPECT_EQ(pool.quarantined_count(), 1u);
+  // Its abandoned attempt is the caller's problem; releasing later is not
+  // expected — re-admission is via readmit().
+  EXPECT_TRUE(pool.readmit(*node));
+  EXPECT_EQ(pool.idle_count(), 2u);
+}
+
+TEST(NodePoolTest, ReadmitReturnsNodeToRotation) {
+  NodePool pool(1);
+  rng::Stream rng(6);
+  pool.quarantine(0);
+  EXPECT_FALSE(pool.acquire_random(rng).has_value());
+  EXPECT_TRUE(pool.readmit(0));
+  EXPECT_FALSE(pool.is_quarantined(0));
+  EXPECT_EQ(pool.quarantined_count(), 0u);
+  EXPECT_TRUE(pool.acquire_random(rng).has_value());
+}
+
+TEST(NodePoolTest, QuarantineRoundsEscalate) {
+  NodePool pool(1);
+  pool.quarantine(0);
+  pool.readmit(0);
+  EXPECT_EQ(pool.quarantine(0), 2);  // second round drives longer backoff
+  pool.readmit(0);
+  EXPECT_EQ(pool.quarantine(0), 3);
+}
+
+TEST(NodePoolTest, ReadmitAfterChurnOutIsNoop) {
+  NodePool pool(2);
+  pool.quarantine(0);
+  EXPECT_FALSE(pool.leave(0));  // quarantined counts as not busy
+  EXPECT_EQ(pool.live_count(), 1u);
+  EXPECT_EQ(pool.quarantined_count(), 0u);
+  EXPECT_FALSE(pool.readmit(0));  // node is gone; nothing to re-admit
+}
+
+TEST(NodePoolTest, DoubleQuarantineThrows) {
+  NodePool pool(1);
+  pool.quarantine(0);
+  EXPECT_THROW((void)pool.quarantine(0), PreconditionError);
+}
+
+TEST(NodePoolTest, PickAnyCoversQuarantinedNodes) {
+  // Churn victims are drawn from all live nodes, quarantined included.
+  NodePool pool(2);
+  rng::Stream rng(8);
+  pool.quarantine(0);
+  std::set<redundancy::NodeId> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(*pool.pick_any(rng));
+  EXPECT_TRUE(seen.contains(0));
+  EXPECT_TRUE(seen.contains(1));
+}
+
 TEST(NodePoolTest, StressChurnKeepsInvariants) {
   NodePool pool(50);
   rng::Stream rng(11);

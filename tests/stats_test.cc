@@ -154,5 +154,62 @@ TEST(HistogramTest, QuantileOfEmptyThrows) {
   EXPECT_THROW((void)histogram.quantile(0.5), PreconditionError);
 }
 
+TEST(P2QuantileTest, RejectsDegenerateQuantile) {
+  EXPECT_THROW(P2Quantile(0.0), PreconditionError);
+  EXPECT_THROW(P2Quantile(1.0), PreconditionError);
+  EXPECT_THROW(P2Quantile(-0.2), PreconditionError);
+}
+
+TEST(P2QuantileTest, EmptyEstimateThrows) {
+  P2Quantile median(0.5);
+  EXPECT_EQ(median.count(), 0u);
+  EXPECT_THROW((void)median.estimate(), PreconditionError);
+}
+
+TEST(P2QuantileTest, ExactForFirstFiveObservations) {
+  // Until the five markers exist the estimate is the exact sample quantile.
+  P2Quantile median(0.5);
+  median.add(9.0);
+  EXPECT_DOUBLE_EQ(median.estimate(), 9.0);
+  median.add(1.0);
+  median.add(5.0);
+  EXPECT_DOUBLE_EQ(median.estimate(), 5.0);  // median of {1, 5, 9}
+}
+
+TEST(P2QuantileTest, MedianOfUniformStreamConverges) {
+  P2Quantile median(0.5);
+  rng::Stream rng(31);
+  for (int i = 0; i < 50'000; ++i) median.add(rng.uniform01());
+  EXPECT_EQ(median.count(), 50'000u);
+  EXPECT_NEAR(median.estimate(), 0.5, 0.01);
+}
+
+TEST(P2QuantileTest, TailQuantileOfExponentialConverges) {
+  // p95 of Exp(1) is -ln(0.05) ~= 2.996 — a tail quantile on a skewed
+  // stream, exactly the deadline estimator's use case.
+  P2Quantile p95(0.95);
+  rng::Stream rng(32);
+  for (int i = 0; i < 100'000; ++i) p95.add(rng.exponential(1.0));
+  EXPECT_NEAR(p95.estimate(), 2.996, 0.15);
+}
+
+TEST(P2QuantileTest, DeterministicForSameStream) {
+  P2Quantile a(0.9);
+  P2Quantile b(0.9);
+  rng::Stream rng(33);
+  for (int i = 0; i < 1'000; ++i) {
+    const double x = rng.normal(5.0, 2.0);
+    a.add(x);
+    b.add(x);
+  }
+  EXPECT_DOUBLE_EQ(a.estimate(), b.estimate());
+}
+
+TEST(P2QuantileTest, ConstantStreamEstimatesTheConstant) {
+  P2Quantile p90(0.9);
+  for (int i = 0; i < 100; ++i) p90.add(7.25);
+  EXPECT_DOUBLE_EQ(p90.estimate(), 7.25);
+}
+
 }  // namespace
 }  // namespace smartred::stats

@@ -7,6 +7,7 @@
 #include "dca/task_server.h"
 #include "dca/workload.h"
 #include "fault/failure_model.h"
+#include "fault/latency_model.h"
 #include "redundancy/iterative.h"
 #include "redundancy/traditional.h"
 #include "sim/simulator.h"
@@ -198,6 +199,74 @@ TEST(BoincStressTest, ConservationAcrossSeeds) {
     const dca::RunMetrics& metrics = deployment.run();
     EXPECT_TRUE(metrics.jobs_conserved()) << "seed " << seed;
   }
+}
+
+TEST(DcaStressTest, CombinedDegradationWithStragglerStack) {
+  // Everything the robustness layer defends against, at once: churn, silent
+  // nodes, heavy-tailed latency with persistently slow hosts, adaptive
+  // deadlines, speculative re-execution, and quarantine. The run must
+  // terminate with every task decided or aborted, conserve job accounting,
+  // and — because every randomized decision flows from named rng forks —
+  // produce bit-identical metrics across same-seed runs.
+  auto run_once = [] {
+    sim::Simulator simulator;
+    dca::DcaConfig config;
+    config.nodes = 1'500;
+    config.seed = 47;
+    config.silent_prob = 0.05;
+    config.timeout = 30.0;
+    config.churn.join_rate = 5.0;
+    config.churn.leave_rate = 5.0;
+    config.max_jobs_per_task = 80;
+    config.deadline.adaptive = true;
+    config.deadline.quantile = 0.9;
+    config.deadline.multiplier = 1.5;
+    config.deadline.warmup = 30;
+    config.speculation.enabled = true;
+    config.speculation.max_copies = 2;
+    config.quarantine.enabled = true;
+    config.quarantine.strike_threshold = 3;
+    config.quarantine.backoff_base = 10.0;
+    config.quarantine.backoff_factor = 2.0;
+    config.quarantine.backoff_cap = 200.0;
+    fault::LognormalLatency tail(1.0, 1.0);
+    fault::SlowNodeLatency latency(tail, 0.1, 8.0, rng::Stream(48));
+    config.latency = &latency;
+    const redundancy::IterativeFactory factory(4);
+    const dca::SyntheticWorkload workload(1'500);
+    auto failures = collusion(0.7, 49);
+    dca::TaskServer server(simulator, config, factory, workload, failures);
+    return server.run();
+  };
+  const dca::RunMetrics first = run_once();
+  EXPECT_TRUE(first.jobs_conserved());
+  // Every task reached a terminal state: accepted (right or wrong) or
+  // aborted at the job cap. Undecided tasks would leak outstanding jobs.
+  EXPECT_EQ(first.tasks_total, 1'500u);
+  EXPECT_EQ(first.jobs_per_task.count(),
+            static_cast<std::size_t>(first.tasks_total));
+  EXPECT_GT(first.jobs_speculative, 0u);
+  EXPECT_GT(first.nodes_quarantined, 0u);
+  EXPECT_GT(first.jobs_lost, 0u);
+  EXPECT_GT(first.reliability(), 0.9);
+
+  // Determinism: an identical second run reproduces every counter and
+  // every accumulated statistic bit-for-bit.
+  const dca::RunMetrics second = run_once();
+  EXPECT_EQ(first.jobs_dispatched, second.jobs_dispatched);
+  EXPECT_EQ(first.jobs_completed, second.jobs_completed);
+  EXPECT_EQ(first.jobs_lost, second.jobs_lost);
+  EXPECT_EQ(first.jobs_discarded, second.jobs_discarded);
+  EXPECT_EQ(first.jobs_speculative, second.jobs_speculative);
+  EXPECT_EQ(first.jobs_timed_out, second.jobs_timed_out);
+  EXPECT_EQ(first.nodes_quarantined, second.nodes_quarantined);
+  EXPECT_EQ(first.nodes_readmitted, second.nodes_readmitted);
+  EXPECT_EQ(first.tasks_correct, second.tasks_correct);
+  EXPECT_EQ(first.tasks_aborted, second.tasks_aborted);
+  EXPECT_DOUBLE_EQ(first.makespan, second.makespan);
+  EXPECT_DOUBLE_EQ(first.response_time.mean(), second.response_time.mean());
+  EXPECT_DOUBLE_EQ(first.deadline_estimate.mean(),
+                   second.deadline_estimate.mean());
 }
 
 TEST(DcaStressTest, ConservationAcrossSeeds) {

@@ -6,6 +6,7 @@
 #include "common/expect.h"
 #include "dca/workload.h"
 #include "fault/failure_model.h"
+#include "fault/latency_model.h"
 #include "redundancy/analysis.h"
 #include "redundancy/iterative.h"
 #include "redundancy/progressive.h"
@@ -197,6 +198,174 @@ TEST(TaskServerTest, WavesMatchStrategyShape) {
               redundancy::analysis::expected_waves(
                   redundancy::analysis::progressive_wave_distribution(9, 0.7)),
               0.05);
+}
+
+TEST(TaskServerTest, ChurnWithoutTimeoutRejected) {
+  // Regression: leave-churn loses in-flight jobs exactly like silent nodes,
+  // so it needs a positive re-issue timeout too; this used to be validated
+  // only for silent_prob.
+  sim::Simulator simulator;
+  const redundancy::TraditionalFactory factory(3);
+  const SyntheticWorkload workload(10);
+  auto failures = collusion_model(1.0);
+  DcaConfig config = small_config();
+  config.churn.leave_rate = 1.0;
+  config.timeout = 0.0;
+  EXPECT_THROW(TaskServer(simulator, config, factory, workload, failures),
+               PreconditionError);
+}
+
+TEST(TaskServerTest, StragglerConfigValidation) {
+  sim::Simulator simulator;
+  const redundancy::TraditionalFactory factory(3);
+  const SyntheticWorkload workload(10);
+  auto failures = collusion_model(1.0);
+  {
+    DcaConfig config = small_config();
+    config.speculation.enabled = true;
+    config.timeout = 0.0;  // speculation needs a deadline to trigger on
+    EXPECT_THROW(TaskServer(simulator, config, factory, workload, failures),
+                 PreconditionError);
+  }
+  {
+    DcaConfig config = small_config();
+    config.deadline.adaptive = true;
+    config.timeout = 0.0;  // adaptive needs the fixed fallback
+    EXPECT_THROW(TaskServer(simulator, config, factory, workload, failures),
+                 PreconditionError);
+  }
+  {
+    DcaConfig config = small_config();
+    config.quarantine.enabled = true;
+    config.quarantine.strike_threshold = 0;
+    EXPECT_THROW(TaskServer(simulator, config, factory, workload, failures),
+                 PreconditionError);
+  }
+  {
+    DcaConfig config = small_config();
+    config.quarantine.enabled = true;
+    config.quarantine.backoff_cap = 1.0;  // below backoff_base
+    EXPECT_THROW(TaskServer(simulator, config, factory, workload, failures),
+                 PreconditionError);
+  }
+}
+
+TEST(TaskServerTest, UniformLatencyModelReproducesDefaultRun) {
+  // Plugging in UniformLatency(0.5, 1.5) must leave a seeded run
+  // bit-for-bit identical to the inlined paper draw it replaces.
+  const redundancy::IterativeFactory factory(4);
+  const SyntheticWorkload workload(500);
+  RunMetrics inlined;
+  RunMetrics plugged;
+  {
+    sim::Simulator simulator;
+    auto failures = collusion_model(0.7);
+    TaskServer server(simulator, small_config(200, 9), factory, workload,
+                      failures);
+    inlined = server.run();
+  }
+  {
+    sim::Simulator simulator;
+    auto failures = collusion_model(0.7);
+    fault::UniformLatency latency(0.5, 1.5);
+    DcaConfig config = small_config(200, 9);
+    config.latency = &latency;
+    TaskServer server(simulator, config, factory, workload, failures);
+    plugged = server.run();
+  }
+  EXPECT_EQ(inlined.tasks_correct, plugged.tasks_correct);
+  EXPECT_EQ(inlined.jobs_dispatched, plugged.jobs_dispatched);
+  EXPECT_DOUBLE_EQ(inlined.makespan, plugged.makespan);
+  EXPECT_DOUBLE_EQ(inlined.response_time.mean(),
+                   plugged.response_time.mean());
+}
+
+TEST(TaskServerTest, SpeculationRescuesStragglersWithoutLosingJobs) {
+  // Persistently slow nodes under adaptive deadlines: stragglers trigger
+  // speculative copies, losers are discarded, accounting still balances and
+  // reliability is untouched (votes are votes).
+  sim::Simulator simulator;
+  const redundancy::TraditionalFactory factory(3);
+  const SyntheticWorkload workload(1'500);
+  auto failures = collusion_model(1.0);
+  fault::LognormalLatency tail(1.0, 0.3);
+  fault::SlowNodeLatency latency(tail, 0.15, 10.0, rng::Stream(71));
+  DcaConfig config = small_config(2'000, 19);
+  config.latency = &latency;
+  config.timeout = 30.0;
+  config.deadline.adaptive = true;
+  config.deadline.quantile = 0.9;
+  config.deadline.multiplier = 1.5;
+  config.deadline.warmup = 30;
+  config.speculation.enabled = true;
+  config.speculation.max_copies = 2;
+  TaskServer server(simulator, config, factory, workload, failures);
+  const RunMetrics& metrics = server.run();
+  EXPECT_EQ(metrics.tasks_correct, 1'500u);
+  EXPECT_GT(metrics.jobs_speculative, 0u);
+  EXPECT_GT(metrics.jobs_timed_out, 0u);
+  // Every speculative race has exactly one loser: completed copies beyond
+  // the vote are discarded, never lost.
+  EXPECT_GT(metrics.jobs_discarded, 0u);
+  EXPECT_TRUE(metrics.jobs_conserved());
+  // The adaptive deadline was consulted and recorded.
+  EXPECT_GT(metrics.deadline_estimate.count(), 0u);
+  EXPECT_LT(metrics.deadline_estimate.min(), 30.0);  // tighter than fallback
+}
+
+TEST(TaskServerTest, QuarantineSidelinesRepeatOffenders) {
+  // Slow nodes miss the adaptive deadline repeatedly, strike out, and are
+  // quarantined with backed-off re-admission; the pool keeps serving.
+  sim::Simulator simulator;
+  const redundancy::TraditionalFactory factory(3);
+  const SyntheticWorkload workload(2'000);
+  auto failures = collusion_model(1.0);
+  fault::LognormalLatency tail(1.0, 0.3);
+  fault::SlowNodeLatency latency(tail, 0.15, 10.0, rng::Stream(72));
+  DcaConfig config = small_config(1'000, 20);
+  config.latency = &latency;
+  config.timeout = 30.0;
+  config.deadline.adaptive = true;
+  config.deadline.quantile = 0.9;
+  config.deadline.multiplier = 1.5;
+  config.deadline.warmup = 30;
+  config.speculation.enabled = true;
+  config.speculation.max_copies = 2;
+  config.quarantine.enabled = true;
+  config.quarantine.strike_threshold = 2;
+  config.quarantine.backoff_base = 10.0;
+  config.quarantine.backoff_factor = 2.0;
+  config.quarantine.backoff_cap = 100.0;
+  TaskServer server(simulator, config, factory, workload, failures);
+  const RunMetrics& metrics = server.run();
+  EXPECT_EQ(metrics.tasks_correct, 2'000u);
+  EXPECT_GT(metrics.nodes_quarantined, 0u);
+  EXPECT_GT(metrics.nodes_readmitted, 0u);
+  EXPECT_LE(metrics.nodes_readmitted, metrics.nodes_quarantined);
+  EXPECT_TRUE(metrics.jobs_conserved());
+}
+
+TEST(TaskServerTest, QuarantineSidelinesSilentNodesInsteadOfRemoving) {
+  // With quarantine on, a silent node is treated as transiently
+  // unresponsive: sidelined and later re-admitted, so the pool does not
+  // shrink monotonically as under the paper's §2.2 crash model.
+  sim::Simulator simulator;
+  const redundancy::TraditionalFactory factory(3);
+  const SyntheticWorkload workload(1'000);
+  auto failures = collusion_model(1.0);
+  DcaConfig config = small_config(300, 21);
+  config.silent_prob = 0.1;
+  config.timeout = 5.0;
+  config.quarantine.enabled = true;
+  config.quarantine.strike_threshold = 3;
+  config.quarantine.backoff_base = 10.0;
+  TaskServer server(simulator, config, factory, workload, failures);
+  const RunMetrics& metrics = server.run();
+  EXPECT_EQ(metrics.tasks_correct, 1'000u);
+  EXPECT_GT(metrics.jobs_lost, 0u);       // silent copies still re-issued
+  EXPECT_GT(metrics.nodes_quarantined, 0u);
+  EXPECT_EQ(metrics.nodes_left, 0u);      // nobody is removed for silence
+  EXPECT_TRUE(metrics.jobs_conserved());
 }
 
 TEST(TaskServerTest, HeterogeneousReliabilityStillWorks) {
