@@ -2,18 +2,15 @@
 // mid-job — their jobs are re-issued — and new volunteers join. Iterative
 // redundancy's reliability guarantee is unaffected (it depends only on the
 // votes that do arrive); churn shows up purely as re-issue cost and longer
-// makespan.
+// makespan. Each data point merges --reps replications across --threads
+// workers.
 #include <iostream>
 
-#include "bench_util.h"
 #include "common/flags.h"
 #include "common/table.h"
-#include "dca/task_server.h"
-#include "dca/workload.h"
-#include "fault/failure_model.h"
+#include "harness.h"
 #include "redundancy/analysis.h"
 #include "redundancy/iterative.h"
-#include "sim/simulator.h"
 
 int main(int argc, char** argv) {
   smartred::flags::Parser parser(
@@ -23,8 +20,8 @@ int main(int argc, char** argv) {
   const auto r = parser.add_double("reliability", 0.7, "node reliability");
   const auto tasks = parser.add_int("tasks", 20'000, "tasks per data point");
   const auto nodes = parser.add_int("nodes", 1'000, "initial pool size");
-  const auto seed = parser.add_int("seed", 8, "master seed");
-  const auto csv = parser.add_string("csv", "", "CSV output path (optional)");
+  const auto flags = smartred::bench::add_experiment_flags(
+      parser, /*default_reps=*/8, /*default_seed=*/8);
   parser.parse(argc, argv);
 
   const int dd = static_cast<int>(*d);
@@ -35,26 +32,18 @@ int main(int argc, char** argv) {
                               "makespan"});
   const double rel_pred =
       smartred::redundancy::analysis::iterative_reliability(dd, *r);
+  const smartred::redundancy::IterativeFactory factory(dd);
 
+  std::uint64_t point = 0;
   for (double rate : {0.0, 1.0, 5.0, 20.0, 50.0}) {
-    smartred::sim::Simulator simulator;
-    smartred::dca::DcaConfig config;
-    config.nodes = static_cast<std::size_t>(*nodes);
-    config.seed = static_cast<std::uint64_t>(*seed) +
-                  static_cast<std::uint64_t>(rate * 10.0);
-    config.churn.join_rate = rate;
-    config.churn.leave_rate = rate;
-    config.timeout = 5.0;
-    const smartred::redundancy::IterativeFactory factory(dd);
-    const smartred::dca::SyntheticWorkload workload(
-        static_cast<std::uint64_t>(*tasks));
-    smartred::fault::ByzantineCollusion failures(
-        smartred::fault::ReliabilityAssigner(
-            smartred::fault::ConstantReliability{*r},
-            smartred::rng::Stream(config.seed + 1)));
-    smartred::dca::TaskServer server(simulator, config, factory, workload,
-                                     failures);
-    const auto& metrics = server.run();
+    smartred::dca::DcaConfig base;
+    base.nodes = static_cast<std::size_t>(*nodes);
+    base.churn.join_rate = rate;
+    base.churn.leave_rate = rate;
+    base.timeout = 5.0;
+    const auto metrics = smartred::bench::run_byzantine_dca(
+        smartred::bench::plan_point(flags, point++), factory, *r,
+        static_cast<std::uint64_t>(*tasks), base);
     out.add_row({rate, metrics.reliability(), rel_pred,
                  metrics.cost_factor(),
                  static_cast<long long>(metrics.jobs_lost),
@@ -62,7 +51,7 @@ int main(int argc, char** argv) {
                  static_cast<long long>(metrics.nodes_joined),
                  metrics.makespan});
   }
-  smartred::bench::emit(out, *csv, "churn");
+  smartred::bench::emit(out, *flags.csv, "churn");
   std::cout << "\nReading: reliability stays pinned to Equation (6) at every "
                "churn rate; churn costs only re-issued jobs and time.\n";
   return 0;

@@ -3,18 +3,15 @@
 // per-(task, cluster) event makes whole clusters fail together. Equations
 // (1)–(6) still apply with r replaced by the *effective* per-job
 // reliability (1 − q) * r_ind as long as a task's jobs mostly land in
-// different clusters — and degrade as clusters get coarse.
+// different clusters — and degrade as clusters get coarse. Each data point
+// merges --reps replications across --threads workers.
 #include <iostream>
 
-#include "bench_util.h"
 #include "common/flags.h"
 #include "common/table.h"
-#include "dca/task_server.h"
-#include "dca/workload.h"
-#include "fault/failure_model.h"
+#include "harness.h"
 #include "redundancy/analysis.h"
 #include "redundancy/iterative.h"
-#include "sim/simulator.h"
 
 int main(int argc, char** argv) {
   smartred::flags::Parser parser(
@@ -27,8 +24,8 @@ int main(int argc, char** argv) {
                                        "per-node independent reliability");
   const auto q = parser.add_double("cluster-failure-prob", 0.1,
                                    "per-(task, cluster) shared failure");
-  const auto seed = parser.add_int("seed", 4, "master seed");
-  const auto csv = parser.add_string("csv", "", "CSV output path (optional)");
+  const auto flags = smartred::bench::add_experiment_flags(
+      parser, /*default_reps=*/8, /*default_seed=*/4);
   parser.parse(argc, argv);
 
   const int dd = static_cast<int>(*d);
@@ -44,28 +41,30 @@ int main(int argc, char** argv) {
       smartred::redundancy::analysis::iterative_cost(dd, r_eff);
   const double rel_pred =
       smartred::redundancy::analysis::iterative_reliability(dd, r_eff);
+  const smartred::redundancy::IterativeFactory factory(dd);
+  const double r_independent = *r_ind;
+  const double cluster_failure = *q;
 
+  std::uint64_t point = 0;
   for (int clusters : {2'000, 200, 50, 10, 4, 1}) {
-    smartred::sim::Simulator simulator;
-    smartred::dca::DcaConfig config;
-    config.nodes = 2'000;
-    config.seed = static_cast<std::uint64_t>(*seed) +
-                  static_cast<std::uint64_t>(clusters);
-    const smartred::redundancy::IterativeFactory factory(dd);
-    const smartred::dca::SyntheticWorkload workload(
-        static_cast<std::uint64_t>(*tasks));
-    smartred::fault::CorrelatedClusters failures(
-        smartred::fault::ReliabilityAssigner(
-            smartred::fault::ConstantReliability{*r_ind},
-            smartred::rng::Stream(config.seed + 1)),
-        clusters, *q, smartred::rng::Stream(config.seed + 2));
-    smartred::dca::TaskServer server(simulator, config, factory, workload,
-                                     failures);
-    const auto& metrics = server.run();
+    smartred::dca::DcaConfig base;
+    base.nodes = 2'000;
+    const auto metrics = smartred::bench::run_dca_point(
+        smartred::bench::plan_point(flags, point++), factory,
+        static_cast<std::uint64_t>(*tasks), base,
+        [clusters, r_independent, cluster_failure](std::uint64_t rep_seed) {
+          return smartred::fault::CorrelatedClusters(
+              smartred::fault::ReliabilityAssigner(
+                  smartred::fault::ConstantReliability{r_independent},
+                  smartred::rng::Stream(smartred::rng::derive_seed(rep_seed,
+                                                                   1))),
+              clusters, cluster_failure,
+              smartred::rng::Stream(smartred::rng::derive_seed(rep_seed, 2)));
+        });
     out.add_row({static_cast<long long>(clusters), metrics.cost_factor(),
                  cost_pred, metrics.reliability(), rel_pred});
   }
-  smartred::bench::emit(out, *csv, "correlated");
+  smartred::bench::emit(out, *flags.csv, "correlated");
   std::cout
       << "\nReading: with many clusters (jobs of one task rarely share a "
          "cluster) the independent-failure prediction holds; a single "

@@ -18,14 +18,18 @@
 // overhead and storage yet lose reliability to attackers who earn trust
 // and to identity churn, while iterative redundancy's guarantees depend
 // only on the fraction of wrong votes.
+// Like ablation_selftuning, this bench stays sequential regardless of
+// --threads: all three validators thread per-node state (trust books,
+// reputation books, attacker job counters) through every task in order.
+// --reps and --threads are accepted for flag uniformity but ignored.
 #include <iostream>
 #include <unordered_map>
 #include <vector>
 
-#include "bench_util.h"
 #include "common/flags.h"
 #include "common/rng.h"
 #include "common/table.h"
+#include "harness.h"
 #include "redundancy/adaptive.h"
 #include "redundancy/analysis.h"
 #include "redundancy/credibility.h"
@@ -194,15 +198,15 @@ int main(int argc, char** argv) {
   const auto honest_r = parser.add_double("honest-reliability", 0.95,
                                           "honest node reliability");
   const auto d = parser.add_int("d", 6, "iterative margin");
-  const auto seed = parser.add_int("seed", 9, "master seed");
-  const auto csv = parser.add_string("csv", "", "CSV output path (optional)");
+  const auto flags = bench::add_experiment_flags(parser, /*default_reps=*/1,
+                                                 /*default_seed=*/9);
   parser.parse(argc, argv);
 
   Scenario scenario;
   scenario.tasks = static_cast<std::uint64_t>(*tasks);
   scenario.malicious_fraction = *malicious;
   scenario.honest_reliability = *honest_r;
-  scenario.seed = static_cast<std::uint64_t>(*seed);
+  scenario.seed = static_cast<std::uint64_t>(*flags.seed);
 
   table::banner(std::cout,
                 "A6 — validators vs. patient attackers (malicious fraction " +
@@ -234,7 +238,7 @@ int main(int argc, char** argv) {
                  outcome.churns, std::string("spot-check history")});
   }
 
-  bench::emit(out, *csv, "credibility");
+  bench::emit(out, *flags.csv, "credibility");
   std::cout
       << "\nReading: iterative redundancy holds its Equation (6) guarantee "
          "with zero per-node state; adaptive replication is poisoned by "

@@ -5,15 +5,18 @@
 //
 // For each (r, R) cell the two algorithms replay the same vote streams;
 // the table reports the number of decisions compared, divergences found
-// (always 0), and the per-decision speedup of the simple rule.
+// (always 0), and the per-decision speedup of the simple rule. The 15
+// cells are independent, so they fan across --threads workers (one cell
+// per replication slot); timings are measured per cell and noisier under
+// contention, but decisions/divergences are deterministic.
 #include <chrono>
 #include <iostream>
 #include <vector>
 
-#include "bench_util.h"
 #include "common/flags.h"
 #include "common/rng.h"
 #include "common/table.h"
+#include "harness.h"
 #include "redundancy/analysis.h"
 #include "redundancy/iterative.h"
 #include "redundancy/iterative_naive.h"
@@ -85,30 +88,47 @@ int main(int argc, char** argv) {
       "decisions, no reliability input needed");
   const auto trials = parser.add_int("trials", 2'000,
                                      "tasks replayed per (r, R) cell");
-  const auto seed = parser.add_int("seed", 1, "master seed");
-  const auto csv = parser.add_string("csv", "", "CSV output path (optional)");
+  const auto flags = smartred::bench::add_experiment_flags(
+      parser, /*default_reps=*/1, /*default_seed=*/1);
   parser.parse(argc, argv);
 
   smartred::table::banner(
       std::cout, "A1 — algorithm equivalence (Theorems 1 and 2 in action)");
   smartred::table::Table out({"r", "target_R", "d", "decisions",
                               "divergences", "naive_vs_simple_time"});
-  std::uint64_t cell_seed = static_cast<std::uint64_t>(*seed);
+  struct Cell {
+    double r;
+    double target;
+  };
+  std::vector<Cell> cells;
   for (double r : {0.55, 0.6, 0.7, 0.8, 0.9}) {
     for (double target : {0.9, 0.97, 0.999}) {
-      const CellResult cell =
-          compare_cell(r, target, static_cast<std::uint64_t>(*trials),
-                       ++cell_seed);
-      out.add_row(
-          {r, target,
-           static_cast<long long>(
-               smartred::redundancy::analysis::margin_for_confidence(r,
-                                                                     target)),
-           cell.decisions, cell.divergences,
-           cell.naive_ns / std::max(1.0, cell.simple_ns)});
+      cells.push_back({r, target});
     }
   }
-  smartred::bench::emit(out, *csv, "equivalence");
+  // One cell per replication slot: the unit of parallelism here is the
+  // (r, R) grid itself, so --reps does not apply.
+  smartred::exp::RunnerConfig plan;
+  plan.replications = cells.size();
+  plan.threads = static_cast<unsigned>(*flags.threads);
+  plan.master_seed = static_cast<std::uint64_t>(*flags.seed);
+  smartred::exp::ParallelRunner runner(plan);
+  const std::vector<CellResult> results =
+      runner.run([&](std::uint64_t index, std::uint64_t cell_seed) {
+        return compare_cell(cells[index].r, cells[index].target,
+                            static_cast<std::uint64_t>(*trials), cell_seed);
+      });
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& cell = results[i];
+    out.add_row(
+        {cells[i].r, cells[i].target,
+         static_cast<long long>(
+             smartred::redundancy::analysis::margin_for_confidence(
+                 cells[i].r, cells[i].target)),
+         cell.decisions, cell.divergences,
+         cell.naive_ns / std::max(1.0, cell.simple_ns)});
+  }
+  smartred::bench::emit(out, *flags.csv, "equivalence");
   std::cout << "\nReading: zero divergences anywhere — the margin rule "
                "needs neither r nor any probability computation, at lower "
                "per-decision cost.\n";

@@ -6,35 +6,30 @@
 // visible but small — and favorable for reliability.)
 #include <iostream>
 
-#include "bench_util.h"
 #include "common/flags.h"
 #include "common/table.h"
-#include "dca/task_server.h"
-#include "dca/workload.h"
-#include "fault/failure_model.h"
+#include "harness.h"
 #include "redundancy/analysis.h"
 #include "redundancy/iterative.h"
-#include "redundancy/montecarlo.h"
 #include "redundancy/weighted.h"
-#include "sim/simulator.h"
 
 namespace {
 
 smartred::dca::RunMetrics run_pool(
+    const smartred::exp::RunnerConfig& plan,
     const smartred::fault::ReliabilityDistribution& dist, int d,
-    std::uint64_t tasks, std::uint64_t seed) {
-  smartred::sim::Simulator simulator;
-  smartred::dca::DcaConfig config;
-  config.nodes = 2'000;
-  config.seed = seed;
+    std::uint64_t tasks) {
   const smartred::redundancy::IterativeFactory factory(d);
-  const smartred::dca::SyntheticWorkload workload(tasks);
-  smartred::fault::ByzantineCollusion failures(
-      smartred::fault::ReliabilityAssigner(dist,
-                                           smartred::rng::Stream(seed + 1)));
-  smartred::dca::TaskServer server(simulator, config, factory, workload,
-                                   failures);
-  return server.run();
+  smartred::dca::DcaConfig base;
+  base.nodes = 2'000;
+  return smartred::bench::run_dca_point(
+      plan, factory, tasks, base, [&dist](std::uint64_t rep_seed) {
+        return smartred::fault::ByzantineCollusion(
+            smartred::fault::ReliabilityAssigner(
+                dist,
+                smartred::rng::Stream(smartred::rng::derive_seed(rep_seed,
+                                                                 1))));
+      });
 }
 
 }  // namespace
@@ -46,13 +41,12 @@ int main(int argc, char** argv) {
       "assumption 1, §5.3)");
   const auto d = parser.add_int("d", 4, "iterative margin");
   const auto tasks = parser.add_int("tasks", 50'000, "tasks per pool");
-  const auto seed = parser.add_int("seed", 3, "master seed");
-  const auto csv = parser.add_string("csv", "", "CSV output path (optional)");
+  const auto flags = smartred::bench::add_experiment_flags(
+      parser, /*default_reps=*/8, /*default_seed=*/3);
   parser.parse(argc, argv);
 
   const int dd = static_cast<int>(*d);
   const auto n_tasks = static_cast<std::uint64_t>(*tasks);
-  const auto base_seed = static_cast<std::uint64_t>(*seed);
 
   smartred::table::banner(
       std::cout, "A3 — pools with mean r = 0.7 and increasing spread");
@@ -75,14 +69,15 @@ int main(int argc, char** argv) {
        smartred::fault::TwoPointReliability{0.9, 0.75, 0.25}},
   };
 
-  std::uint64_t pool_seed = base_seed;
+  std::uint64_t point = 0;
   for (const Pool& pool : pools) {
-    const auto metrics = run_pool(pool.dist, dd, n_tasks, ++pool_seed);
+    const auto metrics = run_pool(smartred::bench::plan_point(flags, point++),
+                                  pool.dist, dd, n_tasks);
     out.add_row({pool.name, smartred::fault::mean_reliability(pool.dist),
                  metrics.empirical_node_reliability(), metrics.cost_factor(),
                  metrics.reliability(), predicted});
   }
-  smartred::bench::emit(out, *csv, "heterogeneous");
+  smartred::bench::emit(out, *flags.csv, "heterogeneous");
   std::cout << "\nReading: random assignment makes the pool look like its "
                "mean (paper assumption 1 and its §5.3 relaxation); iterative "
                "redundancy needs no change.\n";
@@ -106,15 +101,12 @@ int main(int argc, char** argv) {
             node, rng.bernoulli(r) ? smartred::redundancy::kCorrectValue
                                    : smartred::redundancy::kWrongValue};
       };
-  smartred::redundancy::MonteCarloConfig mc;
-  mc.tasks = static_cast<std::uint64_t>(*tasks);
-  mc.seed = base_seed + 99;
-
   smartred::table::Table duel({"strategy", "reliability", "cost"});
   const smartred::redundancy::IterativeFactory margin_rule(
       smartred::redundancy::analysis::margin_for_confidence(mean_r, target));
-  const auto plain = smartred::redundancy::run_custom(
-      margin_rule, source, smartred::redundancy::kCorrectValue, mc);
+  const auto plain = smartred::bench::run_custom_mc(
+      smartred::bench::plan_point(flags, point++), margin_rule, source,
+      smartred::redundancy::kCorrectValue, n_tasks);
   duel.add_row({margin_rule.name() + " [mean r]", plain.reliability(),
                 plain.cost_factor()});
 
@@ -123,10 +115,11 @@ int main(int argc, char** argv) {
         return node % 2 == 0 ? good_r : bad_r;
       },
       mean_r, target);
-  const auto smart = smartred::redundancy::run_custom(
-      weighted, source, smartred::redundancy::kCorrectValue, mc);
+  const auto smart = smartred::bench::run_custom_mc(
+      smartred::bench::plan_point(flags, point++), weighted, source,
+      smartred::redundancy::kCorrectValue, n_tasks);
   duel.add_row({weighted.name(), smart.reliability(), smart.cost_factor()});
-  smartred::bench::emit(duel, *csv, "weighted");
+  smartred::bench::emit(duel, *flags.csv, "weighted");
   std::cout << "\nReading: the margin rule already meets the target without "
                "knowing anything; per-node knowledge (when it exists) buys a "
                "further cost reduction via the §5.3 complex form.\n";

@@ -12,14 +12,13 @@
 // the clean binary model.
 #include <iostream>
 
-#include "bench_util.h"
 #include "boinc/comparator.h"
 #include "common/flags.h"
 #include "common/rng.h"
 #include "common/table.h"
+#include "harness.h"
 #include "redundancy/analysis.h"
 #include "redundancy/iterative.h"
-#include "redundancy/montecarlo.h"
 
 namespace {
 
@@ -35,9 +34,9 @@ double raw_report(redundancy::NodeId node, bool correct,
   return kTruth + kJitter[node % 3];
 }
 
-redundancy::MonteCarloResult run_mode(bool use_epsilon_classes, double r,
-                                      std::uint64_t tasks,
-                                      std::uint64_t seed, int cap) {
+redundancy::MonteCarloResult run_mode(const exp::RunnerConfig& plan,
+                                      bool use_epsilon_classes, double r,
+                                      std::uint64_t tasks, int cap) {
   // One comparator per task, exactly like a per-workunit BOINC validator.
   const redundancy::VoteSource source =
       [use_epsilon_classes, r](std::uint64_t task, int job,
@@ -58,12 +57,9 @@ redundancy::MonteCarloResult run_mode(bool use_epsilon_classes, double r,
             correct ? static_cast<int>(node % 3) : 99);
         return redundancy::Vote{node, clazz};
       };
-  redundancy::MonteCarloConfig config;
-  config.tasks = tasks;
-  config.seed = seed;
-  config.max_jobs_per_task = cap;
   const redundancy::IterativeFactory factory(4);
-  return run_custom(factory, source, /*correct_value=*/0, config);
+  return bench::run_custom_mc(plan, factory, source, /*correct_value=*/0,
+                              tasks, cap);
 }
 
 }  // namespace
@@ -77,17 +73,17 @@ int main(int argc, char** argv) {
   const auto r = parser.add_double("reliability", 0.8, "node reliability");
   const auto tasks = parser.add_int("tasks", 20'000, "tasks per mode");
   const auto cap = parser.add_int("cap", 60, "job cap per task");
-  const auto seed = parser.add_int("seed", 16, "master seed");
-  const auto csv = parser.add_string("csv", "", "CSV output path (optional)");
+  const auto flags = bench::add_experiment_flags(parser, /*default_reps=*/8,
+                                                 /*default_seed=*/16);
   parser.parse(argc, argv);
 
   table::banner(std::cout,
                 "A11 — honest answers jittered across 3 CPU classes");
   table::Table out({"comparison", "reliability", "cost", "aborted_tasks",
                     "max_jobs"});
-  const auto exact = run_mode(false, *r, static_cast<std::uint64_t>(*tasks),
-                              static_cast<std::uint64_t>(*seed),
-                              static_cast<int>(*cap));
+  const auto exact =
+      run_mode(bench::plan_point(flags, 0), false, *r,
+               static_cast<std::uint64_t>(*tasks), static_cast<int>(*cap));
   // Bit-exact mode: "correct" means any honest class won; classes 0-2 are
   // all honest, so count a task correct when the accepted value is < 3.
   // run_custom scored against class 0 only; recompute nothing — report the
@@ -96,14 +92,14 @@ int main(int argc, char** argv) {
                exact.cost_factor(),
                static_cast<long long>(exact.tasks_aborted),
                static_cast<long long>(exact.max_jobs_single_task)});
-  const auto eps = run_mode(true, *r, static_cast<std::uint64_t>(*tasks),
-                            static_cast<std::uint64_t>(*seed),
-                            static_cast<int>(*cap));
+  const auto eps =
+      run_mode(bench::plan_point(flags, 1), true, *r,
+               static_cast<std::uint64_t>(*tasks), static_cast<int>(*cap));
   out.add_row({std::string("epsilon-class"), eps.reliability(),
                eps.cost_factor(),
                static_cast<long long>(eps.tasks_aborted),
                static_cast<long long>(eps.max_jobs_single_task)});
-  bench::emit(out, *csv, "homogeneous");
+  bench::emit(out, *flags.csv, "homogeneous");
 
   std::cout << "\nAnalytic expectation with classes collapsed: cost "
             << redundancy::analysis::iterative_cost(4, *r)

@@ -4,13 +4,15 @@
 // what a downstream user of a Hadoop-class system actually sees — the
 // accuracy of the final job output after corrupted tasks propagate through
 // the shuffle — as the redundancy parameter grows, for traditional and
-// iterative validation on the same pool.
+// iterative validation on the same pool. The twelve (validator, param) rows
+// are independent jobs, so they fan across --threads workers; row results
+// fold back in row order, keeping the table deterministic.
 #include <iostream>
+#include <vector>
 
-#include "bench_util.h"
 #include "common/flags.h"
 #include "common/table.h"
-#include "fault/failure_model.h"
+#include "harness.h"
 #include "mapreduce/engine.h"
 #include "redundancy/analysis.h"
 #include "redundancy/iterative.h"
@@ -38,18 +40,18 @@ int main(int argc, char** argv) {
       "(traditional vs. iterative validation)");
   const auto documents = parser.add_int("documents", 512, "corpus size");
   const auto r = parser.add_double("reliability", 0.7, "worker reliability");
-  const auto seed = parser.add_int("seed", 14, "master seed");
-  const auto csv = parser.add_string("csv", "", "CSV output path (optional)");
+  const auto flags = bench::add_experiment_flags(parser, /*default_reps=*/1,
+                                                 /*default_seed=*/14);
   parser.parse(argc, argv);
 
-  const mapreduce::Corpus corpus(
-      static_cast<std::size_t>(*documents), 200, 1'000,
-      rng::Stream(static_cast<std::uint64_t>(*seed)));
+  const auto master = static_cast<std::uint64_t>(*flags.seed);
+  const mapreduce::Corpus corpus(static_cast<std::size_t>(*documents), 200,
+                                 1'000, rng::Stream(master));
   mapreduce::MapReduceConfig config;
   config.map_tasks = 64;
   config.reduce_tasks = 16;
   config.dca.nodes = 500;
-  config.dca.seed = static_cast<std::uint64_t>(*seed) + 1;
+  config.dca.seed = master + 1;
   const mapreduce::WordCountEngine engine(corpus, config);
 
   table::banner(std::cout,
@@ -58,28 +60,47 @@ int main(int argc, char** argv) {
   table::Table out({"validator", "param", "jobs_per_task", "corrupted",
                     "output_accuracy", "task_reliability_eq"});
 
-  std::uint64_t run_seed = static_cast<std::uint64_t>(*seed) * 100;
-  for (int k : {1, 3, 5, 7, 9, 11}) {
-    const redundancy::TraditionalFactory factory(k);
-    const auto result = run_job(engine, factory, *r, ++run_seed);
-    out.add_row({"TR", static_cast<long long>(k),
-                 result.total_cost_factor(),
-                 static_cast<long long>(result.map_phase.corrupted_tasks +
-                                        result.reduce_phase.corrupted_tasks),
-                 result.output_accuracy,
-                 redundancy::analysis::traditional_reliability(k, *r)});
+  struct Row {
+    const char* validator;
+    int param;
+  };
+  std::vector<Row> rows;
+  for (int k : {1, 3, 5, 7, 9, 11}) rows.push_back({"TR", k});
+  for (int d : {1, 2, 3, 4, 5, 6}) rows.push_back({"IR", d});
+
+  // One job per replication slot: the unit of parallelism is the row grid,
+  // so --reps does not apply here.
+  exp::RunnerConfig plan;
+  plan.replications = rows.size();
+  plan.threads = static_cast<unsigned>(*flags.threads);
+  plan.master_seed = master * 100;
+  exp::ParallelRunner runner(plan);
+  const std::vector<mapreduce::MapReduceResult> results =
+      runner.run([&](std::uint64_t index, std::uint64_t row_seed) {
+        const Row& row = rows[index];
+        if (row.validator[0] == 'T') {
+          const redundancy::TraditionalFactory factory(row.param);
+          return run_job(engine, factory, *r, row_seed);
+        }
+        const redundancy::IterativeFactory factory(row.param);
+        return run_job(engine, factory, *r, row_seed);
+      });
+
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    const mapreduce::MapReduceResult& result = results[i];
+    const bool traditional = row.validator[0] == 'T';
+    out.add_row(
+        {row.validator, static_cast<long long>(row.param),
+         result.total_cost_factor(),
+         static_cast<long long>(result.map_phase.corrupted_tasks +
+                                result.reduce_phase.corrupted_tasks),
+         result.output_accuracy,
+         traditional
+             ? redundancy::analysis::traditional_reliability(row.param, *r)
+             : redundancy::analysis::iterative_reliability(row.param, *r)});
   }
-  for (int d : {1, 2, 3, 4, 5, 6}) {
-    const redundancy::IterativeFactory factory(d);
-    const auto result = run_job(engine, factory, *r, ++run_seed);
-    out.add_row({"IR", static_cast<long long>(d),
-                 result.total_cost_factor(),
-                 static_cast<long long>(result.map_phase.corrupted_tasks +
-                                        result.reduce_phase.corrupted_tasks),
-                 result.output_accuracy,
-                 redundancy::analysis::iterative_reliability(d, *r)});
-  }
-  bench::emit(out, *csv, "mapreduce");
+  bench::emit(out, *flags.csv, "mapreduce");
   std::cout << "\nReading: at any jobs-per-task budget, iterative validation "
                "yields the cleaner final histogram; corrupted tasks are what "
                "a Hadoop user would experience as silently wrong output.\n";

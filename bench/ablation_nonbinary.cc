@@ -2,18 +2,15 @@
 // The binary model — every failure reports the SAME wrong value — is the
 // worst case. When wrong answers scatter across many values, plurality
 // voting separates truth from noise far more easily, so the binary-model
-// formulas are upper bounds on cost and failure probability.
+// formulas are upper bounds on cost and failure probability. Each data
+// point merges --reps replications across --threads workers.
 #include <iostream>
 
-#include "bench_util.h"
 #include "common/flags.h"
 #include "common/table.h"
-#include "dca/task_server.h"
-#include "dca/workload.h"
-#include "fault/failure_model.h"
+#include "harness.h"
 #include "redundancy/analysis.h"
 #include "redundancy/iterative.h"
-#include "sim/simulator.h"
 
 int main(int argc, char** argv) {
   smartred::flags::Parser parser(
@@ -24,8 +21,8 @@ int main(int argc, char** argv) {
   const auto r = parser.add_double("reliability", 0.6,
                                    "per-node reliability (low on purpose)");
   const auto tasks = parser.add_int("tasks", 30'000, "tasks per data point");
-  const auto seed = parser.add_int("seed", 6, "master seed");
-  const auto csv = parser.add_string("csv", "", "CSV output path (optional)");
+  const auto flags = smartred::bench::add_experiment_flags(
+      parser, /*default_reps=*/8, /*default_seed=*/6);
   parser.parse(argc, argv);
 
   const int dd = static_cast<int>(*d);
@@ -38,28 +35,28 @@ int main(int argc, char** argv) {
       smartred::redundancy::analysis::iterative_cost(dd, *r);
   const double bound_rel =
       smartred::redundancy::analysis::iterative_reliability(dd, *r);
+  const smartred::redundancy::IterativeFactory factory(dd);
+  const double reliability = *r;
 
+  std::uint64_t point = 0;
   for (int spread : {1, 2, 4, 16, 256}) {
-    smartred::sim::Simulator simulator;
-    smartred::dca::DcaConfig config;
-    config.nodes = 2'000;
-    config.seed = static_cast<std::uint64_t>(*seed) +
-                  static_cast<std::uint64_t>(spread);
-    const smartred::redundancy::IterativeFactory factory(dd);
-    const smartred::dca::SyntheticWorkload workload(
-        static_cast<std::uint64_t>(*tasks));
-    smartred::fault::ScatteredWrong failures(
-        smartred::fault::ReliabilityAssigner(
-            smartred::fault::ConstantReliability{*r},
-            smartred::rng::Stream(config.seed + 1)),
-        spread);
-    smartred::dca::TaskServer server(simulator, config, factory, workload,
-                                     failures);
-    const auto& metrics = server.run();
+    smartred::dca::DcaConfig base;
+    base.nodes = 2'000;
+    const auto metrics = smartred::bench::run_dca_point(
+        smartred::bench::plan_point(flags, point++), factory,
+        static_cast<std::uint64_t>(*tasks), base,
+        [spread, reliability](std::uint64_t rep_seed) {
+          return smartred::fault::ScatteredWrong(
+              smartred::fault::ReliabilityAssigner(
+                  smartred::fault::ConstantReliability{reliability},
+                  smartred::rng::Stream(smartred::rng::derive_seed(rep_seed,
+                                                                   1))),
+              spread);
+        });
     out.add_row({static_cast<long long>(spread), metrics.cost_factor(),
                  metrics.reliability(), bound_cost, bound_rel});
   }
-  smartred::bench::emit(out, *csv, "nonbinary");
+  smartred::bench::emit(out, *flags.csv, "nonbinary");
   std::cout
       << "\nReading: the spread-1 row reproduces the binary bound exactly; "
          "every larger spread beats it on both axes — the paper's \"binary "

@@ -7,38 +7,19 @@
 //   * started-tasks-first queueing (top-up waves jump the queue), and
 //   * checkpointing (departing volunteers don't waste whole jobs),
 // showing that the §5.2 penalty is a property of naive FIFO scheduling,
-// not of the redundancy technique itself.
+// not of the redundancy technique itself. Each data point merges --reps
+// replications across --threads workers.
 #include <iostream>
 
-#include "bench_util.h"
 #include "common/flags.h"
 #include "common/table.h"
-#include "dca/task_server.h"
-#include "dca/workload.h"
-#include "fault/failure_model.h"
+#include "harness.h"
 #include "redundancy/iterative.h"
 #include "redundancy/progressive.h"
 #include "redundancy/traditional.h"
-#include "sim/simulator.h"
-
-namespace {
-
-using namespace smartred;  // NOLINT(build/namespaces) — bench main
-
-dca::RunMetrics run_one(const redundancy::StrategyFactory& factory,
-                        const dca::DcaConfig& config, std::uint64_t tasks,
-                        double r) {
-  sim::Simulator simulator;
-  const dca::SyntheticWorkload workload(tasks);
-  fault::ByzantineCollusion failures(fault::ReliabilityAssigner(
-      fault::ConstantReliability{r}, rng::Stream(config.seed + 1)));
-  dca::TaskServer server(simulator, config, factory, workload, failures);
-  return server.run();
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
+  using namespace smartred;  // NOLINT(build/namespaces) — bench main
   flags::Parser parser(
       "ablation_scheduling",
       "A10 — queue policy and checkpointing vs. the §5.2 response-time "
@@ -47,8 +28,8 @@ int main(int argc, char** argv) {
   const auto tasks = parser.add_int("tasks", 10'000, "tasks per run");
   const auto nodes = parser.add_int("nodes", 200,
                                     "pool size (small = contended)");
-  const auto seed = parser.add_int("seed", 15, "master seed");
-  const auto csv = parser.add_string("csv", "", "CSV output path (optional)");
+  const auto flags = bench::add_experiment_flags(parser, /*default_reps=*/8,
+                                                 /*default_seed=*/15);
   parser.parse(argc, argv);
 
   table::banner(std::cout, "A10a — queue policy under contention");
@@ -58,18 +39,19 @@ int main(int argc, char** argv) {
   const redundancy::TraditionalFactory tr(9);
   const redundancy::ProgressiveFactory pr(9);
   const redundancy::IterativeFactory ir(4);
+  std::uint64_t point = 0;
   for (const redundancy::StrategyFactory* factory :
        {static_cast<const redundancy::StrategyFactory*>(&tr),
         static_cast<const redundancy::StrategyFactory*>(&pr),
         static_cast<const redundancy::StrategyFactory*>(&ir)}) {
     for (const dca::QueuePolicy policy :
          {dca::QueuePolicy::kFifo, dca::QueuePolicy::kStartedTasksFirst}) {
-      dca::DcaConfig config;
-      config.nodes = static_cast<std::size_t>(*nodes);
-      config.seed = static_cast<std::uint64_t>(*seed);
-      config.queue_policy = policy;
-      const auto metrics = run_one(*factory, config,
-                                   static_cast<std::uint64_t>(*tasks), *r);
+      dca::DcaConfig base;
+      base.nodes = static_cast<std::size_t>(*nodes);
+      base.queue_policy = policy;
+      const auto metrics = bench::run_byzantine_dca(
+          bench::plan_point(flags, point++), *factory, *r,
+          static_cast<std::uint64_t>(*tasks), base);
       out.add_row({factory->name(),
                    policy == dca::QueuePolicy::kFifo ? "fifo"
                                                      : "started-first",
@@ -77,28 +59,28 @@ int main(int argc, char** argv) {
                    metrics.cost_factor(), metrics.makespan});
     }
   }
-  bench::emit(out, *csv, "policy");
+  bench::emit(out, *flags.csv, "policy");
 
   table::banner(std::cout,
                 "A10b — checkpointing under churn with long jobs");
   table::Table cp({"checkpoint_interval", "makespan", "jobs_lost",
                    "reliability"});
   for (double interval : {0.0, 2.0, 1.0, 0.25}) {
-    dca::DcaConfig config;
-    config.nodes = static_cast<std::size_t>(*nodes);
-    config.seed = static_cast<std::uint64_t>(*seed) + 1;
-    config.duration_lo = 5.0;
-    config.duration_hi = 15.0;
-    config.churn.join_rate = 10.0;
-    config.churn.leave_rate = 10.0;
-    config.timeout = 5.0;
-    config.checkpoint_interval = interval;
-    const auto metrics = run_one(ir, config, 2'000, 0.9);
+    dca::DcaConfig base;
+    base.nodes = static_cast<std::size_t>(*nodes);
+    base.duration_lo = 5.0;
+    base.duration_hi = 15.0;
+    base.churn.join_rate = 10.0;
+    base.churn.leave_rate = 10.0;
+    base.timeout = 5.0;
+    base.checkpoint_interval = interval;
+    const auto metrics = bench::run_byzantine_dca(
+        bench::plan_point(flags, point++), ir, 0.9, 2'000, base);
     cp.add_row({interval, metrics.makespan,
                 static_cast<long long>(metrics.jobs_lost),
                 metrics.reliability()});
   }
-  bench::emit(cp, *csv, "checkpoint");
+  bench::emit(cp, *flags.csv, "checkpoint");
   std::cout << "\nReading: started-first queueing removes most of the §5.2 "
                "response penalty at zero cost; finer checkpoints recover "
                "most of the work lost to departing volunteers.\n";

@@ -7,19 +7,17 @@
 // stack: adaptive deadlines (streaming quantile) + speculative
 // re-execution + node quarantine. Reliability is untouched — votes are
 // votes — so the stack buys response time for a small dispatch premium.
+// Each data point merges --reps replications across --threads workers;
+// latency models hold RNG state, so every replication builds its own.
 #include <iostream>
 
-#include "bench_util.h"
 #include "common/flags.h"
 #include "common/table.h"
-#include "dca/task_server.h"
-#include "dca/workload.h"
-#include "fault/failure_model.h"
 #include "fault/latency_model.h"
+#include "harness.h"
 #include "redundancy/iterative.h"
 #include "redundancy/progressive.h"
 #include "redundancy/traditional.h"
-#include "sim/simulator.h"
 
 namespace {
 
@@ -29,44 +27,52 @@ struct Setup {
 };
 
 smartred::dca::RunMetrics run_one(
+    const smartred::exp::RunnerConfig& plan,
     const smartred::redundancy::StrategyFactory& factory, double r,
-    std::uint64_t tasks, std::size_t nodes, std::uint64_t seed,
-    double slow_fraction, double slowdown, bool smart) {
-  smartred::sim::Simulator simulator;
-  smartred::dca::DcaConfig config;
-  config.nodes = nodes;
-  config.seed = seed;
-  config.timeout = 25.0;  // pre-warmup fallback; fixed runs never consult it
-  // Started-tasks-first isolates the straggler effect from the §5.2 FIFO
-  // queueing artifact (ablation A10) in both modes.
-  config.queue_policy = smartred::dca::QueuePolicy::kStartedTasksFirst;
-  // Heavy-tailed base latency (lognormal, mean 1.0 like the paper's U[0.5,
-  // 1.5] draw) on a pool where a fraction of hosts is persistently slow.
-  smartred::fault::LognormalLatency tail(1.0, 1.2);
-  smartred::fault::SlowNodeLatency latency(
-      tail, slow_fraction, slowdown, smartred::rng::Stream(seed ^ 0x51AFu));
-  config.latency = &latency;
-  if (smart) {
-    config.deadline.adaptive = true;
-    config.deadline.quantile = 0.9;
-    config.deadline.multiplier = 1.5;
-    config.deadline.warmup = 50;
-    config.speculation.enabled = true;
-    config.speculation.max_copies = 2;
-    config.quarantine.enabled = true;
-    config.quarantine.strike_threshold = 3;
-    config.quarantine.backoff_base = 50.0;
-    config.quarantine.backoff_factor = 2.0;
-    config.quarantine.backoff_cap = 800.0;
-  }
-  const smartred::dca::SyntheticWorkload workload(tasks);
-  smartred::fault::ByzantineCollusion failures(
-      smartred::fault::ReliabilityAssigner(
-          smartred::fault::ConstantReliability{r},
-          smartred::rng::Stream(seed + 1)));
-  smartred::dca::TaskServer server(simulator, config, factory, workload,
-                                   failures);
-  return server.run();
+    std::uint64_t tasks, std::size_t nodes, double slow_fraction,
+    double slowdown, bool smart) {
+  return smartred::bench::run_dca_replications(
+      plan, tasks, [&](std::uint64_t rep_tasks, std::uint64_t rep_seed) {
+        smartred::sim::Simulator simulator;
+        smartred::dca::DcaConfig config;
+        config.nodes = nodes;
+        config.seed = rep_seed;
+        config.timeout = 25.0;  // pre-warmup fallback; fixed runs never
+                                // consult it
+        // Started-tasks-first isolates the straggler effect from the §5.2
+        // FIFO queueing artifact (ablation A10) in both modes.
+        config.queue_policy = smartred::dca::QueuePolicy::kStartedTasksFirst;
+        // Heavy-tailed base latency (lognormal, mean 1.0 like the paper's
+        // U[0.5, 1.5] draw) on a pool where a fraction of hosts is
+        // persistently slow.
+        smartred::fault::LognormalLatency tail(1.0, 1.2);
+        smartred::fault::SlowNodeLatency latency(
+            tail, slow_fraction, slowdown,
+            smartred::rng::Stream(smartred::rng::derive_seed(rep_seed, 2)));
+        config.latency = &latency;
+        if (smart) {
+          config.deadline.adaptive = true;
+          config.deadline.quantile = 0.9;
+          config.deadline.multiplier = 1.5;
+          config.deadline.warmup = 50;
+          config.speculation.enabled = true;
+          config.speculation.max_copies = 2;
+          config.quarantine.enabled = true;
+          config.quarantine.strike_threshold = 3;
+          config.quarantine.backoff_base = 50.0;
+          config.quarantine.backoff_factor = 2.0;
+          config.quarantine.backoff_cap = 800.0;
+        }
+        const smartred::dca::SyntheticWorkload workload(rep_tasks);
+        smartred::fault::ByzantineCollusion failures(
+            smartred::fault::ReliabilityAssigner(
+                smartred::fault::ConstantReliability{r},
+                smartred::rng::Stream(smartred::rng::derive_seed(rep_seed,
+                                                                 1))));
+        smartred::dca::TaskServer server(simulator, config, factory,
+                                         workload, failures);
+        return smartred::dca::RunMetrics(server.run());
+      });
 }
 
 }  // namespace
@@ -79,13 +85,12 @@ int main(int argc, char** argv) {
   const auto r = parser.add_double("reliability", 0.7, "node reliability");
   const auto tasks = parser.add_int("tasks", 10'000, "tasks per data point");
   const auto nodes = parser.add_int("nodes", 2'000, "pool size");
-  const auto seed = parser.add_int("seed", 3, "master seed");
-  const auto csv = parser.add_string("csv", "", "CSV output path (optional)");
+  const auto flags = smartred::bench::add_experiment_flags(
+      parser, /*default_reps=*/8, /*default_seed=*/3);
   parser.parse(argc, argv);
 
   const auto n_tasks = static_cast<std::uint64_t>(*tasks);
   const auto n_nodes = static_cast<std::size_t>(*nodes);
-  const auto master = static_cast<std::uint64_t>(*seed);
 
   const smartred::redundancy::TraditionalFactory tr(5);
   const smartred::redundancy::ProgressiveFactory pr(5);
@@ -99,11 +104,13 @@ int main(int argc, char** argv) {
   smartred::table::Table out({"strategy", "mode", "reliability", "cost",
                               "resp_mean", "resp_max", "speculative",
                               "timed_out", "quarantined", "makespan"});
+  std::uint64_t point = 0;
   for (const Setup& setup : setups) {
     for (const bool smart : {false, true}) {
       const auto metrics =
-          run_one(*setup.factory, *r, n_tasks, n_nodes, master,
-                  /*slow_fraction=*/0.1, /*slowdown=*/8.0, smart);
+          run_one(smartred::bench::plan_point(flags, point++), *setup.factory,
+                  *r, n_tasks, n_nodes, /*slow_fraction=*/0.1,
+                  /*slowdown=*/8.0, smart);
       out.add_row({setup.name, smart ? "adaptive+spec" : "fixed",
                    metrics.reliability(), metrics.cost_factor(),
                    metrics.response_time.mean(), metrics.response_time.max(),
@@ -113,7 +120,7 @@ int main(int argc, char** argv) {
                    metrics.makespan});
     }
   }
-  smartred::bench::emit(out, *csv, "modes");
+  smartred::bench::emit(out, *flags.csv, "modes");
 
   smartred::table::banner(
       std::cout,
@@ -121,16 +128,18 @@ int main(int argc, char** argv) {
   smartred::table::Table poison({"slow_fraction", "resp_fixed",
                                  "resp_smart", "quarantined", "readmitted"});
   for (const double fraction : {0.0, 0.05, 0.1, 0.2, 0.4}) {
-    const auto fixed = run_one(ir, *r, n_tasks / 2, n_nodes, master + 7,
-                               fraction, 8.0, /*smart=*/false);
-    const auto smart = run_one(ir, *r, n_tasks / 2, n_nodes, master + 7,
-                               fraction, 8.0, /*smart=*/true);
+    const auto fixed =
+        run_one(smartred::bench::plan_point(flags, point++), ir, *r,
+                n_tasks / 2, n_nodes, fraction, 8.0, /*smart=*/false);
+    const auto smart =
+        run_one(smartred::bench::plan_point(flags, point++), ir, *r,
+                n_tasks / 2, n_nodes, fraction, 8.0, /*smart=*/true);
     poison.add_row({fraction, fixed.response_time.mean(),
                     smart.response_time.mean(),
                     static_cast<long long>(smart.nodes_quarantined),
                     static_cast<long long>(smart.nodes_readmitted)});
   }
-  smartred::bench::emit(poison, *csv, "poisoning");
+  smartred::bench::emit(poison, *flags.csv, "poisoning");
 
   std::cout << "\nReading: under a heavy-tailed pool the fixed-timeout "
                "baseline has no straggler defence — mean response is set by "

@@ -2,14 +2,14 @@
 // wave; progressive is bounded by (k+1)/2 waves; iterative has an unbounded
 // but geometrically vanishing tail — the response-time trade-off behind
 // Figure 6. Prints the analytic wave distributions and measured percentiles.
+// The measured side merges --reps replications across --threads workers.
 #include <iostream>
 
-#include "bench_util.h"
 #include "common/flags.h"
 #include "common/table.h"
+#include "harness.h"
 #include "redundancy/analysis.h"
 #include "redundancy/iterative.h"
-#include "redundancy/montecarlo.h"
 #include "redundancy/progressive.h"
 
 namespace {
@@ -25,7 +25,8 @@ int main(int argc, char** argv) {
   const auto d = parser.add_int("d", 4, "iterative margin");
   const auto tasks = parser.add_int("tasks", 100'000,
                                     "Monte-Carlo tasks per technique");
-  const auto csv = parser.add_string("csv", "", "CSV output path (optional)");
+  const auto flags = smartred::bench::add_experiment_flags(
+      parser, /*default_reps=*/8, /*default_seed=*/11);
   parser.parse(argc, argv);
 
   const int kk = static_cast<int>(*k);
@@ -41,7 +42,7 @@ int main(int argc, char** argv) {
                   w < pr_dist.size() ? pr_dist[w] : 0.0,
                   w < ir_dist.size() ? ir_dist[w] : 0.0});
   }
-  smartred::bench::emit(dist, *csv, "analytic");
+  smartred::bench::emit(dist, *flags.csv, "analytic");
   std::cout << "PR waves bounded by (k+1)/2 = " << (kk + 1) / 2
             << " (distribution support: " << pr_dist.size() << ")\n"
             << "IR tail length at 1e-13 residual: " << ir_dist.size()
@@ -50,19 +51,19 @@ int main(int argc, char** argv) {
   smartred::table::banner(std::cout, "A2 — measured wave statistics");
   smartred::table::Table meas(
       {"technique", "mean_waves", "max_waves", "analytic_mean"});
-  smartred::redundancy::MonteCarloConfig config;
-  config.tasks = static_cast<std::uint64_t>(*tasks);
-  config.seed = 11;
-  const auto pr = smartred::redundancy::run_binary(
-      smartred::redundancy::ProgressiveFactory(kk), *r, config);
+  const auto n_tasks = static_cast<std::uint64_t>(*tasks);
+  const auto pr = smartred::bench::run_binary_mc(
+      smartred::bench::plan_point(flags, 0),
+      smartred::redundancy::ProgressiveFactory(kk), *r, n_tasks);
   meas.add_row({std::string("PR(k=") + std::to_string(kk) + ")",
                 pr.waves_per_task.mean(), pr.waves_per_task.max(),
                 analysis::expected_waves(pr_dist)});
-  const auto ir = smartred::redundancy::run_binary(
-      smartred::redundancy::IterativeFactory(dd), *r, config);
+  const auto ir = smartred::bench::run_binary_mc(
+      smartred::bench::plan_point(flags, 1),
+      smartred::redundancy::IterativeFactory(dd), *r, n_tasks);
   meas.add_row({std::string("IR(d=") + std::to_string(dd) + ")",
                 ir.waves_per_task.mean(), ir.waves_per_task.max(),
                 analysis::expected_waves(ir_dist)});
-  smartred::bench::emit(meas, *csv, "measured");
+  smartred::bench::emit(meas, *flags.csv, "measured");
   return 0;
 }

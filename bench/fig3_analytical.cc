@@ -7,9 +7,9 @@
 // the three series and the §3 worked examples (k = 19, d = 4).
 #include <iostream>
 
-#include "bench_util.h"
 #include "common/flags.h"
 #include "common/table.h"
+#include "harness.h"
 #include "redundancy/analysis.h"
 
 namespace {

@@ -3,44 +3,25 @@
 //
 // The paper's setup (§4.1): >= 1,000,000 tasks and 10,000 nodes, job
 // completion times uniform in [0.5, 1.5] time units, average node
-// reliability 0.7. Defaults here are scaled down so the whole bench suite
-// runs in minutes on one core; pass --tasks=1000000 --nodes=10000 for the
-// full-size runs (results match — the estimators are unbiased in task
-// count).
+// reliability 0.7. Each data point here is the merge of --reps independent
+// replications fanned across --threads workers (deterministic: the output
+// is byte-identical for any --threads value at a fixed --seed). Defaults
+// are scaled down so the whole bench suite runs in minutes; pass
+// --tasks=1000000 --nodes=10000 for the full-size runs (results match —
+// the estimators are unbiased in task count).
 #include <iostream>
 
-#include "bench_util.h"
 #include "common/flags.h"
 #include "common/table.h"
-#include "dca/task_server.h"
-#include "dca/workload.h"
-#include "fault/failure_model.h"
+#include "harness.h"
 #include "redundancy/analysis.h"
 #include "redundancy/iterative.h"
 #include "redundancy/progressive.h"
 #include "redundancy/traditional.h"
-#include "sim/simulator.h"
 
 namespace {
 
 namespace analysis = smartred::redundancy::analysis;
-
-smartred::dca::RunMetrics run_one(
-    const smartred::redundancy::StrategyFactory& factory, double r,
-    std::uint64_t tasks, std::size_t nodes, std::uint64_t seed) {
-  smartred::sim::Simulator simulator;
-  smartred::dca::DcaConfig config;
-  config.nodes = nodes;
-  config.seed = seed;
-  const smartred::dca::SyntheticWorkload workload(tasks);
-  smartred::fault::ByzantineCollusion failures(
-      smartred::fault::ReliabilityAssigner(
-          smartred::fault::ConstantReliability{r},
-          smartred::rng::Stream(seed ^ 0x9e3779b9u)));
-  smartred::dca::TaskServer server(simulator, config, factory, workload,
-                                   failures);
-  return server.run();
-}
 
 void add_row(smartred::table::Table& out, const std::string& technique,
              long long parameter, const smartred::dca::RunMetrics& metrics,
@@ -59,13 +40,16 @@ int main(int argc, char** argv) {
       "Figure 5(a) — measured reliability vs. cost factor on the DES DCA "
       "(XDEVS stand-in)");
   const auto r = parser.add_double("reliability", 0.7, "node reliability r");
-  const auto tasks = parser.add_int("tasks", 50'000,
-                                    "tasks per data point (paper: 1e6)");
+  const auto tasks = parser.add_int(
+      "tasks", 50'000, "tasks per data point, across reps (paper: 1e6)");
   const auto nodes = parser.add_int("nodes", 2'000,
-                                    "pool size (paper: 10000)");
-  const auto seed = parser.add_int("seed", 1, "master seed");
-  const auto csv = parser.add_string("csv", "", "CSV output path (optional)");
+                                    "pool size per replication (paper: 10000)");
+  const auto flags = smartred::bench::add_experiment_flags(parser);
   parser.parse(argc, argv);
+
+  const auto n_tasks = static_cast<std::uint64_t>(*tasks);
+  smartred::dca::DcaConfig base;
+  base.nodes = static_cast<std::size_t>(*nodes);
 
   smartred::table::banner(
       std::cout, "Figure 5(a) — XDEVS-style DCA simulation, r = " +
@@ -74,35 +58,33 @@ int main(int argc, char** argv) {
       {"technique", "param", "cost", "cost_eq", "reliability", "rel_eq",
        "max_jobs", "avg_response", "makespan"});
 
+  std::uint64_t point = 0;
   for (int k = 1; k <= 19; k += 4) {
     const smartred::redundancy::TraditionalFactory factory(k);
-    const auto metrics =
-        run_one(factory, *r, static_cast<std::uint64_t>(*tasks),
-                static_cast<std::size_t>(*nodes),
-                static_cast<std::uint64_t>(*seed));
+    const auto metrics = smartred::bench::run_byzantine_dca(
+        smartred::bench::plan_point(flags, point++), factory, *r, n_tasks,
+        base);
     add_row(out, "TR", k, metrics, analysis::traditional_cost(k),
             analysis::traditional_reliability(k, *r));
   }
   for (int k = 1; k <= 19; k += 4) {
     const smartred::redundancy::ProgressiveFactory factory(k);
-    const auto metrics =
-        run_one(factory, *r, static_cast<std::uint64_t>(*tasks),
-                static_cast<std::size_t>(*nodes),
-                static_cast<std::uint64_t>(*seed) + 1);
+    const auto metrics = smartred::bench::run_byzantine_dca(
+        smartred::bench::plan_point(flags, point++), factory, *r, n_tasks,
+        base);
     add_row(out, "PR", k, metrics, analysis::progressive_cost(k, *r),
             analysis::progressive_reliability(k, *r));
   }
   for (int d = 1; d <= 8; ++d) {
     const smartred::redundancy::IterativeFactory factory(d);
-    const auto metrics =
-        run_one(factory, *r, static_cast<std::uint64_t>(*tasks),
-                static_cast<std::size_t>(*nodes),
-                static_cast<std::uint64_t>(*seed) + 2);
+    const auto metrics = smartred::bench::run_byzantine_dca(
+        smartred::bench::plan_point(flags, point++), factory, *r, n_tasks,
+        base);
     add_row(out, "IR", d, metrics, analysis::iterative_cost(d, *r),
             analysis::iterative_reliability(d, *r));
   }
 
-  smartred::bench::emit(out, *csv, "fig5a");
+  smartred::bench::emit(out, *flags.csv, "fig5a");
   std::cout << "\nReading: at equal measured cost, IR achieves the highest "
                "reliability, PR second, TR last (paper Figure 5(a)).\n";
   return 0;

@@ -13,12 +13,11 @@
 // measure 2.7x at r ~ 0.90), declining to ~2.4x as r -> 1 (we measure 2.3x).
 #include <iostream>
 
-#include "bench_util.h"
 #include "common/flags.h"
 #include "common/table.h"
+#include "harness.h"
 #include "redundancy/analysis.h"
 #include "redundancy/iterative.h"
-#include "redundancy/montecarlo.h"
 #include "redundancy/progressive.h"
 
 namespace {
@@ -35,7 +34,7 @@ int main(int argc, char** argv) {
   const auto k = parser.add_int("k", 19, "reference traditional k");
   const auto cross_tasks = parser.add_int(
       "cross-tasks", 40'000, "tasks per Monte-Carlo cross-check point");
-  const auto csv = parser.add_string("csv", "", "CSV output path (optional)");
+  const auto flags = smartred::bench::add_experiment_flags(parser);
   parser.parse(argc, argv);
 
   const int ref_k = static_cast<int>(*k);
@@ -52,30 +51,31 @@ int main(int argc, char** argv) {
     out.add_row({r, analysis::progressive_improvement(ref_k, r),
                  analysis::iterative_improvement(ref_k, r)});
   }
-  smartred::bench::emit(out, *csv, "analytic");
+  smartred::bench::emit(out, *flags.csv, "analytic");
 
   smartred::table::banner(std::cout,
                           "Monte-Carlo cross-check (integer parameters)");
   smartred::table::Table check(
       {"r", "PR_cost_meas", "PR_improvement_meas", "IR_d", "IR_cost_meas",
        "IR_improvement_analytic"});
+  const auto n_tasks = static_cast<std::uint64_t>(*cross_tasks);
+  std::uint64_t point = 0;
   for (double r : {0.6, 0.7, 0.86, 0.95}) {
-    smartred::redundancy::MonteCarloConfig config;
-    config.tasks = static_cast<std::uint64_t>(*cross_tasks);
-    config.seed = static_cast<std::uint64_t>(r * 10'000);
-    const auto pr = smartred::redundancy::run_binary(
-        smartred::redundancy::ProgressiveFactory(ref_k), r, config);
+    const auto pr = smartred::bench::run_binary_mc(
+        smartred::bench::plan_point(flags, point++),
+        smartred::redundancy::ProgressiveFactory(ref_k), r, n_tasks);
     // Smallest integer margin meeting the matched reliability.
     const int d = analysis::margin_for_confidence(
         r, analysis::traditional_reliability(ref_k, r));
-    const auto ir = smartred::redundancy::run_binary(
-        smartred::redundancy::IterativeFactory(d), r, config);
+    const auto ir = smartred::bench::run_binary_mc(
+        smartred::bench::plan_point(flags, point++),
+        smartred::redundancy::IterativeFactory(d), r, n_tasks);
     check.add_row({r, pr.cost_factor(),
                    static_cast<double>(ref_k) / pr.cost_factor(),
                    static_cast<long long>(d), ir.cost_factor(),
                    analysis::iterative_improvement(ref_k, r)});
   }
-  smartred::bench::emit(check, *csv, "crosscheck");
+  smartred::bench::emit(check, *flags.csv, "crosscheck");
 
   std::cout << "\nReading: PR climbs monotonically toward 2.0x; IR rises "
                "from ~1.5x, peaks ~2.7x in the high-0.8s/low-0.9s, and "

@@ -5,41 +5,21 @@
 // The paper's finding (§5.2): traditional redundancy responds fastest
 // (single wave); progressive takes 1.4–2.5x longer, iterative 1.4–2.8x —
 // the price of dispatching in waves. The analytic overlay comes from the
-// wave-process expectations in redundancy/analysis.h.
+// wave-process expectations in redundancy/analysis.h. Each data point
+// merges --reps replications across --threads workers.
 #include <iostream>
 
-#include "bench_util.h"
 #include "common/flags.h"
 #include "common/table.h"
-#include "dca/task_server.h"
-#include "dca/workload.h"
-#include "fault/failure_model.h"
+#include "harness.h"
 #include "redundancy/analysis.h"
 #include "redundancy/iterative.h"
 #include "redundancy/progressive.h"
 #include "redundancy/traditional.h"
-#include "sim/simulator.h"
 
 namespace {
 
 namespace analysis = smartred::redundancy::analysis;
-
-smartred::dca::RunMetrics run_one(
-    const smartred::redundancy::StrategyFactory& factory, double r,
-    std::uint64_t tasks, std::size_t nodes, std::uint64_t seed) {
-  smartred::sim::Simulator simulator;
-  smartred::dca::DcaConfig config;
-  config.nodes = nodes;
-  config.seed = seed;
-  const smartred::dca::SyntheticWorkload workload(tasks);
-  smartred::fault::ByzantineCollusion failures(
-      smartred::fault::ReliabilityAssigner(
-          smartred::fault::ConstantReliability{r},
-          smartred::rng::Stream(seed * 31 + 7)));
-  smartred::dca::TaskServer server(simulator, config, factory, workload,
-                                   failures);
-  return server.run();
-}
 
 }  // namespace
 
@@ -49,13 +29,17 @@ int main(int argc, char** argv) {
       "Figure 6 — average task response time vs. cost factor (DES runs + "
       "analytic overlay)");
   const auto r = parser.add_double("reliability", 0.7, "node reliability r");
-  const auto tasks = parser.add_int("tasks", 20'000, "tasks per data point");
+  const auto tasks = parser.add_int("tasks", 20'000,
+                                    "tasks per data point, across reps");
   const auto nodes = parser.add_int(
       "nodes", 100'000,
       "pool size; large default so queueing does not distort response time");
-  const auto seed = parser.add_int("seed", 1, "master seed");
-  const auto csv = parser.add_string("csv", "", "CSV output path (optional)");
+  const auto flags = smartred::bench::add_experiment_flags(parser);
   parser.parse(argc, argv);
+
+  const auto n_tasks = static_cast<std::uint64_t>(*tasks);
+  smartred::dca::DcaConfig base;
+  base.nodes = static_cast<std::size_t>(*nodes);
 
   smartred::table::banner(std::cout,
                           "Figure 6 — response time vs. cost factor, r = " +
@@ -73,32 +57,30 @@ int main(int argc, char** argv) {
                  metrics.waves_per_task.mean()});
   };
 
+  std::uint64_t point = 0;
   for (int k = 1; k <= 25; k += 4) {
     const smartred::redundancy::TraditionalFactory factory(k);
-    const auto metrics =
-        run_one(factory, *r, static_cast<std::uint64_t>(*tasks),
-                static_cast<std::size_t>(*nodes),
-                static_cast<std::uint64_t>(*seed));
+    const auto metrics = smartred::bench::run_byzantine_dca(
+        smartred::bench::plan_point(flags, point++), factory, *r, n_tasks,
+        base);
     emit_row("TR", k, metrics, analysis::expected_response_traditional(k));
   }
   for (int k = 1; k <= 25; k += 4) {
     const smartred::redundancy::ProgressiveFactory factory(k);
-    const auto metrics =
-        run_one(factory, *r, static_cast<std::uint64_t>(*tasks),
-                static_cast<std::size_t>(*nodes),
-                static_cast<std::uint64_t>(*seed) + 1);
+    const auto metrics = smartred::bench::run_byzantine_dca(
+        smartred::bench::plan_point(flags, point++), factory, *r, n_tasks,
+        base);
     emit_row("PR", k, metrics, analysis::expected_response_progressive(k, *r));
   }
   for (int d = 1; d <= 12; d += 2) {
     const smartred::redundancy::IterativeFactory factory(d);
-    const auto metrics =
-        run_one(factory, *r, static_cast<std::uint64_t>(*tasks),
-                static_cast<std::size_t>(*nodes),
-                static_cast<std::uint64_t>(*seed) + 2);
+    const auto metrics = smartred::bench::run_byzantine_dca(
+        smartred::bench::plan_point(flags, point++), factory, *r, n_tasks,
+        base);
     emit_row("IR", d, metrics, analysis::expected_response_iterative(d, *r));
   }
 
-  smartred::bench::emit(out, *csv, "fig6");
+  smartred::bench::emit(out, *flags.csv, "fig6");
 
   // The paper's summary ratios at matched reliability.
   const int k = 19;

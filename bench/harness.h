@@ -1,0 +1,195 @@
+// Shared experiment harness for the figure-reproduction and ablation
+// benches: table/CSV emission, the standard replication flags
+// (--reps / --threads / --seed / --csv), and deterministic parallel
+// replication of the two experiment drivers (the DES-backed DCA and the
+// wave-level Monte-Carlo sampler) via exp::ParallelRunner.
+//
+// Every data point is the merge of `--reps` replications whose seeds are
+// derived from one master seed; the merged aggregate is bit-identical for
+// any --threads value (see src/exp/parallel_runner.h for the contract).
+// Each bench numbers its data points and calls plan_point(flags, number) so
+// that points get independent seed streams while staying reproducible from
+// the single --seed flag.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "dca/metrics.h"
+#include "dca/task_server.h"
+#include "dca/workload.h"
+#include "exp/parallel_runner.h"
+#include "fault/failure_model.h"
+#include "redundancy/montecarlo.h"
+#include "redundancy/strategy.h"
+#include "sim/simulator.h"
+
+namespace smartred::bench {
+
+/// Prints a table and, when `csv_path` is non-empty, mirrors it to CSV
+/// (suffixing `tag` before the extension so one binary can emit several
+/// series files).
+inline void emit(const table::Table& data, const std::string& csv_path,
+                 const std::string& tag) {
+  data.print(std::cout);
+  if (csv_path.empty()) return;
+  std::string path = csv_path;
+  const auto dot = path.rfind('.');
+  const std::string suffix = "_" + tag;
+  if (dot == std::string::npos) {
+    path += suffix;
+  } else {
+    path.insert(dot, suffix);
+  }
+  data.write_csv(path);
+  std::cout << "(written to " << path << ")\n";
+}
+
+/// Handles to the standard replication flags every experiment binary takes.
+struct ExperimentFlags {
+  std::shared_ptr<std::int64_t> reps;
+  std::shared_ptr<std::int64_t> threads;
+  std::shared_ptr<std::int64_t> seed;
+  std::shared_ptr<std::string> csv;
+};
+
+/// Registers --reps, --threads, --seed, and --csv on `parser`.
+inline ExperimentFlags add_experiment_flags(flags::Parser& parser,
+                                            std::int64_t default_reps = 8,
+                                            std::int64_t default_seed = 1) {
+  ExperimentFlags handles;
+  handles.reps = parser.add_int("reps", default_reps,
+                                "replications merged per data point");
+  handles.threads = parser.add_int(
+      "threads", 0, "worker threads (0 = one per hardware thread)");
+  handles.seed = parser.add_int("seed", default_seed, "master seed");
+  handles.csv = parser.add_string("csv", "", "CSV output path (optional)");
+  return handles;
+}
+
+/// The runner configuration for data point number `point`: --reps
+/// replications on --threads workers, with a master seed derived from
+/// --seed so distinct points never share replication seed streams.
+inline exp::RunnerConfig plan_point(const ExperimentFlags& flags,
+                                    std::uint64_t point) {
+  exp::RunnerConfig config;
+  config.replications =
+      *flags.reps > 0 ? static_cast<std::uint64_t>(*flags.reps) : 1;
+  config.threads = static_cast<unsigned>(*flags.threads);
+  config.master_seed =
+      rng::derive_seed(static_cast<std::uint64_t>(*flags.seed), point);
+  return config;
+}
+
+/// `plan` with its replication count clamped so no replication receives
+/// zero tasks (the drivers require at least one task per run). The clamp
+/// depends only on the flags, never on thread scheduling.
+[[nodiscard]] inline exp::RunnerConfig clamp_to_tasks(
+    const exp::RunnerConfig& plan, std::uint64_t total_tasks) {
+  exp::RunnerConfig effective = plan;
+  effective.replications =
+      std::min(plan.replications, std::max<std::uint64_t>(total_tasks, 1));
+  return effective;
+}
+
+/// Merged metrics of `plan.replications` DCA replications that together
+/// simulate `total_tasks` tasks (split as evenly as possible).
+/// `run_rep(rep_tasks, rep_seed) -> dca::RunMetrics` must be pure in its
+/// arguments — it is called concurrently from worker threads.
+template <typename RunRep>
+[[nodiscard]] dca::RunMetrics run_dca_replications(
+    const exp::RunnerConfig& plan, std::uint64_t total_tasks,
+    RunRep&& run_rep) {
+  const exp::RunnerConfig effective = clamp_to_tasks(plan, total_tasks);
+  exp::ParallelRunner runner(effective);
+  return runner.run_merged([&](std::uint64_t rep, std::uint64_t rep_seed) {
+    return run_rep(
+        exp::partition_size(total_tasks, effective.replications, rep),
+        rep_seed);
+  });
+}
+
+/// One replicated DCA data point with a caller-built failure model:
+/// `make_failures(rep_seed)` returns the model by value (each replication
+/// owns its own — failure models hold RNG state and are not shareable
+/// across threads). `base` must not carry a latency model for the same
+/// reason; replications needing one should use run_dca_replications.
+template <typename MakeFailures>
+[[nodiscard]] dca::RunMetrics run_dca_point(
+    const exp::RunnerConfig& plan, const redundancy::StrategyFactory& factory,
+    std::uint64_t total_tasks, const dca::DcaConfig& base,
+    MakeFailures&& make_failures) {
+  return run_dca_replications(
+      plan, total_tasks,
+      [&](std::uint64_t rep_tasks, std::uint64_t rep_seed) {
+        sim::Simulator simulator;
+        dca::DcaConfig config = base;
+        config.seed = rep_seed;
+        const dca::SyntheticWorkload workload(rep_tasks);
+        auto failures = make_failures(rep_seed);
+        dca::TaskServer server(simulator, config, factory, workload,
+                               failures);
+        return dca::RunMetrics(server.run());
+      });
+}
+
+/// The canonical Figure 5(a)/6 setup: constant node reliability `r` under
+/// binary Byzantine collusion.
+[[nodiscard]] inline dca::RunMetrics run_byzantine_dca(
+    const exp::RunnerConfig& plan, const redundancy::StrategyFactory& factory,
+    double reliability, std::uint64_t total_tasks,
+    const dca::DcaConfig& base = {}) {
+  return run_dca_point(plan, factory, total_tasks, base,
+                       [reliability](std::uint64_t rep_seed) {
+                         return fault::ByzantineCollusion(
+                             fault::ReliabilityAssigner(
+                                 fault::ConstantReliability{reliability},
+                                 rng::Stream(rng::derive_seed(rep_seed, 1))));
+                       });
+}
+
+/// Merged Monte-Carlo results of `plan.replications` replications that
+/// together sample `total_tasks` tasks through `factory`'s strategy on
+/// arbitrary vote sources. The source is shared across workers and must be
+/// thread-safe (pure captures; all randomness through the passed stream).
+[[nodiscard]] inline redundancy::MonteCarloResult run_custom_mc(
+    const exp::RunnerConfig& plan, const redundancy::StrategyFactory& factory,
+    const redundancy::VoteSource& source, redundancy::ResultValue correct,
+    std::uint64_t total_tasks, int max_jobs_per_task = 100'000) {
+  const exp::RunnerConfig effective = clamp_to_tasks(plan, total_tasks);
+  exp::ParallelRunner runner(effective);
+  return runner.run_merged([&](std::uint64_t rep, std::uint64_t rep_seed) {
+    redundancy::MonteCarloConfig config;
+    config.tasks =
+        exp::partition_size(total_tasks, effective.replications, rep);
+    config.seed = rep_seed;
+    config.max_jobs_per_task = max_jobs_per_task;
+    return run_custom(factory, source, correct, config);
+  });
+}
+
+/// run_custom_mc() for the binary worst case at constant reliability.
+[[nodiscard]] inline redundancy::MonteCarloResult run_binary_mc(
+    const exp::RunnerConfig& plan, const redundancy::StrategyFactory& factory,
+    double reliability, std::uint64_t total_tasks,
+    int max_jobs_per_task = 100'000) {
+  const exp::RunnerConfig effective = clamp_to_tasks(plan, total_tasks);
+  exp::ParallelRunner runner(effective);
+  return runner.run_merged([&](std::uint64_t rep, std::uint64_t rep_seed) {
+    redundancy::MonteCarloConfig config;
+    config.tasks =
+        exp::partition_size(total_tasks, effective.replications, rep);
+    config.seed = rep_seed;
+    config.max_jobs_per_task = max_jobs_per_task;
+    return run_binary(factory, reliability, config);
+  });
+}
+
+}  // namespace smartred::bench

@@ -30,6 +30,14 @@ std::uint64_t splitmix64(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+std::uint64_t derive_seed(std::uint64_t master_seed, std::uint64_t index) {
+  // SplitMix64's state advances by a fixed gamma per step, so the state
+  // before output i+1 is master + i*gamma; one splitmix64() call both adds
+  // the remaining gamma and mixes.
+  std::uint64_t state = master_seed + index * 0x9e3779b97f4a7c15ull;
+  return splitmix64(state);
+}
+
 Stream::Stream(std::uint64_t seed) {
   // SplitMix64 guarantees a non-degenerate (not all-zero) xoshiro state.
   std::uint64_t s = seed;

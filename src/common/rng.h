@@ -20,6 +20,14 @@ namespace smartred::rng {
 /// Advances `state` and returns the next 64-bit output.
 std::uint64_t splitmix64(std::uint64_t& state);
 
+/// Derives the seed of sub-stream `index` of the SplitMix64 stream seeded by
+/// `master_seed` — counter-based (O(1) in `index`, no sequential advance), so
+/// parallel workers can claim replication seeds in any order and still agree
+/// bit-for-bit with a serial run. derive_seed(m, i) equals the (i+1)-th
+/// output of the SplitMix64 stream started at m.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t master_seed,
+                                        std::uint64_t index);
+
 /// A xoshiro256** pseudo-random generator (Blackman & Vigna).
 ///
 /// Satisfies std::uniform_random_bit_generator, so it can be used with

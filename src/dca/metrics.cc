@@ -1,8 +1,35 @@
 #include "dca/metrics.h"
 
+#include <algorithm>
+
 #include "common/expect.h"
 
 namespace smartred::dca {
+
+void RunMetrics::merge(const RunMetrics& other) {
+  tasks_total += other.tasks_total;
+  tasks_correct += other.tasks_correct;
+  tasks_aborted += other.tasks_aborted;
+  jobs_dispatched += other.jobs_dispatched;
+  jobs_completed += other.jobs_completed;
+  jobs_correct += other.jobs_correct;
+  jobs_lost += other.jobs_lost;
+  jobs_discarded += other.jobs_discarded;
+  jobs_unrun += other.jobs_unrun;
+  jobs_speculative += other.jobs_speculative;
+  jobs_timed_out += other.jobs_timed_out;
+  nodes_joined += other.nodes_joined;
+  nodes_left += other.nodes_left;
+  nodes_quarantined += other.nodes_quarantined;
+  nodes_readmitted += other.nodes_readmitted;
+  max_jobs_single_task =
+      std::max(max_jobs_single_task, other.max_jobs_single_task);
+  jobs_per_task.merge(other.jobs_per_task);
+  waves_per_task.merge(other.waves_per_task);
+  response_time.merge(other.response_time);
+  deadline_estimate.merge(other.deadline_estimate);
+  makespan = std::max(makespan, other.makespan);
+}
 
 double RunMetrics::cost_factor() const {
   SMARTRED_EXPECT(tasks_total > 0, "cost_factor() of an empty run");

@@ -53,6 +53,17 @@ struct RunMetrics {
     return jobs_dispatched ==
            jobs_completed + jobs_lost + jobs_discarded + jobs_unrun;
   }
+
+  /// Accumulates another run's metrics into this one, as if the two runs
+  /// were replications of a single larger experiment: counters add,
+  /// streaming statistics merge, extrema take the max. `makespan` is the
+  /// max of the two — replications are independent parallel universes, so
+  /// the merged makespan is the slowest of them, consistent with the
+  /// makespan-pinning rule (it marks the end of useful work, and no
+  /// replication's work extends another's). Associative and commutative in
+  /// exact arithmetic; the parallel runner fixes the fold order so merged
+  /// aggregates are bit-identical at any thread count.
+  void merge(const RunMetrics& other);
 };
 
 }  // namespace smartred::dca

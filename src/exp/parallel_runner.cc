@@ -1,0 +1,27 @@
+#include "exp/parallel_runner.h"
+
+namespace smartred::exp {
+
+unsigned resolve_threads(unsigned requested) {
+  if (requested != 0) return requested;
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware > 0 ? hardware : 1;
+}
+
+std::uint64_t partition_size(std::uint64_t total, std::uint64_t parts,
+                             std::uint64_t index) {
+  SMARTRED_EXPECT(parts > 0, "partition needs at least one part");
+  SMARTRED_EXPECT(index < parts, "partition index out of range");
+  return total / parts + (index < total % parts ? 1 : 0);
+}
+
+std::uint64_t partition_offset(std::uint64_t total, std::uint64_t parts,
+                               std::uint64_t index) {
+  SMARTRED_EXPECT(parts > 0, "partition needs at least one part");
+  SMARTRED_EXPECT(index < parts, "partition index out of range");
+  const std::uint64_t base = total / parts;
+  const std::uint64_t extra = total % parts;
+  return index * base + std::min(index, extra);
+}
+
+}  // namespace smartred::exp

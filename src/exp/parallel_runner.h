@@ -1,0 +1,146 @@
+// Deterministic parallel experiment engine.
+//
+// Every figure and ablation is an average over many Monte-Carlo
+// replications. ParallelRunner fans N replications out across a pool of
+// worker threads; each replication gets an independent seed derived from
+// one master seed by a counter-based SplitMix64 split (rng::derive_seed),
+// runs on its own Simulator (or Monte-Carlo driver), and deposits its
+// result into a slot indexed by replication number. Reduction then walks
+// the slots in replication order on the calling thread — so the merged
+// aggregate is bit-identical whether the replications ran on 1 thread or
+// 16, and identical to a serial loop over the same seeds.
+//
+// Determinism contract: the replication function must depend only on its
+// (index, seed) arguments — no shared mutable state, no wall clock, no
+// global RNG. Everything in src/ satisfies this by construction (all
+// randomness flows through rng::Stream objects seeded explicitly).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/expect.h"
+#include "common/rng.h"
+
+namespace smartred::exp {
+
+/// How a batch of replications is executed.
+struct RunnerConfig {
+  /// Number of independent replications to run.
+  std::uint64_t replications = 1;
+  /// Worker threads; 0 means one per hardware thread.
+  unsigned threads = 0;
+  /// Master seed; replication i runs with rng::derive_seed(master_seed, i).
+  std::uint64_t master_seed = 1;
+};
+
+/// Resolves a requested thread count: 0 -> hardware concurrency (at least
+/// 1); anything else is returned unchanged.
+[[nodiscard]] unsigned resolve_threads(unsigned requested);
+
+/// Size of part `index` when `total` work items are split as evenly as
+/// possible across `parts` (the first total % parts parts get one extra).
+/// Requires parts > 0 and index < parts.
+[[nodiscard]] std::uint64_t partition_size(std::uint64_t total,
+                                           std::uint64_t parts,
+                                           std::uint64_t index);
+
+/// First work item of part `index` under the partition_size() split.
+[[nodiscard]] std::uint64_t partition_offset(std::uint64_t total,
+                                             std::uint64_t parts,
+                                             std::uint64_t index);
+
+/// Runs experiment replications across a worker-thread pool.
+class ParallelRunner {
+ public:
+  explicit ParallelRunner(RunnerConfig config) : config_(config) {
+    SMARTRED_EXPECT(config.replications > 0,
+                    "a run needs at least one replication");
+  }
+
+  [[nodiscard]] const RunnerConfig& config() const { return config_; }
+
+  /// Runs `fn(replication_index, replication_seed)` for every replication
+  /// and returns the results ordered by replication index (independent of
+  /// which worker computed which). Workers claim indices from an atomic
+  /// counter, so stragglers never idle the pool. The first exception thrown
+  /// by any replication is rethrown here after all workers have stopped.
+  template <typename Fn>
+  [[nodiscard]] auto run(Fn&& fn)
+      -> std::vector<std::invoke_result_t<Fn&, std::uint64_t, std::uint64_t>> {
+    using Result = std::invoke_result_t<Fn&, std::uint64_t, std::uint64_t>;
+    static_assert(std::is_default_constructible_v<Result>,
+                  "replication results must be default-constructible slots");
+    const std::uint64_t n = config_.replications;
+    std::vector<Result> results(n);
+    const unsigned workers = static_cast<unsigned>(
+        std::min<std::uint64_t>(resolve_threads(config_.threads), n));
+
+    std::atomic<std::uint64_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+
+    auto worker = [&] {
+      while (!failed.load(std::memory_order_relaxed)) {
+        const std::uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        try {
+          results[i] = fn(i, rng::derive_seed(config_.master_seed, i));
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!error) error = std::current_exception();
+          failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
+    };
+
+    if (workers <= 1) {
+      worker();
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(workers);
+      for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
+      for (std::thread& thread : pool) thread.join();
+    }
+    if (error) std::rethrow_exception(error);
+    return results;
+  }
+
+  /// Runs all replications and folds them left-to-right in replication
+  /// order with `merge(accumulator, result)` — a deterministic reduction:
+  /// the fold order is fixed by index, never by completion order. The
+  /// first replication's result seeds the accumulator.
+  template <typename Fn, typename Merge>
+  [[nodiscard]] auto run_merged(Fn&& fn, Merge&& merge)
+      -> std::invoke_result_t<Fn&, std::uint64_t, std::uint64_t> {
+    auto results = run(std::forward<Fn>(fn));
+    auto merged = std::move(results.front());
+    for (std::size_t i = 1; i < results.size(); ++i) {
+      merge(merged, results[i]);
+    }
+    return merged;
+  }
+
+  /// run_merged() for result types with a `merge(const Result&)` member
+  /// (dca::RunMetrics, redundancy::MonteCarloResult).
+  template <typename Fn>
+  [[nodiscard]] auto run_merged(Fn&& fn)
+      -> std::invoke_result_t<Fn&, std::uint64_t, std::uint64_t> {
+    return run_merged(std::forward<Fn>(fn),
+                      [](auto& into, const auto& from) { into.merge(from); });
+  }
+
+ private:
+  RunnerConfig config_;
+};
+
+}  // namespace smartred::exp

@@ -21,6 +21,17 @@ stats::Interval MonteCarloResult::reliability_interval(double z) const {
   return stats::wilson_interval(tasks_correct, tasks, z);
 }
 
+void MonteCarloResult::merge(const MonteCarloResult& other) {
+  tasks += other.tasks;
+  tasks_correct += other.tasks_correct;
+  tasks_aborted += other.tasks_aborted;
+  jobs_total += other.jobs_total;
+  max_jobs_single_task =
+      std::max(max_jobs_single_task, other.max_jobs_single_task);
+  jobs_per_task.merge(other.jobs_per_task);
+  waves_per_task.merge(other.waves_per_task);
+}
+
 MonteCarloResult run_custom(const StrategyFactory& factory,
                             const VoteSource& source,
                             ResultValue correct_value,

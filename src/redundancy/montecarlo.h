@@ -43,6 +43,12 @@ struct MonteCarloResult {
   [[nodiscard]] double reliability() const;
   /// Wilson score interval on the measured reliability (z = 1.96 is 95%).
   [[nodiscard]] stats::Interval reliability_interval(double z = 1.96) const;
+
+  /// Accumulates another run's results into this one (counters add,
+  /// streaming statistics merge, extrema take the max) — the reduction the
+  /// parallel experiment runner applies across replications, in a fixed
+  /// fold order so merged aggregates are bit-identical at any thread count.
+  void merge(const MonteCarloResult& other);
 };
 
 struct MonteCarloConfig {

@@ -1,0 +1,187 @@
+// RunMetrics::merge is the reduction step of the parallel experiment
+// runner: counters add, streaming statistics merge, extrema take the max,
+// and makespan is the max of the two (replications are independent parallel
+// universes; the slowest one ends the merged experiment, consistent with
+// the makespan-pinning rule).
+#include "dca/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace smartred::dca {
+namespace {
+
+RunMetrics sample_a() {
+  RunMetrics m;
+  m.tasks_total = 100;
+  m.tasks_correct = 90;
+  m.tasks_aborted = 2;
+  m.jobs_dispatched = 500;
+  m.jobs_completed = 450;
+  m.jobs_correct = 400;
+  m.jobs_lost = 30;
+  m.jobs_discarded = 15;
+  m.jobs_unrun = 5;
+  m.jobs_speculative = 7;
+  m.jobs_timed_out = 11;
+  m.nodes_joined = 3;
+  m.nodes_left = 4;
+  m.nodes_quarantined = 2;
+  m.nodes_readmitted = 1;
+  m.max_jobs_single_task = 12;
+  m.jobs_per_task.add(5.0);
+  m.jobs_per_task.add(7.0);
+  m.waves_per_task.add(2.0);
+  m.response_time.add(1.5);
+  m.response_time.add(2.5);
+  m.deadline_estimate.add(3.0);
+  m.makespan = 40.0;
+  return m;
+}
+
+RunMetrics sample_b() {
+  RunMetrics m;
+  m.tasks_total = 50;
+  m.tasks_correct = 44;
+  m.tasks_aborted = 1;
+  m.jobs_dispatched = 300;
+  m.jobs_completed = 260;
+  m.jobs_correct = 220;
+  m.jobs_lost = 25;
+  m.jobs_discarded = 10;
+  m.jobs_unrun = 5;
+  m.jobs_speculative = 3;
+  m.jobs_timed_out = 6;
+  m.nodes_joined = 1;
+  m.nodes_left = 2;
+  m.nodes_quarantined = 5;
+  m.nodes_readmitted = 4;
+  m.max_jobs_single_task = 20;
+  m.jobs_per_task.add(6.0);
+  m.waves_per_task.add(3.0);
+  m.waves_per_task.add(4.0);
+  m.response_time.add(9.0);
+  m.deadline_estimate.add(5.0);
+  m.deadline_estimate.add(7.0);
+  m.makespan = 25.0;
+  return m;
+}
+
+TEST(RunMetricsMergeTest, CountersAdd) {
+  RunMetrics merged = sample_a();
+  merged.merge(sample_b());
+  EXPECT_EQ(merged.tasks_total, 150u);
+  EXPECT_EQ(merged.tasks_correct, 134u);
+  EXPECT_EQ(merged.tasks_aborted, 3u);
+  EXPECT_EQ(merged.jobs_dispatched, 800u);
+  EXPECT_EQ(merged.jobs_completed, 710u);
+  EXPECT_EQ(merged.jobs_correct, 620u);
+  EXPECT_EQ(merged.jobs_lost, 55u);
+  EXPECT_EQ(merged.jobs_discarded, 25u);
+  EXPECT_EQ(merged.jobs_unrun, 10u);
+  EXPECT_EQ(merged.jobs_speculative, 10u);
+  EXPECT_EQ(merged.jobs_timed_out, 17u);
+  EXPECT_EQ(merged.nodes_joined, 4u);
+  EXPECT_EQ(merged.nodes_left, 6u);
+  EXPECT_EQ(merged.nodes_quarantined, 7u);
+  EXPECT_EQ(merged.nodes_readmitted, 5u);
+}
+
+TEST(RunMetricsMergeTest, ExtremaTakeTheMax) {
+  RunMetrics merged = sample_a();
+  merged.merge(sample_b());
+  EXPECT_EQ(merged.max_jobs_single_task, 20);
+  EXPECT_EQ(merged.makespan, 40.0);
+
+  // Order must not matter for the extrema.
+  RunMetrics other = sample_b();
+  other.merge(sample_a());
+  EXPECT_EQ(other.max_jobs_single_task, 20);
+  EXPECT_EQ(other.makespan, 40.0);
+}
+
+TEST(RunMetricsMergeTest, StreamingStatsMerge) {
+  RunMetrics merged = sample_a();
+  merged.merge(sample_b());
+  EXPECT_EQ(merged.jobs_per_task.count(), 3u);
+  EXPECT_DOUBLE_EQ(merged.jobs_per_task.mean(), 6.0);
+  EXPECT_EQ(merged.waves_per_task.count(), 3u);
+  EXPECT_DOUBLE_EQ(merged.waves_per_task.mean(), 3.0);
+  EXPECT_EQ(merged.response_time.count(), 3u);
+  EXPECT_DOUBLE_EQ(merged.response_time.max(), 9.0);
+}
+
+TEST(RunMetricsMergeTest, DeadlineEstimatesAggregate) {
+  RunMetrics merged = sample_a();
+  merged.merge(sample_b());
+  EXPECT_EQ(merged.deadline_estimate.count(), 3u);
+  EXPECT_DOUBLE_EQ(merged.deadline_estimate.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(merged.deadline_estimate.min(), 3.0);
+  EXPECT_DOUBLE_EQ(merged.deadline_estimate.max(), 7.0);
+}
+
+TEST(RunMetricsMergeTest, DerivedRatesComeFromPooledCounts) {
+  RunMetrics merged = sample_a();
+  merged.merge(sample_b());
+  EXPECT_DOUBLE_EQ(merged.reliability(), 134.0 / 150.0);
+  EXPECT_DOUBLE_EQ(merged.cost_factor(), 800.0 / 150.0);
+  EXPECT_DOUBLE_EQ(merged.empirical_node_reliability(), 620.0 / 710.0);
+}
+
+TEST(RunMetricsMergeTest, ConservationSurvivesMerge) {
+  RunMetrics a = sample_a();
+  const RunMetrics b = sample_b();
+  ASSERT_TRUE(a.jobs_conserved());
+  ASSERT_TRUE(b.jobs_conserved());
+  a.merge(b);
+  EXPECT_TRUE(a.jobs_conserved());
+}
+
+TEST(RunMetricsMergeTest, MergeWithEmptyIsIdentity) {
+  RunMetrics merged = sample_a();
+  merged.merge(RunMetrics{});
+  const RunMetrics expected = sample_a();
+  EXPECT_EQ(merged.tasks_total, expected.tasks_total);
+  EXPECT_EQ(merged.jobs_dispatched, expected.jobs_dispatched);
+  EXPECT_EQ(merged.max_jobs_single_task, expected.max_jobs_single_task);
+  EXPECT_EQ(merged.makespan, expected.makespan);
+  EXPECT_EQ(merged.jobs_per_task.count(), expected.jobs_per_task.count());
+  EXPECT_DOUBLE_EQ(merged.jobs_per_task.mean(), expected.jobs_per_task.mean());
+  EXPECT_EQ(merged.deadline_estimate.count(),
+            expected.deadline_estimate.count());
+
+  RunMetrics onto_empty;
+  onto_empty.merge(sample_a());
+  EXPECT_EQ(onto_empty.tasks_total, expected.tasks_total);
+  EXPECT_EQ(onto_empty.jobs_per_task.count(),
+            expected.jobs_per_task.count());
+  EXPECT_DOUBLE_EQ(onto_empty.jobs_per_task.mean(),
+                   expected.jobs_per_task.mean());
+  EXPECT_EQ(onto_empty.makespan, expected.makespan);
+}
+
+TEST(RunMetricsMergeTest, AssociativeOnCountsAndExtrema) {
+  RunMetrics left = sample_a();
+  left.merge(sample_b());
+  RunMetrics c;
+  c.tasks_total = 10;
+  c.jobs_dispatched = 40;
+  c.jobs_completed = 40;
+  c.max_jobs_single_task = 33;
+  c.makespan = 100.0;
+  left.merge(c);
+
+  RunMetrics right_inner = sample_b();
+  right_inner.merge(c);
+  RunMetrics right = sample_a();
+  right.merge(right_inner);
+
+  EXPECT_EQ(left.tasks_total, right.tasks_total);
+  EXPECT_EQ(left.jobs_dispatched, right.jobs_dispatched);
+  EXPECT_EQ(left.max_jobs_single_task, right.max_jobs_single_task);
+  EXPECT_EQ(left.makespan, right.makespan);
+}
+
+}  // namespace
+}  // namespace smartred::dca
