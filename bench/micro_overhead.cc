@@ -2,17 +2,74 @@
 // redundancy strategy, the naïve algorithm's probability computations, the
 // DES kernel's event throughput, and the RNG. These quantify the paper's
 // §5.1 point that iterative redundancy adds essentially no bookkeeping.
+//
+// The kernel-focused benchmarks (BM_KernelChurn, BM_KernelScheduleCancel,
+// BM_RunBinaryMonteCarlo) exercise the two hot paths every figure bench
+// spends its time in: the slot-arena DES kernel and the Monte-Carlo task
+// loop. They are the numbers behind BENCH_kernel.json (see --json below).
+//
+// Besides the standard google-benchmark flags, this binary accepts
+//   --json[=PATH]   append this run's ns/op (plus git rev and date) to a
+//                   JSON array at PATH (default BENCH_kernel.json), creating
+//                   the file if missing — the repo's tracked perf baseline.
+//
+// The binary overrides global operator new/delete with counting versions so
+// the kernel benchmarks can report allocs_per_event — the steady-state
+// schedule→fire path must show 0.00 there (zero-allocation hot path).
 #include <benchmark/benchmark.h>
 
+// The counting operator new below is malloc-backed and pairs with a
+// free()-backed operator delete; GCC's heuristic cannot see the pairing
+// across the replaced global operators and misfires.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+#include <new>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/rng.h"
 #include "redundancy/analysis.h"
 #include "redundancy/iterative.h"
 #include "redundancy/iterative_naive.h"
+#include "redundancy/montecarlo.h"
 #include "redundancy/progressive.h"
 #include "redundancy/traditional.h"
 #include "sim/simulator.h"
+
+namespace {
+
+/// Every heap allocation made by this binary, from any path. The kernel
+/// benchmarks snapshot it around the measured region to report allocations
+/// per event.
+std::atomic<std::uint64_t> g_allocations{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -92,6 +149,113 @@ void BM_SimulatorEventThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorEventThroughput);
 
+/// Self-sustaining event load: every fired event schedules its successor, so
+/// the number of pending events stays constant — the classic "hold" workload
+/// that measures steady-state schedule→fire churn at a given backlog.
+struct ChurnLoad {
+  sim::Simulator sim;
+  std::uint64_t fired = 0;
+  std::uint64_t lcg = 0x243F6A8885A308D3ull;
+
+  /// Cheap deterministic delay in [0, 100) — an LCG, so the benchmark never
+  /// measures the production RNG.
+  double next_delay() {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<double>(lcg >> 11) * (100.0 / 9007199254740992.0);
+  }
+
+  void seed_one() {
+    sim.schedule(next_delay(), [this] { fire(); });
+  }
+  void fire() {
+    ++fired;
+    sim.schedule(next_delay(), [this] { fire(); });
+  }
+};
+
+/// Steady-state schedule→fire churn with range(0) events pending. This is
+/// the kernel number the slot-arena rework targets; allocs_per_event must
+/// read 0.00 once the arena has warmed up.
+void BM_KernelChurn(benchmark::State& state) {
+  constexpr std::uint64_t kBatch = 1024;
+  ChurnLoad load;
+  for (std::int64_t i = 0; i < state.range(0); ++i) load.seed_one();
+  load.sim.step(kBatch);  // warm up: reach steady-state arena occupancy
+  std::uint64_t allocations = 0;
+  for (auto _ : state) {
+    const std::uint64_t before =
+        g_allocations.load(std::memory_order_relaxed);
+    load.sim.step(kBatch);
+    allocations +=
+        g_allocations.load(std::memory_order_relaxed) - before;
+  }
+  const auto events =
+      static_cast<std::uint64_t>(state.iterations()) * kBatch;
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.counters["events_per_sec"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.counters["allocs_per_event"] =
+      static_cast<double>(allocations) / static_cast<double>(events);
+}
+BENCHMARK(BM_KernelChurn)->Arg(1'000)->Arg(100'000);
+
+/// Deadline-style schedule→cancel churn: per logical operation two events
+/// are scheduled (a completion and its re-issue deadline) and one — ~50% of
+/// all scheduled events — is cancelled before it can fire.
+void BM_KernelScheduleCancel(benchmark::State& state) {
+  constexpr std::uint64_t kBatch = 1024;
+  sim::Simulator sim;
+  std::uint64_t fired = 0;
+  std::uint64_t lcg = 0x452821E638D01377ull;
+  const auto next_delay = [&lcg] {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<double>(lcg >> 11) * (100.0 / 9007199254740992.0);
+  };
+  std::uint64_t allocations = 0;
+  for (auto _ : state) {
+    const std::uint64_t before =
+        g_allocations.load(std::memory_order_relaxed);
+    for (std::uint64_t i = 0; i < kBatch; ++i) {
+      sim.schedule(next_delay(), [&fired] { ++fired; });
+      const sim::EventId deadline =
+          sim.schedule(next_delay() + 100.0, [&fired] { ++fired; });
+      sim.cancel(deadline);
+    }
+    sim.step(kBatch);
+    allocations +=
+        g_allocations.load(std::memory_order_relaxed) - before;
+  }
+  const auto events =
+      static_cast<std::uint64_t>(state.iterations()) * kBatch * 2;
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.counters["events_per_sec"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.counters["allocs_per_event"] =
+      static_cast<double>(allocations) / static_cast<double>(events);
+}
+BENCHMARK(BM_KernelScheduleCancel);
+
+/// The full Monte-Carlo task loop of run_binary (the wave-level driver
+/// behind Figure 3 validation and all closed-form cross-checks): iterative
+/// redundancy d = 4 at r = 0.7. Reported per task.
+void BM_RunBinaryMonteCarlo(benchmark::State& state) {
+  constexpr std::uint64_t kTasks = 1024;
+  const redundancy::IterativeFactory factory(4);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    redundancy::MonteCarloConfig config;
+    config.tasks = kTasks;
+    config.seed = seed++;
+    benchmark::DoNotOptimize(run_binary(factory, 0.7, config));
+  }
+  const auto tasks =
+      static_cast<std::uint64_t>(state.iterations()) * kTasks;
+  state.SetItemsProcessed(static_cast<std::int64_t>(tasks));
+  state.counters["tasks_per_sec"] = benchmark::Counter(
+      static_cast<double>(tasks), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_RunBinaryMonteCarlo);
+
 void BM_RngUniform(benchmark::State& state) {
   rng::Stream stream(1);
   for (auto _ : state) {
@@ -108,6 +272,123 @@ void BM_RngBernoulli(benchmark::State& state) {
 }
 BENCHMARK(BM_RngBernoulli);
 
+// --- --json support: the tracked perf trajectory -------------------------
+
+/// One benchmark's headline number. ns_per_op is per *item* for benchmarks
+/// that report items processed (events, tasks), per iteration otherwise.
+struct JsonResult {
+  std::string name;
+  double ns_per_op = 0.0;
+};
+
+/// Console reporter that additionally collects each run's ns/op. With
+/// --benchmark_repetitions, only the median aggregate is recorded (under
+/// the benchmark's plain name) so repeated runs stay comparable.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      std::string name = run.benchmark_name();
+      if (run.run_type == Run::RT_Aggregate) {
+        if (run.aggregate_name != "median") continue;
+        const auto suffix = name.rfind("_median");
+        if (suffix != std::string::npos) name.resize(suffix);
+      }
+      double ns = run.GetAdjustedRealTime();
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end() && items->second.value > 0.0) {
+        ns = 1e9 / items->second.value;
+      }
+      results_.push_back(JsonResult{std::move(name), ns});
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  [[nodiscard]] const std::vector<JsonResult>& results() const {
+    return results_;
+  }
+
+ private:
+  std::vector<JsonResult> results_;
+};
+
+#ifndef SMARTRED_GIT_REV
+#define SMARTRED_GIT_REV "unknown"
+#endif
+
+std::string utc_timestamp() {
+  char buf[32];
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+/// Appends one run object to the JSON array at `path` (creating `[...]` if
+/// the file is missing or empty). The file stays a plain JSON array, one
+/// object per recorded run — the repo's perf trajectory.
+void append_json_run(const std::string& path,
+                     const std::vector<JsonResult>& results) {
+  std::string existing;
+  {
+    std::ifstream in(path);
+    if (in) {
+      existing.assign(std::istreambuf_iterator<char>(in),
+                      std::istreambuf_iterator<char>());
+    }
+  }
+  // Drop everything after the closing bracket (trailing newline) and the
+  // bracket itself so the new run object can be appended to the array.
+  const auto bracket = existing.rfind(']');
+  const bool has_entries =
+      bracket != std::string::npos &&
+      existing.find('{') != std::string::npos;
+  std::string head = bracket == std::string::npos
+                         ? std::string("[\n")
+                         : existing.substr(0, bracket);
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  out << head;
+  if (has_entries) out << ",\n";
+  out << "  {\n"
+      << "    \"git_rev\": \"" << SMARTRED_GIT_REV << "\",\n"
+      << "    \"date\": \"" << utc_timestamp() << "\",\n"
+      << "    \"benchmarks\": {\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    out << "      \"" << results[i].name
+        << "\": {\"ns_per_op\": " << results[i].ns_per_op << "}";
+    if (i + 1 < results.size()) out << ",";
+    out << "\n";
+  }
+  out << "    }\n  }\n]\n";
+  std::printf("(perf run appended to %s)\n", path.c_str());
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--json") {
+      json_path = "BENCH_kernel.json";
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_path.empty()) append_json_run(json_path, reporter.results());
+  return 0;
+}

@@ -55,8 +55,15 @@ const dca::RunMetrics& Deployment::run() {
   tasks_.resize(task_count);
   undecided_ = task_count;
   metrics_.tasks_total = task_count;
+  if (factory_.stateless()) shared_strategy_ = factory_.make();
   for (std::uint64_t task = 0; task < task_count; ++task) {
-    tasks_[task].strategy = factory_.make();
+    TaskState& state = tasks_[task];
+    if (shared_strategy_ != nullptr) {
+      state.strategy = shared_strategy_.get();
+    } else {
+      state.owned_strategy = factory_.make();
+      state.strategy = state.owned_strategy.get();
+    }
     consult_strategy(task);
   }
   // Boot clients at staggered times so request bursts don't synchronize.
@@ -244,7 +251,8 @@ void Deployment::finish_task(std::uint64_t task,
   if (state.started) {
     metrics_.response_time.add(simulator_.now() - state.first_dispatch);
   }
-  state.strategy.reset();
+  state.strategy = nullptr;
+  state.owned_strategy.reset();
 }
 
 void Deployment::abort_task(std::uint64_t task) {
@@ -255,7 +263,8 @@ void Deployment::abort_task(std::uint64_t task) {
   --undecided_;
   ++metrics_.tasks_aborted;
   record_task_metrics(state);
-  state.strategy.reset();
+  state.strategy = nullptr;
+  state.owned_strategy.reset();
 }
 
 void Deployment::record_task_metrics(const TaskState& state) {

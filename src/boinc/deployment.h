@@ -79,7 +79,12 @@ class Deployment {
 
  private:
   struct TaskState {
-    std::unique_ptr<redundancy::RedundancyStrategy> strategy;
+    /// Non-owning; the deployment-wide shared instance for stateless()
+    /// factories, else the per-task engine in owned_strategy (tasks are all
+    /// in flight at once, so sharing needs statelessness). Null once
+    /// decided.
+    redundancy::RedundancyStrategy* strategy = nullptr;
+    std::unique_ptr<redundancy::RedundancyStrategy> owned_strategy;
     std::vector<redundancy::Vote> votes;
     int outstanding = 0;
     int waves = 0;
@@ -116,6 +121,9 @@ class Deployment {
   BoincConfig config_;
   std::vector<ClientProfile> profiles_;
   const redundancy::StrategyFactory& factory_;
+  /// One decision engine for all tasks when the factory is stateless
+  /// (avoids a per-task allocation); null for stateful factories.
+  std::unique_ptr<redundancy::RedundancyStrategy> shared_strategy_;
   const dca::Workload& workload_;
 
   std::deque<std::uint64_t> job_queue_;  ///< task ids awaiting assignment

@@ -65,8 +65,15 @@ const RunMetrics& TaskServer::run() {
   undecided_ = task_count;
   metrics_.tasks_total = task_count;
 
+  if (factory_.stateless()) shared_strategy_ = factory_.make();
   for (std::uint64_t task = 0; task < task_count; ++task) {
-    tasks_[task].strategy = factory_.make();
+    TaskState& state = tasks_[task];
+    if (shared_strategy_ != nullptr) {
+      state.strategy = shared_strategy_.get();
+    } else {
+      state.owned_strategy = factory_.make();
+      state.strategy = state.owned_strategy.get();
+    }
     consult_strategy(task);
   }
   assign_available();
@@ -342,7 +349,8 @@ void TaskServer::finish_task(std::uint64_t task,
   // The last decision marks the end of useful work; trailing events
   // (discarded stragglers, quarantine re-admissions) do not extend it.
   if (undecided_ == 0) metrics_.makespan = simulator_.now();
-  state.strategy.reset();
+  state.strategy = nullptr;
+  state.owned_strategy.reset();
   state.votes.clear();
   state.votes.shrink_to_fit();
 }
@@ -356,7 +364,8 @@ void TaskServer::abort_task(std::uint64_t task) {
   ++metrics_.tasks_aborted;
   record_task_metrics(state);
   if (undecided_ == 0) metrics_.makespan = simulator_.now();
-  state.strategy.reset();
+  state.strategy = nullptr;
+  state.owned_strategy.reset();
   state.votes.clear();
   state.votes.shrink_to_fit();
 }

@@ -155,7 +155,13 @@ class TaskServer {
 
  private:
   struct TaskState {
-    std::unique_ptr<redundancy::RedundancyStrategy> strategy;
+    /// The engine consulted for this task. Points at the server-wide shared
+    /// instance when the factory is stateless() (tasks are all in flight at
+    /// once, so per-task reset() cannot be used here — sharing is only
+    /// sound without per-task state); otherwise owns a per-task engine via
+    /// owned_strategy. Null once the task is decided.
+    redundancy::RedundancyStrategy* strategy = nullptr;
+    std::unique_ptr<redundancy::RedundancyStrategy> owned_strategy;
     std::vector<redundancy::Vote> votes;
     int outstanding = 0;  ///< logical jobs dispatched but not yet voted
     int waves = 0;
@@ -234,6 +240,10 @@ class TaskServer {
   const redundancy::StrategyFactory& factory_;
   const Workload& workload_;
   fault::FailureModel& failures_;
+
+  /// One decision engine for all tasks when the factory is stateless
+  /// (avoids a per-task allocation); null for stateful factories.
+  std::unique_ptr<redundancy::RedundancyStrategy> shared_strategy_;
 
   NodePool pool_;
   std::deque<QueuedJob> job_queue_;  ///< copies awaiting a node

@@ -65,6 +65,9 @@ class AdaptiveFactory final : public StrategyFactory {
   AdaptiveFactory(std::shared_ptr<TrustBook> book, int quorum);
 
   [[nodiscard]] std::unique_ptr<RedundancyStrategy> make() const override;
+  /// Per-task stateless: all mutable state lives in the shared book, which
+  /// the substrate updates regardless of how many instances exist.
+  [[nodiscard]] bool stateless() const override { return true; }
   [[nodiscard]] std::string name() const override;
 
   [[nodiscard]] TrustBook& book() const { return *book_; }

@@ -88,6 +88,9 @@ class CredibilityFactory final : public StrategyFactory {
   CredibilityFactory(std::shared_ptr<ReputationBook> book, double threshold);
 
   [[nodiscard]] std::unique_ptr<RedundancyStrategy> make() const override;
+  /// Per-task stateless: all mutable state lives in the shared book, which
+  /// the substrate updates regardless of how many instances exist.
+  [[nodiscard]] bool stateless() const override { return true; }
   [[nodiscard]] std::string name() const override;
 
   /// The shared, mutable book the driving substrate feeds spot-check

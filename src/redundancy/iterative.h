@@ -40,6 +40,8 @@ class IterativeFactory final : public StrategyFactory {
   explicit IterativeFactory(int d);
 
   [[nodiscard]] std::unique_ptr<RedundancyStrategy> make() const override;
+  /// Pure function of the vote tally: one instance serves any task mix.
+  [[nodiscard]] bool stateless() const override { return true; }
   [[nodiscard]] std::string name() const override;
 
   [[nodiscard]] int d() const { return d_; }

@@ -49,6 +49,8 @@ class IterativeNaiveFactory final : public StrategyFactory {
   IterativeNaiveFactory(double reliability, double confidence_threshold);
 
   [[nodiscard]] std::unique_ptr<RedundancyStrategy> make() const override;
+  /// Pure function of the vote tally: one instance serves any task mix.
+  [[nodiscard]] bool stateless() const override { return true; }
   [[nodiscard]] std::string name() const override;
 
  private:

@@ -65,6 +65,16 @@ class SelfTuningIterative final : public RedundancyStrategy {
 
   Decision decide(std::span<const Vote> votes) override;
 
+  /// Clears the per-task fields (first-wave size, margin floor, reported
+  /// flag) to exactly their freshly-constructed values — the constructor
+  /// reads nothing from the estimator, so a reset instance is
+  /// indistinguishable from a make() one.
+  void reset() override {
+    first_wave_ = 0;
+    margin_floor_ = 0;
+    reported_ = false;
+  }
+
   /// The margin a decision made right now would use.
   [[nodiscard]] int margin() const;
 

@@ -56,6 +56,15 @@ class RedundancyStrategy {
   /// Drivers must pass a superset of the votes of the previous call.
   virtual Decision decide(std::span<const Vote> votes) = 0;
 
+  /// Restores the freshly-constructed state, so one instance can be reused
+  /// for the next task instead of allocating a new engine per task (the
+  /// Monte-Carlo sampler processes tasks strictly one at a time and
+  /// exploits this on its hot loop). Most strategies are pure functions of
+  /// the vote tally (plus shared books) and inherit this no-op; a strategy
+  /// with per-task fields must override it to match what its constructor
+  /// establishes exactly — reuse must be indistinguishable from make().
+  virtual void reset() {}
+
  protected:
   RedundancyStrategy() = default;
   RedundancyStrategy(const RedundancyStrategy&) = default;
@@ -70,6 +79,15 @@ class StrategyFactory {
 
   /// A fresh decision engine for one task.
   [[nodiscard]] virtual std::unique_ptr<RedundancyStrategy> make() const = 0;
+
+  /// True when instances from make() carry no mutable per-task state, i.e.
+  /// decide() depends only on the votes passed in (and on shared books the
+  /// substrate updates independently). A concurrent substrate may then
+  /// consult ONE instance for any number of in-flight tasks instead of
+  /// allocating one per task. Stateful strategies (self-tuning: first-wave
+  /// size, margin floor) must keep the default `false`; sequential drivers
+  /// can still reuse a single instance via RedundancyStrategy::reset().
+  [[nodiscard]] virtual bool stateless() const { return false; }
 
   /// Technique name, e.g. "traditional(k=19)".
   [[nodiscard]] virtual std::string name() const = 0;

@@ -26,6 +26,8 @@ class TraditionalFactory final : public StrategyFactory {
   explicit TraditionalFactory(int k);
 
   [[nodiscard]] std::unique_ptr<RedundancyStrategy> make() const override;
+  /// Pure function of the vote tally: one instance serves any task mix.
+  [[nodiscard]] bool stateless() const override { return true; }
   [[nodiscard]] std::string name() const override;
 
   [[nodiscard]] int k() const { return k_; }

@@ -60,6 +60,9 @@ class WeightedIterativeFactory final : public StrategyFactory {
                            double typical_reliability, double threshold);
 
   [[nodiscard]] std::unique_ptr<RedundancyStrategy> make() const override;
+  /// Per-task stateless: decide() reads only the votes and the immutable
+  /// lookup, so one instance serves any task mix.
+  [[nodiscard]] bool stateless() const override { return true; }
   [[nodiscard]] std::string name() const override;
 
  private:

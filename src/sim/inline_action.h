@@ -1,0 +1,136 @@
+// A small-buffer, non-allocating replacement for std::function<void()> on
+// the simulator's hot path.
+//
+// Every scheduled event carries a callback. With std::function, any capture
+// list beyond two words heap-allocates — one allocation per scheduled event,
+// millions per figure bench. InlineAction stores the callable inline in a
+// fixed 48-byte buffer and *rejects at compile time* anything larger: a
+// capture list that does not fit is a build error telling you to shrink it,
+// never a silent allocation. The budget is sized to the largest capture the
+// domain models need (boinc/deployment.cc: this + client + task + job_id +
+// value = 40 bytes) with one word of headroom; a whole std::function (32
+// bytes on common ABIs) also fits, so composed/recursive actions still work.
+//
+// Move-only (events are scheduled once and fired once; nothing copies
+// actions), nothrow-movable (required so the slot arena can relocate and
+// the event vector can grow), and callable exactly like std::function.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace smartred::sim {
+
+class InlineAction {
+ public:
+  /// The inline storage budget. Raising it enlarges every event slot in the
+  /// simulator arena — shrink oversized capture lists instead (capture
+  /// indices, not copies of aggregates).
+  static constexpr std::size_t kCapacity = 48;
+  static constexpr std::size_t kAlignment = alignof(std::max_align_t);
+
+  InlineAction() = default;
+
+  /// Wraps any void() callable. Implicit, so call sites keep passing plain
+  /// lambdas to Simulator::schedule().
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, InlineAction> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  InlineAction(F&& fn) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(fn));
+  }
+
+  /// Constructs a callable directly into the inline buffer. Requires *this
+  /// to be empty: this is the arena's fast path (the slot was just
+  /// acquired, so there is nothing to destroy), and skipping the emptiness
+  /// check is what lets a Simulator::schedule() call compile down to a
+  /// placement-new into the slot with no intermediate InlineAction.
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, InlineAction> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  void emplace(F&& fn) {
+    using Fn = std::remove_cvref_t<F>;
+    static_assert(sizeof(Fn) <= kCapacity,
+                  "capture list exceeds InlineAction's 48-byte inline "
+                  "budget: shrink it (capture ids/indices, not objects)");
+    static_assert(alignof(Fn) <= kAlignment,
+                  "capture alignment exceeds InlineAction storage");
+    static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                  "captures must be nothrow-movable so the event arena can "
+                  "relocate actions");
+    ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(fn));
+    invoke_ = [](void* storage) {
+      (*std::launder(reinterpret_cast<Fn*>(storage)))();
+    };
+    // Trivially copyable callables (the overwhelmingly common case: a few
+    // pointers and integers) relocate by memcpy with no manager call.
+    if constexpr (!std::is_trivially_copyable_v<Fn> ||
+                  !std::is_trivially_destructible_v<Fn>) {
+      manage_ = [](Operation op, void* self, void* other) {
+        Fn* fn_self = std::launder(reinterpret_cast<Fn*>(self));
+        if (op == Operation::kRelocate) {
+          ::new (other) Fn(std::move(*fn_self));
+        }
+        fn_self->~Fn();
+      };
+    }
+  }
+
+  InlineAction(InlineAction&& other) noexcept { move_from(other); }
+
+  InlineAction& operator=(InlineAction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  InlineAction(const InlineAction&) = delete;
+  InlineAction& operator=(const InlineAction&) = delete;
+
+  ~InlineAction() { reset(); }
+
+  /// Invokes the stored callable. Requires *this to hold one.
+  void operator()() { invoke_(storage_); }
+
+  /// True when a callable is stored.
+  [[nodiscard]] explicit operator bool() const { return invoke_ != nullptr; }
+
+  /// Destroys the stored callable (if any), leaving *this empty.
+  void reset() {
+    if (invoke_ == nullptr) return;
+    if (manage_ != nullptr) manage_(Operation::kDestroy, storage_, nullptr);
+    invoke_ = nullptr;
+    manage_ = nullptr;
+  }
+
+ private:
+  enum class Operation { kRelocate, kDestroy };
+
+  void move_from(InlineAction& other) noexcept {
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    if (invoke_ != nullptr) {
+      if (manage_ != nullptr) {
+        manage_(Operation::kRelocate, other.storage_, storage_);
+      } else {
+        std::memcpy(storage_, other.storage_, kCapacity);
+      }
+    }
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+  }
+
+  alignas(kAlignment) std::byte storage_[kCapacity];
+  void (*invoke_)(void*) = nullptr;
+  void (*manage_)(Operation, void*, void*) = nullptr;
+};
+
+static_assert(sizeof(InlineAction) == InlineAction::kCapacity + 16,
+              "InlineAction should be its buffer plus two function pointers");
+
+}  // namespace smartred::sim

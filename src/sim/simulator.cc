@@ -1,51 +1,90 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace smartred::sim {
 
-EventId Simulator::schedule(Time delay, Action action) {
+EventId Simulator::schedule(Time delay, Action&& action) {
   SMARTRED_EXPECT(delay >= 0.0, "cannot schedule an event in the past");
   return schedule_at(now_ + delay, std::move(action));
 }
 
-EventId Simulator::schedule_at(Time when, Action action) {
+EventId Simulator::schedule_at(Time when, Action&& action) {
   SMARTRED_EXPECT(when >= now_, "cannot schedule an event before now()");
-  SMARTRED_EXPECT(action != nullptr, "event action must be callable");
-  const std::uint64_t sequence = next_sequence_++;
-  queue_.push(Entry{when, sequence, std::move(action)});
-  pending_ids_.insert(sequence);
-  return EventId{sequence};
+  SMARTRED_EXPECT(static_cast<bool>(action), "event action must be callable");
+  const std::uint32_t slot = acquire_slot();
+  slots_[slot].action = std::move(action);
+  return commit_schedule(when, slot);
 }
 
 bool Simulator::cancel(EventId id) {
-  // Only events that are still pending can be cancelled; cancel-after-fire
-  // and double-cancel report false. The heap cannot remove from the middle,
-  // so the entry is marked and discarded lazily when it reaches the top.
-  if (pending_ids_.erase(id.value) == 0) return false;
-  cancelled_.insert(id.value);
+  // Only events that are still pending can be cancelled; cancel-after-fire,
+  // double-cancel, and forged/stale handles all fail the generation compare
+  // (a pending slot's generation is odd and matches only the one handle
+  // issued for the current occupancy). The heap cannot remove from the
+  // middle, so the key is left behind as a tombstone and discarded lazily
+  // when it reaches the top.
+  if (id.slot >= slots_.size()) return false;
+  Slot& cell = slots_[id.slot];
+  if (cell.generation != id.generation || (id.generation & 1u) == 0) {
+    return false;
+  }
+  cell.action.reset();
+  retire_slot(id.slot);
+  --pending_;
   return true;
+}
+
+void Simulator::retire_slot(std::uint32_t slot) {
+  Slot& cell = slots_[slot];
+  ++cell.generation;  // even: free
+  cell.next_free = free_head_;
+  free_head_ = slot;
+}
+
+void Simulator::heap_pop() {
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  const std::size_t size = heap_.size();
+  if (size == 0) return;
+  std::size_t hole = 0;
+  for (;;) {
+    const std::size_t first = 4 * hole + 1;
+    if (first >= size) break;
+    std::size_t best = first;
+    const std::size_t limit = std::min(first + 4, size);
+    for (std::size_t child = first + 1; child < limit; ++child) {
+      if (earlier(heap_[child], heap_[best])) best = child;
+    }
+    if (!earlier(heap_[best], last)) break;
+    heap_[hole] = heap_[best];
+    hole = best;
+  }
+  heap_[hole] = last;
 }
 
 bool Simulator::execute_next() {
-  skip_cancelled();
-  if (queue_.empty()) return false;
-  // Copy the entry out before popping; the action may schedule new events.
-  Entry entry = queue_.top();
-  queue_.pop();
-  pending_ids_.erase(entry.sequence);
-  now_ = entry.when;
-  ++executed_;
-  entry.action();
-  return true;
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_.front();
+    heap_pop();
+    if (slots_[top.slot].generation != top.generation) continue;  // tombstone
+    // Move the action out and retire the slot *before* invoking: the action
+    // may schedule new events, which may recycle this very slot or grow the
+    // slab (invalidating Slot references, never the local).
+    Action action = std::move(slots_[top.slot].action);
+    retire_slot(top.slot);
+    --pending_;
+    now_ = top.when;
+    ++executed_;
+    action();
+    return true;
+  }
+  return false;
 }
 
 void Simulator::skip_cancelled() {
-  while (!queue_.empty() &&
-         cancelled_.find(queue_.top().sequence) != cancelled_.end()) {
-    cancelled_.erase(queue_.top().sequence);
-    queue_.pop();
-  }
+  while (!heap_.empty() && !top_is_live()) heap_pop();
 }
 
 Time Simulator::run() {
@@ -58,7 +97,7 @@ Time Simulator::run_until(Time until) {
   SMARTRED_EXPECT(until >= now_, "run_until() target is in the past");
   while (true) {
     skip_cancelled();
-    if (queue_.empty() || queue_.top().when > until) break;
+    if (heap_.empty() || heap_.front().when > until) break;
     execute_next();
   }
   now_ = until;

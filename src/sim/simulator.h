@@ -10,15 +10,35 @@
 // models (DCA task server, volunteer-computing clients) are ordinary objects
 // that hold a Simulator& and schedule callbacks on themselves; there is no
 // component/port framework to fight.
+//
+// Internals — generation-tagged slot arena (zero-allocation steady state):
+//
+//  * Event actions live in a recycled slab of fixed-size slots
+//    (std::vector<Slot>, grown once and reused forever via an intrusive
+//    free list). An action is a 48-byte small-buffer InlineAction, so
+//    neither the slot nor the callback it stores ever touches the heap on
+//    the steady-state schedule→fire path.
+//  * Ordering is an implicit 4-ary min-heap of plain (time, sequence, slot,
+//    generation) keys in a second recycled vector — no node allocations, no
+//    per-event hashing, and a shallower tree than a binary heap for the
+//    same backlog.
+//  * EventId is {slot, generation}. Each slot carries a generation counter
+//    that is incremented when the slot is allocated (odd = pending) and
+//    again when it is retired (even = free). cancel() is a bounds check
+//    plus a generation compare: stale handles — already fired, already
+//    cancelled, recycled slot (the ABA case), or never issued — simply
+//    fail the compare. A cancelled event's heap key stays in the heap as a
+//    tombstone (its generation no longer matches) and is discarded when it
+//    reaches the top.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/expect.h"
+#include "sim/inline_action.h"
 
 namespace smartred::sim {
 
@@ -27,8 +47,10 @@ namespace smartred::sim {
 using Time = double;
 
 /// Opaque handle identifying a scheduled event; usable with cancel().
+/// A default-constructed EventId never identifies a live event.
 struct EventId {
-  std::uint64_t value = 0;
+  std::uint32_t slot = 0;
+  std::uint32_t generation = 0;  ///< odd while pending; 0 = never issued
   friend bool operator==(EventId, EventId) = default;
 };
 
@@ -39,7 +61,7 @@ struct EventId {
 /// run; experiments parallelize across runs).
 class Simulator {
  public:
-  using Action = std::function<void()>;
+  using Action = InlineAction;
 
   /// Current simulated time. Starts at 0.
   [[nodiscard]] Time now() const { return now_; }
@@ -49,19 +71,44 @@ class Simulator {
 
   /// Number of events currently pending (scheduled, not yet fired or
   /// cancelled).
-  [[nodiscard]] std::size_t pending() const { return pending_ids_.size(); }
+  [[nodiscard]] std::size_t pending() const { return pending_; }
 
-  /// Schedules `action` to run `delay` time units from now.
+  /// Schedules a callable to run `delay` time units from now.
   /// Requires delay >= 0. Returns a handle usable with cancel().
-  EventId schedule(Time delay, Action action);
+  ///
+  /// Lambdas take this templated overload: the callable is placement-
+  /// constructed directly into its arena slot (no intermediate Action
+  /// object, no relocation), and the whole fast path inlines at the call
+  /// site.
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, InlineAction> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  EventId schedule(Time delay, F&& fn) {
+    SMARTRED_EXPECT(delay >= 0.0, "cannot schedule an event in the past");
+    return schedule_at(now_ + delay, std::forward<F>(fn));
+  }
 
-  /// Schedules `action` at an absolute simulated time.
+  /// Schedules a pre-built Action (e.g. one handed through a queue).
+  EventId schedule(Time delay, Action&& action);
+
+  /// Schedules a callable at an absolute simulated time.
   /// Requires when >= now().
-  EventId schedule_at(Time when, Action action);
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, InlineAction> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  EventId schedule_at(Time when, F&& fn) {
+    SMARTRED_EXPECT(when >= now_, "cannot schedule an event before now()");
+    const std::uint32_t slot = acquire_slot();
+    slots_[slot].action.emplace(std::forward<F>(fn));
+    return commit_schedule(when, slot);
+  }
+
+  /// Schedules a pre-built Action at an absolute simulated time.
+  EventId schedule_at(Time when, Action&& action);
 
   /// Cancels a pending event. Returns true if the event existed and had not
   /// yet fired; false otherwise (already fired, already cancelled, or
-  /// unknown). Cancelling is O(1); storage is reclaimed lazily.
+  /// unknown). Cancelling is O(1); the heap key is discarded lazily.
   bool cancel(EventId id);
 
   /// Runs until the event queue is empty. Returns the final simulated time.
@@ -76,30 +123,93 @@ class Simulator {
   std::uint64_t step(std::uint64_t max_events);
 
  private:
-  struct Entry {
-    Time when;
-    std::uint64_t sequence;  // tie-break: FIFO among equal timestamps
-    Action action;
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
 
-    // Min-heap ordering: earliest time first, then lowest sequence.
-    friend bool operator<(const Entry& a, const Entry& b) {
-      if (a.when != b.when) return a.when > b.when;
-      return a.sequence > b.sequence;
-    }
+  /// One arena cell. Pending: generation odd, action set. Free: generation
+  /// even, action empty, next_free links the free list.
+  struct Slot {
+    InlineAction action;
+    std::uint32_t generation = 0;
+    std::uint32_t next_free = kNoSlot;
   };
 
+  /// One min-heap key. `generation` snapshots the slot's generation at
+  /// scheduling time; a mismatch on pop marks a tombstone (cancelled).
+  struct HeapEntry {
+    Time when;
+    std::uint64_t sequence;  // tie-break: FIFO among equal timestamps
+    std::uint32_t slot;
+    std::uint32_t generation;
+  };
+
+  /// Min-heap ordering: earliest time first, then lowest sequence.
+  static bool earlier(const HeapEntry& a, const HeapEntry& b) {
+    if (a.when != b.when) return a.when < b.when;
+    return a.sequence < b.sequence;
+  }
+
+  /// Inserts a key, sifting up from the new leaf. Header-inline so it fuses
+  /// into the templated schedule fast path.
+  void heap_push(const HeapEntry& entry) {
+    heap_.push_back(entry);
+    std::size_t hole = heap_.size() - 1;
+    while (hole > 0) {
+      const std::size_t parent = (hole - 1) / 4;
+      if (!earlier(entry, heap_[parent])) break;
+      heap_[hole] = heap_[parent];
+      hole = parent;
+    }
+    heap_[hole] = entry;
+  }
+
+  void heap_pop();
+
+  /// Returns a free slot index, growing the slab only when the free list is
+  /// empty.
+  std::uint32_t acquire_slot() {
+    std::uint32_t slot;
+    if (free_head_ != kNoSlot) {
+      slot = free_head_;
+      free_head_ = slots_[slot].next_free;
+    } else {
+      SMARTRED_ENSURE(slots_.size() < kNoSlot, "event arena exhausted");
+      slot = static_cast<std::uint32_t>(slots_.size());
+      slots_.emplace_back();
+    }
+    ++slots_[slot].generation;  // odd: pending
+    return slot;
+  }
+
+  /// Pushes the heap key for a just-filled slot and issues its handle.
+  EventId commit_schedule(Time when, std::uint32_t slot) {
+    const std::uint32_t generation = slots_[slot].generation;
+    heap_push(HeapEntry{when, next_sequence_++, slot, generation});
+    ++pending_;
+    return EventId{slot, generation};
+  }
+
+  /// Marks the slot free (generation becomes even) and links it into the
+  /// free list. Any outstanding EventId/heap key for it is now stale.
+  void retire_slot(std::uint32_t slot);
+
+  /// True when the heap's top key refers to a live (non-cancelled) event.
+  [[nodiscard]] bool top_is_live() const {
+    const HeapEntry& top = heap_.front();
+    return slots_[top.slot].generation == top.generation;
+  }
+  /// Discards tombstoned keys at the top of the heap.
+  void skip_cancelled();
   /// Pops and executes the next non-cancelled event, if any.
   /// Returns false when the queue is exhausted.
   bool execute_next();
-  /// Discards cancelled entries at the head of the queue.
-  void skip_cancelled();
 
   Time now_ = 0.0;
   std::uint64_t next_sequence_ = 0;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Entry> queue_;
-  std::unordered_set<std::uint64_t> pending_ids_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  std::size_t pending_ = 0;
+  std::vector<HeapEntry> heap_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoSlot;
 };
 
 }  // namespace smartred::sim

@@ -1,0 +1,43 @@
+// Behavioral-freeze pins for the seeded figure-bench path.
+//
+// The fig5a pipeline (DES task server + iterative redundancy + Byzantine
+// collusion pool) must produce bit-identical aggregates for a fixed seed
+// across refactors of the kernel internals: the slot-arena rebuild froze
+// the observable contract (FIFO tie-break among equal timestamps, RNG
+// consumption order), and these literals are the tripwire. If a change
+// breaks one of these pins it changed simulation behavior, not just
+// performance — either fix it or consciously re-baseline the pinned values
+// together with the figure benches.
+#include <gtest/gtest.h>
+
+#include "dca/task_server.h"
+#include "dca/workload.h"
+#include "fault/failure_model.h"
+#include "redundancy/iterative.h"
+#include "sim/simulator.h"
+
+namespace smartred::dca {
+namespace {
+
+TEST(DeterminismTest, Fig5aPathAggregatesArePinned) {
+  sim::Simulator simulator;
+  DcaConfig config;
+  config.nodes = 200;
+  config.seed = 7;
+  const redundancy::IterativeFactory factory(4);
+  const SyntheticWorkload workload(400);
+  fault::ByzantineCollusion failures(fault::ReliabilityAssigner(
+      fault::ConstantReliability{0.7}, rng::Stream(7)));
+  TaskServer server(simulator, config, factory, workload, failures);
+  const RunMetrics& metrics = server.run();
+
+  EXPECT_EQ(metrics.tasks_total, 400u);
+  EXPECT_EQ(metrics.tasks_aborted, 0u);
+  EXPECT_EQ(metrics.tasks_correct, 392u);
+  EXPECT_EQ(metrics.jobs_dispatched, 3576u);
+  EXPECT_DOUBLE_EQ(metrics.makespan, 25.371052742587459);
+  EXPECT_DOUBLE_EQ(metrics.response_time.mean(), 8.2202844792206236);
+}
+
+}  // namespace
+}  // namespace smartred::dca
