@@ -10,7 +10,7 @@
 #include "common/table.h"
 #include "harness.h"
 #include "redundancy/analysis.h"
-#include "redundancy/iterative.h"
+#include "redundancy/registry.h"
 
 int main(int argc, char** argv) {
   smartred::flags::Parser parser(
@@ -32,8 +32,10 @@ int main(int argc, char** argv) {
                               "makespan"});
   const double rel_pred =
       smartred::redundancy::analysis::iterative_reliability(dd, *r);
-  const smartred::redundancy::IterativeFactory factory(dd);
+  const std::string spec = "iterative:d=" + std::to_string(dd);
+  const auto factory = smartred::redundancy::make_strategy(spec);
 
+  smartred::bench::TraceSession trace(flags);
   std::uint64_t point = 0;
   for (double rate : {0.0, 1.0, 5.0, 20.0, 50.0}) {
     smartred::dca::DcaConfig base;
@@ -42,8 +44,10 @@ int main(int argc, char** argv) {
     base.churn.leave_rate = rate;
     base.timeout = 5.0;
     const auto metrics = smartred::bench::run_byzantine_dca(
-        smartred::bench::plan_point(flags, point++), factory, *r,
-        static_cast<std::uint64_t>(*tasks), base);
+        trace.plan(smartred::bench::plan_point(flags, point++),
+                   spec + " churn=" + std::to_string(rate)),
+        *factory, *r, static_cast<std::uint64_t>(*tasks), base);
+    trace.record_metrics(metrics);
     out.add_row({rate, metrics.reliability(), rel_pred,
                  metrics.cost_factor(),
                  static_cast<long long>(metrics.jobs_lost),
@@ -52,6 +56,7 @@ int main(int argc, char** argv) {
                  metrics.makespan});
   }
   smartred::bench::emit(out, *flags.csv, "churn");
+  trace.finish();
   std::cout << "\nReading: reliability stays pinned to Equation (6) at every "
                "churn rate; churn costs only re-issued jobs and time.\n";
   return 0;

@@ -11,7 +11,7 @@
 #include "common/table.h"
 #include "harness.h"
 #include "redundancy/analysis.h"
-#include "redundancy/iterative.h"
+#include "redundancy/registry.h"
 
 int main(int argc, char** argv) {
   smartred::flags::Parser parser(
@@ -41,17 +41,20 @@ int main(int argc, char** argv) {
       smartred::redundancy::analysis::iterative_cost(dd, r_eff);
   const double rel_pred =
       smartred::redundancy::analysis::iterative_reliability(dd, r_eff);
-  const smartred::redundancy::IterativeFactory factory(dd);
+  const std::string spec = "iterative:d=" + std::to_string(dd);
+  const auto factory = smartred::redundancy::make_strategy(spec);
   const double r_independent = *r_ind;
   const double cluster_failure = *q;
 
+  smartred::bench::TraceSession trace(flags);
   std::uint64_t point = 0;
   for (int clusters : {2'000, 200, 50, 10, 4, 1}) {
     smartred::dca::DcaConfig base;
     base.nodes = 2'000;
     const auto metrics = smartred::bench::run_dca_point(
-        smartred::bench::plan_point(flags, point++), factory,
-        static_cast<std::uint64_t>(*tasks), base,
+        trace.plan(smartred::bench::plan_point(flags, point++),
+                   spec + " clusters=" + std::to_string(clusters)),
+        *factory, static_cast<std::uint64_t>(*tasks), base,
         [clusters, r_independent, cluster_failure](std::uint64_t rep_seed) {
           return smartred::fault::CorrelatedClusters(
               smartred::fault::ReliabilityAssigner(
@@ -61,10 +64,12 @@ int main(int argc, char** argv) {
               clusters, cluster_failure,
               smartred::rng::Stream(smartred::rng::derive_seed(rep_seed, 2)));
         });
+    trace.record_metrics(metrics);
     out.add_row({static_cast<long long>(clusters), metrics.cost_factor(),
                  cost_pred, metrics.reliability(), rel_pred});
   }
   smartred::bench::emit(out, *flags.csv, "correlated");
+  trace.finish();
   std::cout
       << "\nReading: with many clusters (jobs of one task rarely share a "
          "cluster) the independent-failure prediction holds; a single "

@@ -10,16 +10,16 @@
 #include "common/table.h"
 #include "harness.h"
 #include "redundancy/analysis.h"
-#include "redundancy/iterative.h"
+#include "redundancy/registry.h"
 #include "redundancy/weighted.h"
 
 namespace {
 
 smartred::dca::RunMetrics run_pool(
     const smartred::exp::RunnerConfig& plan,
-    const smartred::fault::ReliabilityDistribution& dist, int d,
+    const smartred::fault::ReliabilityDistribution& dist,
+    const smartred::redundancy::StrategyFactory& factory,
     std::uint64_t tasks) {
-  const smartred::redundancy::IterativeFactory factory(d);
   smartred::dca::DcaConfig base;
   base.nodes = 2'000;
   return smartred::bench::run_dca_point(
@@ -69,10 +69,16 @@ int main(int argc, char** argv) {
        smartred::fault::TwoPointReliability{0.9, 0.75, 0.25}},
   };
 
+  const std::string spec = "iterative:d=" + std::to_string(dd);
+  const auto factory = smartred::redundancy::make_strategy(spec);
+  smartred::bench::TraceSession trace(flags);
   std::uint64_t point = 0;
   for (const Pool& pool : pools) {
-    const auto metrics = run_pool(smartred::bench::plan_point(flags, point++),
-                                  pool.dist, dd, n_tasks);
+    const auto metrics =
+        run_pool(trace.plan(smartred::bench::plan_point(flags, point++),
+                            spec + " " + pool.name),
+                 pool.dist, *factory, n_tasks);
+    trace.record_metrics(metrics);
     out.add_row({pool.name, smartred::fault::mean_reliability(pool.dist),
                  metrics.empirical_node_reliability(), metrics.cost_factor(),
                  metrics.reliability(), predicted});
@@ -102,24 +108,34 @@ int main(int argc, char** argv) {
                                    : smartred::redundancy::kWrongValue};
       };
   smartred::table::Table duel({"strategy", "reliability", "cost"});
-  const smartred::redundancy::IterativeFactory margin_rule(
-      smartred::redundancy::analysis::margin_for_confidence(mean_r, target));
+  const std::string margin_spec =
+      "iterative:d=" +
+      std::to_string(smartred::redundancy::analysis::margin_for_confidence(
+          mean_r, target));
+  const auto margin_rule = smartred::redundancy::make_strategy(margin_spec);
   const auto plain = smartred::bench::run_custom_mc(
-      smartred::bench::plan_point(flags, point++), margin_rule, source,
-      smartred::redundancy::kCorrectValue, n_tasks);
-  duel.add_row({margin_rule.name() + " [mean r]", plain.reliability(),
+      trace.plan(smartred::bench::plan_point(flags, point++),
+                 margin_spec + " [mean r]"),
+      *margin_rule, source, smartred::redundancy::kCorrectValue, n_tasks);
+  trace.record_metrics(plain);
+  duel.add_row({margin_rule->name() + " [mean r]", plain.reliability(),
                 plain.cost_factor()});
 
+  // The per-node lookup is a code-level lambda, so the weighted complex
+  // form stays outside the string-keyed registry on purpose.
   const smartred::redundancy::WeightedIterativeFactory weighted(
       [good_r, bad_r](smartred::redundancy::NodeId node) {
         return node % 2 == 0 ? good_r : bad_r;
       },
       mean_r, target);
   const auto smart = smartred::bench::run_custom_mc(
-      smartred::bench::plan_point(flags, point++), weighted, source,
-      smartred::redundancy::kCorrectValue, n_tasks);
+      trace.plan(smartred::bench::plan_point(flags, point++),
+                 weighted.name()),
+      weighted, source, smartred::redundancy::kCorrectValue, n_tasks);
+  trace.record_metrics(smart);
   duel.add_row({weighted.name(), smart.reliability(), smart.cost_factor()});
   smartred::bench::emit(duel, *flags.csv, "weighted");
+  trace.finish();
   std::cout << "\nReading: the margin rule already meets the target without "
                "knowing anything; per-node knowledge (when it exists) buys a "
                "further cost reduction via the §5.3 complex form.\n";

@@ -18,7 +18,7 @@
 #include "common/table.h"
 #include "harness.h"
 #include "redundancy/analysis.h"
-#include "redundancy/iterative.h"
+#include "redundancy/registry.h"
 
 namespace {
 
@@ -57,8 +57,8 @@ redundancy::MonteCarloResult run_mode(const exp::RunnerConfig& plan,
             correct ? static_cast<int>(node % 3) : 99);
         return redundancy::Vote{node, clazz};
       };
-  const redundancy::IterativeFactory factory(4);
-  return bench::run_custom_mc(plan, factory, source, /*correct_value=*/0,
+  const auto factory = redundancy::make_strategy("iterative:d=4");
+  return bench::run_custom_mc(plan, *factory, source, /*correct_value=*/0,
                               tasks, cap);
 }
 
@@ -81,9 +81,13 @@ int main(int argc, char** argv) {
                 "A11 — honest answers jittered across 3 CPU classes");
   table::Table out({"comparison", "reliability", "cost", "aborted_tasks",
                     "max_jobs"});
+  bench::TraceSession trace(flags);
   const auto exact =
-      run_mode(bench::plan_point(flags, 0), false, *r,
-               static_cast<std::uint64_t>(*tasks), static_cast<int>(*cap));
+      run_mode(trace.plan(bench::plan_point(flags, 0),
+                          "iterative:d=4 bit-exact"),
+               false, *r, static_cast<std::uint64_t>(*tasks),
+               static_cast<int>(*cap));
+  trace.record_metrics(exact);
   // Bit-exact mode: "correct" means any honest class won; classes 0-2 are
   // all honest, so count a task correct when the accepted value is < 3.
   // run_custom scored against class 0 only; recompute nothing — report the
@@ -93,13 +97,17 @@ int main(int argc, char** argv) {
                static_cast<long long>(exact.tasks_aborted),
                static_cast<long long>(exact.max_jobs_single_task)});
   const auto eps =
-      run_mode(bench::plan_point(flags, 1), true, *r,
-               static_cast<std::uint64_t>(*tasks), static_cast<int>(*cap));
+      run_mode(trace.plan(bench::plan_point(flags, 1),
+                          "iterative:d=4 epsilon-class"),
+               true, *r, static_cast<std::uint64_t>(*tasks),
+               static_cast<int>(*cap));
+  trace.record_metrics(eps);
   out.add_row({std::string("epsilon-class"), eps.reliability(),
                eps.cost_factor(),
                static_cast<long long>(eps.tasks_aborted),
                static_cast<long long>(eps.max_jobs_single_task)});
   bench::emit(out, *flags.csv, "homogeneous");
+  trace.finish();
 
   std::cout << "\nAnalytic expectation with classes collapsed: cost "
             << redundancy::analysis::iterative_cost(4, *r)

@@ -15,8 +15,7 @@
 #include "harness.h"
 #include "mapreduce/engine.h"
 #include "redundancy/analysis.h"
-#include "redundancy/iterative.h"
-#include "redundancy/traditional.h"
+#include "redundancy/registry.h"
 
 namespace {
 
@@ -78,12 +77,12 @@ int main(int argc, char** argv) {
   const std::vector<mapreduce::MapReduceResult> results =
       runner.run([&](std::uint64_t index, std::uint64_t row_seed) {
         const Row& row = rows[index];
-        if (row.validator[0] == 'T') {
-          const redundancy::TraditionalFactory factory(row.param);
-          return run_job(engine, factory, *r, row_seed);
-        }
-        const redundancy::IterativeFactory factory(row.param);
-        return run_job(engine, factory, *r, row_seed);
+        const std::string spec =
+            row.validator[0] == 'T'
+                ? "traditional:k=" + std::to_string(row.param)
+                : "iterative:d=" + std::to_string(row.param);
+        return run_job(engine, *redundancy::make_strategy(spec), *r,
+                       row_seed);
       });
 
   for (std::size_t i = 0; i < rows.size(); ++i) {

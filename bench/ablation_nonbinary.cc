@@ -10,7 +10,7 @@
 #include "common/table.h"
 #include "harness.h"
 #include "redundancy/analysis.h"
-#include "redundancy/iterative.h"
+#include "redundancy/registry.h"
 
 int main(int argc, char** argv) {
   smartred::flags::Parser parser(
@@ -35,16 +35,19 @@ int main(int argc, char** argv) {
       smartred::redundancy::analysis::iterative_cost(dd, *r);
   const double bound_rel =
       smartred::redundancy::analysis::iterative_reliability(dd, *r);
-  const smartred::redundancy::IterativeFactory factory(dd);
+  const std::string spec = "iterative:d=" + std::to_string(dd);
+  const auto factory = smartred::redundancy::make_strategy(spec);
   const double reliability = *r;
 
+  smartred::bench::TraceSession trace(flags);
   std::uint64_t point = 0;
   for (int spread : {1, 2, 4, 16, 256}) {
     smartred::dca::DcaConfig base;
     base.nodes = 2'000;
     const auto metrics = smartred::bench::run_dca_point(
-        smartred::bench::plan_point(flags, point++), factory,
-        static_cast<std::uint64_t>(*tasks), base,
+        trace.plan(smartred::bench::plan_point(flags, point++),
+                   spec + " spread=" + std::to_string(spread)),
+        *factory, static_cast<std::uint64_t>(*tasks), base,
         [spread, reliability](std::uint64_t rep_seed) {
           return smartred::fault::ScatteredWrong(
               smartred::fault::ReliabilityAssigner(
@@ -53,10 +56,12 @@ int main(int argc, char** argv) {
                                                                    1))),
               spread);
         });
+    trace.record_metrics(metrics);
     out.add_row({static_cast<long long>(spread), metrics.cost_factor(),
                  metrics.reliability(), bound_cost, bound_rel});
   }
   smartred::bench::emit(out, *flags.csv, "nonbinary");
+  trace.finish();
   std::cout
       << "\nReading: the spread-1 row reproduces the binary bound exactly; "
          "every larger spread beats it on both axes — the paper's \"binary "

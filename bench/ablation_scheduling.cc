@@ -14,9 +14,7 @@
 #include "common/flags.h"
 #include "common/table.h"
 #include "harness.h"
-#include "redundancy/iterative.h"
-#include "redundancy/progressive.h"
-#include "redundancy/traditional.h"
+#include "redundancy/registry.h"
 
 int main(int argc, char** argv) {
   using namespace smartred;  // NOLINT(build/namespaces) — bench main
@@ -36,25 +34,25 @@ int main(int argc, char** argv) {
   table::Table out({"technique", "policy", "avg_response", "max_response",
                     "cost", "makespan"});
 
-  const redundancy::TraditionalFactory tr(9);
-  const redundancy::ProgressiveFactory pr(9);
-  const redundancy::IterativeFactory ir(4);
+  const auto ir = redundancy::make_strategy("iterative:d=4");
+  bench::TraceSession trace(flags);
   std::uint64_t point = 0;
-  for (const redundancy::StrategyFactory* factory :
-       {static_cast<const redundancy::StrategyFactory*>(&tr),
-        static_cast<const redundancy::StrategyFactory*>(&pr),
-        static_cast<const redundancy::StrategyFactory*>(&ir)}) {
+  for (const std::string spec :
+       {"traditional:k=9", "progressive:k=9", "iterative:d=4"}) {
+    const auto factory = redundancy::make_strategy(spec);
     for (const dca::QueuePolicy policy :
          {dca::QueuePolicy::kFifo, dca::QueuePolicy::kStartedTasksFirst}) {
+      const std::string policy_name =
+          policy == dca::QueuePolicy::kFifo ? "fifo" : "started-first";
       dca::DcaConfig base;
       base.nodes = static_cast<std::size_t>(*nodes);
       base.queue_policy = policy;
       const auto metrics = bench::run_byzantine_dca(
-          bench::plan_point(flags, point++), *factory, *r,
-          static_cast<std::uint64_t>(*tasks), base);
-      out.add_row({factory->name(),
-                   policy == dca::QueuePolicy::kFifo ? "fifo"
-                                                     : "started-first",
+          trace.plan(bench::plan_point(flags, point++),
+                     spec + " " + policy_name),
+          *factory, *r, static_cast<std::uint64_t>(*tasks), base);
+      trace.record_metrics(metrics);
+      out.add_row({factory->name(), policy_name,
                    metrics.response_time.mean(), metrics.response_time.max(),
                    metrics.cost_factor(), metrics.makespan});
     }
@@ -75,12 +73,16 @@ int main(int argc, char** argv) {
     base.timeout = 5.0;
     base.checkpoint_interval = interval;
     const auto metrics = bench::run_byzantine_dca(
-        bench::plan_point(flags, point++), ir, 0.9, 2'000, base);
+        trace.plan(bench::plan_point(flags, point++),
+                   "iterative:d=4 checkpoint=" + std::to_string(interval)),
+        *ir, 0.9, 2'000, base);
+    trace.record_metrics(metrics);
     cp.add_row({interval, metrics.makespan,
                 static_cast<long long>(metrics.jobs_lost),
                 metrics.reliability()});
   }
   bench::emit(cp, *flags.csv, "checkpoint");
+  trace.finish();
   std::cout << "\nReading: started-first queueing removes most of the §5.2 "
                "response penalty at zero cost; finer checkpoints recover "
                "most of the work lost to departing volunteers.\n";

@@ -15,16 +15,9 @@
 #include "common/table.h"
 #include "fault/latency_model.h"
 #include "harness.h"
-#include "redundancy/iterative.h"
-#include "redundancy/progressive.h"
-#include "redundancy/traditional.h"
+#include "redundancy/registry.h"
 
 namespace {
-
-struct Setup {
-  const char* name;
-  const smartred::redundancy::StrategyFactory* factory;
-};
 
 smartred::dca::RunMetrics run_one(
     const smartred::exp::RunnerConfig& plan,
@@ -32,8 +25,11 @@ smartred::dca::RunMetrics run_one(
     std::uint64_t tasks, std::size_t nodes, double slow_fraction,
     double slowdown, bool smart) {
   return smartred::bench::run_dca_replications(
-      plan, tasks, [&](std::uint64_t rep_tasks, std::uint64_t rep_seed) {
+      plan, tasks,
+      [&](std::uint64_t rep_tasks, std::uint64_t rep_seed,
+          smartred::obs::Recorder* recorder) {
         smartred::sim::Simulator simulator;
+        simulator.set_recorder(recorder);
         smartred::dca::DcaConfig config;
         config.nodes = nodes;
         config.seed = rep_seed;
@@ -92,10 +88,9 @@ int main(int argc, char** argv) {
   const auto n_tasks = static_cast<std::uint64_t>(*tasks);
   const auto n_nodes = static_cast<std::size_t>(*nodes);
 
-  const smartred::redundancy::TraditionalFactory tr(5);
-  const smartred::redundancy::ProgressiveFactory pr(5);
-  const smartred::redundancy::IterativeFactory ir(4);
-  const Setup setups[] = {{"TR(5)", &tr}, {"PR(5)", &pr}, {"IR(4)", &ir}};
+  const char* const specs[] = {"traditional:k=5", "progressive:k=5",
+                               "iterative:d=4"};
+  const auto ir = smartred::redundancy::make_strategy("iterative:d=4");
 
   smartred::table::banner(
       std::cout,
@@ -104,14 +99,19 @@ int main(int argc, char** argv) {
   smartred::table::Table out({"strategy", "mode", "reliability", "cost",
                               "resp_mean", "resp_max", "speculative",
                               "timed_out", "quarantined", "makespan"});
+  smartred::bench::TraceSession trace(flags);
   std::uint64_t point = 0;
-  for (const Setup& setup : setups) {
+  for (const std::string spec : specs) {
+    const auto factory = smartred::redundancy::make_strategy(spec);
     for (const bool smart : {false, true}) {
-      const auto metrics =
-          run_one(smartred::bench::plan_point(flags, point++), *setup.factory,
-                  *r, n_tasks, n_nodes, /*slow_fraction=*/0.1,
-                  /*slowdown=*/8.0, smart);
-      out.add_row({setup.name, smart ? "adaptive+spec" : "fixed",
+      const std::string mode = smart ? "adaptive+spec" : "fixed";
+      const auto metrics = run_one(
+          trace.plan(smartred::bench::plan_point(flags, point++),
+                     spec + " " + mode),
+          *factory, *r, n_tasks, n_nodes, /*slow_fraction=*/0.1,
+          /*slowdown=*/8.0, smart);
+      trace.record_metrics(metrics);
+      out.add_row({spec, mode,
                    metrics.reliability(), metrics.cost_factor(),
                    metrics.response_time.mean(), metrics.response_time.max(),
                    static_cast<long long>(metrics.jobs_speculative),
@@ -128,18 +128,24 @@ int main(int argc, char** argv) {
   smartred::table::Table poison({"slow_fraction", "resp_fixed",
                                  "resp_smart", "quarantined", "readmitted"});
   for (const double fraction : {0.0, 0.05, 0.1, 0.2, 0.4}) {
-    const auto fixed =
-        run_one(smartred::bench::plan_point(flags, point++), ir, *r,
-                n_tasks / 2, n_nodes, fraction, 8.0, /*smart=*/false);
-    const auto smart =
-        run_one(smartred::bench::plan_point(flags, point++), ir, *r,
-                n_tasks / 2, n_nodes, fraction, 8.0, /*smart=*/true);
+    const std::string label = "iterative:d=4 slow=" + std::to_string(fraction);
+    const auto fixed = run_one(
+        trace.plan(smartred::bench::plan_point(flags, point++),
+                   label + " fixed"),
+        *ir, *r, n_tasks / 2, n_nodes, fraction, 8.0, /*smart=*/false);
+    trace.record_metrics(fixed);
+    const auto smart = run_one(
+        trace.plan(smartred::bench::plan_point(flags, point++),
+                   label + " smart"),
+        *ir, *r, n_tasks / 2, n_nodes, fraction, 8.0, /*smart=*/true);
+    trace.record_metrics(smart);
     poison.add_row({fraction, fixed.response_time.mean(),
                     smart.response_time.mean(),
                     static_cast<long long>(smart.nodes_quarantined),
                     static_cast<long long>(smart.nodes_readmitted)});
   }
   smartred::bench::emit(poison, *flags.csv, "poisoning");
+  trace.finish();
 
   std::cout << "\nReading: under a heavy-tailed pool the fixed-timeout "
                "baseline has no straggler defence — mean response is set by "

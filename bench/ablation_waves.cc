@@ -9,8 +9,7 @@
 #include "common/table.h"
 #include "harness.h"
 #include "redundancy/analysis.h"
-#include "redundancy/iterative.h"
-#include "redundancy/progressive.h"
+#include "redundancy/registry.h"
 
 namespace {
 namespace analysis = smartred::redundancy::analysis;
@@ -52,18 +51,24 @@ int main(int argc, char** argv) {
   smartred::table::Table meas(
       {"technique", "mean_waves", "max_waves", "analytic_mean"});
   const auto n_tasks = static_cast<std::uint64_t>(*tasks);
+  smartred::bench::TraceSession trace(flags);
+  const std::string pr_spec = "progressive:k=" + std::to_string(kk);
   const auto pr = smartred::bench::run_binary_mc(
-      smartred::bench::plan_point(flags, 0),
-      smartred::redundancy::ProgressiveFactory(kk), *r, n_tasks);
+      trace.plan(smartred::bench::plan_point(flags, 0), pr_spec),
+      *smartred::redundancy::make_strategy(pr_spec), *r, n_tasks);
+  trace.record_metrics(pr);
   meas.add_row({std::string("PR(k=") + std::to_string(kk) + ")",
                 pr.waves_per_task.mean(), pr.waves_per_task.max(),
                 analysis::expected_waves(pr_dist)});
+  const std::string ir_spec = "iterative:d=" + std::to_string(dd);
   const auto ir = smartred::bench::run_binary_mc(
-      smartred::bench::plan_point(flags, 1),
-      smartred::redundancy::IterativeFactory(dd), *r, n_tasks);
+      trace.plan(smartred::bench::plan_point(flags, 1), ir_spec),
+      *smartred::redundancy::make_strategy(ir_spec), *r, n_tasks);
+  trace.record_metrics(ir);
   meas.add_row({std::string("IR(d=") + std::to_string(dd) + ")",
                 ir.waves_per_task.mean(), ir.waves_per_task.max(),
                 analysis::expected_waves(ir_dist)});
   smartred::bench::emit(meas, *flags.csv, "measured");
+  trace.finish();
   return 0;
 }

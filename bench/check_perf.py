@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Kernel perf gate: fail on churn ns/op regressions against BENCH_kernel.json.
+
+Runs the micro_overhead google-benchmark binary (kernel churn benchmarks
+only by default), converts each result to ns per item, and compares against
+the *latest* entry of the tracked perf trajectory in BENCH_kernel.json:
+
+  * any gated benchmark more than --tolerance (default 10%) slower than its
+    baseline fails the check, and
+  * any kernel benchmark reporting allocs_per_event > 0 fails regardless of
+    speed — the zero-allocation hot-path guarantee is not a soft target.
+
+Benchmarks present in only one of (run, baseline) are reported but do not
+fail, so adding a benchmark does not break the gate retroactively.
+
+Wired into ctest as the tier-2 `perf_kernel_churn` test:
+
+  ctest --test-dir build -C perf -L tier2
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def parse_args(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--binary", required=True,
+                        help="path to the micro_overhead benchmark binary")
+    parser.add_argument("--baseline", required=True,
+                        help="path to BENCH_kernel.json (array of runs)")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="allowed fractional ns/op regression "
+                             "(default: 0.10)")
+    parser.add_argument("--filter", default="^BM_Kernel",
+                        help="google-benchmark regex of gated benchmarks "
+                             "(default: ^BM_Kernel)")
+    parser.add_argument("--repetitions", type=int, default=5,
+                        help="benchmark repetitions; the median is compared "
+                             "so scheduler noise doesn't fail the gate "
+                             "(default: 5)")
+    return parser.parse_args(argv)
+
+
+def load_baseline(path):
+    """The benchmarks dict of the newest run in the trajectory file."""
+    with open(path, encoding="utf-8") as handle:
+        runs = json.load(handle)
+    if not runs:
+        raise SystemExit(f"{path}: empty perf trajectory")
+    latest = runs[-1]
+    return latest.get("git_rev", "?"), latest["benchmarks"]
+
+
+def ns_per_op(bench):
+    """Per-item time when the benchmark reports item throughput
+    (events/sec), per-iteration real time otherwise — the same rule
+    micro_overhead's --json appender uses for BENCH_kernel.json."""
+    items_per_second = bench.get("items_per_second", 0.0)
+    if items_per_second > 0.0:
+        return 1e9 / items_per_second
+    if bench.get("time_unit", "ns") != "ns":
+        raise SystemExit(f"{bench['name']}: unexpected time_unit "
+                         f"{bench.get('time_unit')}")
+    return bench["real_time"]
+
+
+def run_benchmarks(binary, pattern, repetitions):
+    """Gated benchmark results as {name: (ns_per_op, allocs_per_event)}.
+
+    ns/op is the median across repetitions (single benchmark runs on a
+    shared machine are far too noisy to gate on); allocs_per_event is the
+    max across repetitions — an allocating hot path must not hide behind
+    one quiet run.
+    """
+    # micro_overhead installs its own console reporter, so JSON must go
+    # through the (independent) file reporter, not --benchmark_format.
+    out_fd, out_path = tempfile.mkstemp(suffix=".json")
+    os.close(out_fd)
+    try:
+        command = [
+            binary,
+            f"--benchmark_filter={pattern}",
+            f"--benchmark_repetitions={repetitions}",
+            f"--benchmark_out={out_path}",
+            "--benchmark_out_format=json",
+        ]
+        proc = subprocess.run(command, capture_output=True, text=True,
+                              check=False)
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stderr)
+            raise SystemExit(
+                f"benchmark run failed (exit {proc.returncode})")
+        with open(out_path, encoding="utf-8") as handle:
+            report = json.load(handle)
+    finally:
+        os.unlink(out_path)
+    medians = {}
+    allocs = {}
+    for bench in report.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            if bench.get("aggregate_name") == "median":
+                medians[bench["run_name"]] = ns_per_op(bench)
+        else:
+            name = bench["name"]
+            allocs[name] = max(allocs.get(name, 0.0),
+                               bench.get("allocs_per_event", 0.0))
+            medians.setdefault(name, ns_per_op(bench))
+    if not medians:
+        raise SystemExit(f"no benchmarks matched filter '{pattern}'")
+    return {name: (medians[name], allocs.get(name, 0.0))
+            for name in medians}
+
+
+def main(argv=None):
+    args = parse_args(argv)
+    rev, baseline = load_baseline(args.baseline)
+    measured = run_benchmarks(args.binary, args.filter, args.repetitions)
+
+    failures = []
+    print(f"perf gate vs baseline {rev} "
+          f"(tolerance {args.tolerance:.0%}, median of "
+          f"{args.repetitions} repetitions):")
+    for name in sorted(measured):
+        median_ns, allocs = measured[name]
+        # Amortized warmup/resize allocations round to 0.00/event; a real
+        # per-event allocation shows up as >= 1.
+        if allocs > 0.01:
+            failures.append(f"{name}: {allocs:.2f} allocs/event "
+                            "(hot path must not allocate)")
+        base = baseline.get(name)
+        if base is None:
+            print(f"  {name}: {median_ns:9.2f} ns/op  (no baseline — "
+                  "informational)")
+            continue
+        base_ns = base["ns_per_op"]
+        ratio = median_ns / base_ns
+        verdict = "ok"
+        if ratio > 1.0 + args.tolerance:
+            verdict = "REGRESSION"
+            failures.append(f"{name}: {median_ns:.2f} ns/op vs baseline "
+                            f"{base_ns:.2f} ({ratio - 1.0:+.1%})")
+        print(f"  {name}: {median_ns:9.2f} ns/op  baseline {base_ns:9.2f}"
+              f"  ({ratio - 1.0:+6.1%})  {verdict}")
+
+    if failures:
+        print("\nFAIL:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print("\nPASS: no churn regression beyond tolerance, hot path "
+          "allocation-free")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,9 +15,7 @@
 #include "common/table.h"
 #include "harness.h"
 #include "redundancy/analysis.h"
-#include "redundancy/iterative.h"
-#include "redundancy/progressive.h"
-#include "redundancy/traditional.h"
+#include "redundancy/registry.h"
 
 namespace {
 
@@ -50,6 +48,7 @@ int main(int argc, char** argv) {
   const auto n_tasks = static_cast<std::uint64_t>(*tasks);
   smartred::dca::DcaConfig base;
   base.nodes = static_cast<std::size_t>(*nodes);
+  smartred::bench::TraceSession trace(flags);
 
   smartred::table::banner(
       std::cout, "Figure 5(a) — XDEVS-style DCA simulation, r = " +
@@ -58,33 +57,42 @@ int main(int argc, char** argv) {
       {"technique", "param", "cost", "cost_eq", "reliability", "rel_eq",
        "max_jobs", "avg_response", "makespan"});
 
+  // One data point per spec, built through the string-keyed registry — the
+  // same grammar --strategy flags accept elsewhere.
   std::uint64_t point = 0;
-  for (int k = 1; k <= 19; k += 4) {
-    const smartred::redundancy::TraditionalFactory factory(k);
-    const auto metrics = smartred::bench::run_byzantine_dca(
-        smartred::bench::plan_point(flags, point++), factory, *r, n_tasks,
-        base);
-    add_row(out, "TR", k, metrics, analysis::traditional_cost(k),
-            analysis::traditional_reliability(k, *r));
-  }
-  for (int k = 1; k <= 19; k += 4) {
-    const smartred::redundancy::ProgressiveFactory factory(k);
-    const auto metrics = smartred::bench::run_byzantine_dca(
-        smartred::bench::plan_point(flags, point++), factory, *r, n_tasks,
-        base);
-    add_row(out, "PR", k, metrics, analysis::progressive_cost(k, *r),
-            analysis::progressive_reliability(k, *r));
-  }
-  for (int d = 1; d <= 8; ++d) {
-    const smartred::redundancy::IterativeFactory factory(d);
-    const auto metrics = smartred::bench::run_byzantine_dca(
-        smartred::bench::plan_point(flags, point++), factory, *r, n_tasks,
-        base);
-    add_row(out, "IR", d, metrics, analysis::iterative_cost(d, *r),
-            analysis::iterative_reliability(d, *r));
-  }
+  const auto run_series =
+      [&](const std::string& technique, const std::string& key, int lo,
+          int hi, int step, auto predicted_cost, auto predicted_reliability) {
+        for (int value = lo; value <= hi; value += step) {
+          const std::string spec =
+              technique + ":" + key + "=" + std::to_string(value);
+          const auto factory = smartred::redundancy::make_strategy(spec);
+          const auto metrics = smartred::bench::run_byzantine_dca(
+              trace.plan(smartred::bench::plan_point(flags, point++), spec),
+              *factory, *r, n_tasks, base);
+          trace.record_metrics(metrics);
+          add_row(out, technique == "traditional" ? "TR"
+                       : technique == "progressive" ? "PR"
+                                                    : "IR",
+                  value, metrics, predicted_cost(value),
+                  predicted_reliability(value));
+        }
+      };
+  run_series(
+      "traditional", "k", 1, 19, 4,
+      [](int k) { return analysis::traditional_cost(k); },
+      [&](int k) { return analysis::traditional_reliability(k, *r); });
+  run_series(
+      "progressive", "k", 1, 19, 4,
+      [&](int k) { return analysis::progressive_cost(k, *r); },
+      [&](int k) { return analysis::progressive_reliability(k, *r); });
+  run_series(
+      "iterative", "d", 1, 8, 1,
+      [&](int d) { return analysis::iterative_cost(d, *r); },
+      [&](int d) { return analysis::iterative_reliability(d, *r); });
 
   smartred::bench::emit(out, *flags.csv, "fig5a");
+  trace.finish();
   std::cout << "\nReading: at equal measured cost, IR achieves the highest "
                "reliability, PR second, TR last (paper Figure 5(a)).\n";
   return 0;

@@ -20,9 +20,7 @@
 #include "common/flags.h"
 #include "common/table.h"
 #include "harness.h"
-#include "redundancy/iterative.h"
-#include "redundancy/progressive.h"
-#include "redundancy/traditional.h"
+#include "redundancy/registry.h"
 #include "sat/generator.h"
 #include "sat/sat_workload.h"
 
@@ -37,8 +35,11 @@ smartred::dca::RunMetrics run_point(
     const std::vector<smartred::boinc::ClientProfile>& profiles) {
   smartred::exp::ParallelRunner runner(plan);
   return runner.run_merged(
-      [&](std::uint64_t /*rep*/, std::uint64_t rep_seed) {
+      [&](std::uint64_t rep, std::uint64_t rep_seed) {
         smartred::sim::Simulator simulator;
+        if (plan.trace != nullptr) {
+          simulator.set_recorder(&plan.trace->recorder(rep));
+        }
         smartred::boinc::BoincConfig config;
         config.seed = rep_seed;
         smartred::boinc::Deployment deployment(simulator, config, profiles,
@@ -90,13 +91,15 @@ int main(int argc, char** argv) {
   smartred::table::Table out({"technique", "param", "cost", "reliability",
                               "max_jobs", "jobs_lost", "est_r"});
 
+  smartred::bench::TraceSession trace(flags);
   std::uint64_t point = 0;
-  auto run_series = [&](const std::string& name,
-                        const smartred::redundancy::StrategyFactory& factory,
+  auto run_series = [&](const std::string& name, const std::string& spec,
                         long long parameter) {
-    const auto metrics =
-        run_point(smartred::bench::plan_point(flags, point++), factory,
-                  workload, profiles);
+    const auto factory = smartred::redundancy::make_strategy(spec);
+    const auto metrics = run_point(
+        trace.plan(smartred::bench::plan_point(flags, point++), spec),
+        *factory, workload, profiles);
+    trace.record_metrics(metrics);
     out.add_row({name, parameter, metrics.cost_factor(),
                  metrics.reliability(),
                  static_cast<long long>(metrics.max_jobs_single_task),
@@ -105,16 +108,17 @@ int main(int argc, char** argv) {
   };
 
   for (int k : {1, 3, 7, 11, 15, 19}) {
-    run_series("TR", smartred::redundancy::TraditionalFactory(k), k);
+    run_series("TR", "traditional:k=" + std::to_string(k), k);
   }
   for (int k : {3, 7, 11, 15, 19}) {
-    run_series("PR", smartred::redundancy::ProgressiveFactory(k), k);
+    run_series("PR", "progressive:k=" + std::to_string(k), k);
   }
   for (int d : {1, 2, 3, 4, 5, 6, 7}) {
-    run_series("IR", smartred::redundancy::IterativeFactory(d), d);
+    run_series("IR", "iterative:d=" + std::to_string(d), d);
   }
 
   smartred::bench::emit(out, *flags.csv, "fig5b");
+  trace.finish();
   std::cout
       << "\nReading: same dominance ordering as Figure 5(a) under real "
          "deployment effects; est_r recovers the paper's 0.64 < r < 0.67 "

@@ -17,8 +17,7 @@
 #include "common/table.h"
 #include "harness.h"
 #include "redundancy/analysis.h"
-#include "redundancy/iterative.h"
-#include "redundancy/progressive.h"
+#include "redundancy/registry.h"
 
 namespace {
 
@@ -59,23 +58,31 @@ int main(int argc, char** argv) {
       {"r", "PR_cost_meas", "PR_improvement_meas", "IR_d", "IR_cost_meas",
        "IR_improvement_analytic"});
   const auto n_tasks = static_cast<std::uint64_t>(*cross_tasks);
+  smartred::bench::TraceSession trace(flags);
   std::uint64_t point = 0;
   for (double r : {0.6, 0.7, 0.86, 0.95}) {
+    const std::string pr_spec = "progressive:k=" + std::to_string(ref_k);
     const auto pr = smartred::bench::run_binary_mc(
-        smartred::bench::plan_point(flags, point++),
-        smartred::redundancy::ProgressiveFactory(ref_k), r, n_tasks);
+        trace.plan(smartred::bench::plan_point(flags, point++),
+                   pr_spec + " r=" + std::to_string(r)),
+        *smartred::redundancy::make_strategy(pr_spec), r, n_tasks);
+    trace.record_metrics(pr);
     // Smallest integer margin meeting the matched reliability.
     const int d = analysis::margin_for_confidence(
         r, analysis::traditional_reliability(ref_k, r));
+    const std::string ir_spec = "iterative:d=" + std::to_string(d);
     const auto ir = smartred::bench::run_binary_mc(
-        smartred::bench::plan_point(flags, point++),
-        smartred::redundancy::IterativeFactory(d), r, n_tasks);
+        trace.plan(smartred::bench::plan_point(flags, point++),
+                   ir_spec + " r=" + std::to_string(r)),
+        *smartred::redundancy::make_strategy(ir_spec), r, n_tasks);
+    trace.record_metrics(ir);
     check.add_row({r, pr.cost_factor(),
                    static_cast<double>(ref_k) / pr.cost_factor(),
                    static_cast<long long>(d), ir.cost_factor(),
                    analysis::iterative_improvement(ref_k, r)});
   }
   smartred::bench::emit(check, *flags.csv, "crosscheck");
+  trace.finish();
 
   std::cout << "\nReading: PR climbs monotonically toward 2.0x; IR rises "
                "from ~1.5x, peaks ~2.7x in the high-0.8s/low-0.9s, and "

@@ -13,9 +13,7 @@
 #include "common/table.h"
 #include "harness.h"
 #include "redundancy/analysis.h"
-#include "redundancy/iterative.h"
-#include "redundancy/progressive.h"
-#include "redundancy/traditional.h"
+#include "redundancy/registry.h"
 
 namespace {
 
@@ -57,30 +55,31 @@ int main(int argc, char** argv) {
                  metrics.waves_per_task.mean()});
   };
 
+  smartred::bench::TraceSession trace(flags);
   std::uint64_t point = 0;
-  for (int k = 1; k <= 25; k += 4) {
-    const smartred::redundancy::TraditionalFactory factory(k);
+  auto run_spec = [&](const std::string& spec) {
+    const auto factory = smartred::redundancy::make_strategy(spec);
     const auto metrics = smartred::bench::run_byzantine_dca(
-        smartred::bench::plan_point(flags, point++), factory, *r, n_tasks,
-        base);
+        trace.plan(smartred::bench::plan_point(flags, point++), spec),
+        *factory, *r, n_tasks, base);
+    trace.record_metrics(metrics);
+    return metrics;
+  };
+  for (int k = 1; k <= 25; k += 4) {
+    const auto metrics = run_spec("traditional:k=" + std::to_string(k));
     emit_row("TR", k, metrics, analysis::expected_response_traditional(k));
   }
   for (int k = 1; k <= 25; k += 4) {
-    const smartred::redundancy::ProgressiveFactory factory(k);
-    const auto metrics = smartred::bench::run_byzantine_dca(
-        smartred::bench::plan_point(flags, point++), factory, *r, n_tasks,
-        base);
+    const auto metrics = run_spec("progressive:k=" + std::to_string(k));
     emit_row("PR", k, metrics, analysis::expected_response_progressive(k, *r));
   }
   for (int d = 1; d <= 12; d += 2) {
-    const smartred::redundancy::IterativeFactory factory(d);
-    const auto metrics = smartred::bench::run_byzantine_dca(
-        smartred::bench::plan_point(flags, point++), factory, *r, n_tasks,
-        base);
+    const auto metrics = run_spec("iterative:d=" + std::to_string(d));
     emit_row("IR", d, metrics, analysis::expected_response_iterative(d, *r));
   }
 
   smartred::bench::emit(out, *flags.csv, "fig6");
+  trace.finish();
 
   // The paper's summary ratios at matched reliability.
   const int k = 19;

@@ -14,10 +14,12 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "common/flags.h"
 #include "common/rng.h"
@@ -27,6 +29,9 @@
 #include "dca/workload.h"
 #include "exp/parallel_runner.h"
 #include "fault/failure_model.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "redundancy/montecarlo.h"
 #include "redundancy/strategy.h"
 #include "sim/simulator.h"
@@ -58,9 +63,10 @@ struct ExperimentFlags {
   std::shared_ptr<std::int64_t> threads;
   std::shared_ptr<std::int64_t> seed;
   std::shared_ptr<std::string> csv;
+  std::shared_ptr<std::string> trace;
 };
 
-/// Registers --reps, --threads, --seed, and --csv on `parser`.
+/// Registers --reps, --threads, --seed, --csv, and --trace on `parser`.
 inline ExperimentFlags add_experiment_flags(flags::Parser& parser,
                                             std::int64_t default_reps = 8,
                                             std::int64_t default_seed = 1) {
@@ -71,8 +77,106 @@ inline ExperimentFlags add_experiment_flags(flags::Parser& parser,
       "threads", 0, "worker threads (0 = one per hardware thread)");
   handles.seed = parser.add_int("seed", default_seed, "master seed");
   handles.csv = parser.add_string("csv", "", "CSV output path (optional)");
+  handles.trace = parser.add_string(
+      "trace", "",
+      "flight-recorder output path: *.jsonl for JSON lines, anything else "
+      "for Chrome about:tracing JSON (optional)");
   return handles;
 }
+
+/// Per-binary flight-recorder session driving obs:: from the --trace flag.
+///
+/// One session serves a whole bench run: for every data point the bench
+/// wraps its runner plan with `session.plan(...)` (which attaches the
+/// collector and names the point) and reports the point's merged aggregate
+/// with `record_metrics(...)`. The destructor (or an explicit finish())
+/// writes all points to the --trace path — JSON lines when the path ends in
+/// .jsonl, Chrome about:tracing JSON otherwise. With --trace unset every
+/// call is a no-op and no collector is ever attached, so traced and
+/// untraced runs execute the exact same simulation code path.
+class TraceSession {
+ public:
+  explicit TraceSession(
+      std::string path,
+      std::size_t ring_capacity = obs::TraceCollector::kDefaultRingCapacity)
+      : path_(std::move(path)), collector_(ring_capacity) {}
+  explicit TraceSession(const ExperimentFlags& flags)
+      : TraceSession(*flags.trace) {}
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  ~TraceSession() { finish(); }
+
+  [[nodiscard]] bool enabled() const { return !path_.empty(); }
+
+  /// Seals the previous point (if any) and attaches the collector to
+  /// `plan` under `label`. Returns `plan` unchanged when tracing is off.
+  [[nodiscard]] exp::RunnerConfig plan(exp::RunnerConfig plan,
+                                       std::string label) {
+    if (!enabled()) return plan;
+    seal();
+    pending_ = true;
+    pending_label_ = std::move(label);
+    plan.trace = &collector_;
+    return plan;
+  }
+
+  /// Snapshots the current point's merged aggregates into the trace.
+  template <typename Aggregate>
+  void record_metrics(const Aggregate& aggregate) {
+    if (!enabled() || !pending_) return;
+    pending_metrics_ = obs::snapshot(aggregate);
+  }
+
+  /// Seals the last point and writes the trace file. Safe to call twice;
+  /// the destructor calls it for benches that don't.
+  void finish() {
+    if (!enabled() || finished_) return;
+    finished_ = true;
+    seal();
+    std::ofstream out(path_);
+    if (!out) {
+      std::cerr << "trace: cannot open " << path_ << " for writing\n";
+      return;
+    }
+    const bool jsonl = path_.size() >= 6 &&
+                       path_.compare(path_.size() - 6, 6, ".jsonl") == 0;
+    if (jsonl) {
+      obs::write_jsonl(out, points_);
+    } else {
+      obs::write_chrome_trace(out, points_);
+    }
+    std::uint64_t dropped = 0;
+    for (const obs::PointTrace& point : points_) dropped += point.dropped;
+    std::cout << "(trace written to " << path_;
+    if (dropped > 0) {
+      std::cout << "; " << dropped
+                << " events dropped by full rings — raise the ring capacity "
+                   "or trace a smaller run";
+    }
+    std::cout << ")\n";
+  }
+
+ private:
+  void seal() {
+    if (!pending_) return;
+    points_.push_back(obs::PointTrace{std::move(pending_label_),
+                                      collector_.merged(),
+                                      std::move(pending_metrics_)});
+    points_.back().dropped = collector_.dropped();
+    pending_ = false;
+    pending_metrics_ = obs::MetricRegistry{};
+  }
+
+  std::string path_;
+  obs::TraceCollector collector_;
+  std::vector<obs::PointTrace> points_;
+  std::string pending_label_;
+  obs::MetricRegistry pending_metrics_;
+  bool pending_ = false;
+  bool finished_ = false;
+};
 
 /// The runner configuration for data point number `point`: --reps
 /// replications on --threads workers, with a master seed derived from
@@ -101,8 +205,11 @@ inline exp::RunnerConfig plan_point(const ExperimentFlags& flags,
 
 /// Merged metrics of `plan.replications` DCA replications that together
 /// simulate `total_tasks` tasks (split as evenly as possible).
-/// `run_rep(rep_tasks, rep_seed) -> dca::RunMetrics` must be pure in its
-/// arguments — it is called concurrently from worker threads.
+/// `run_rep(rep_tasks, rep_seed, recorder) -> dca::RunMetrics` must be pure
+/// in its arguments — it is called concurrently from worker threads. The
+/// recorder is this replication's private flight-recorder ring (null when
+/// the plan carries no trace collector); DES replications attach it with
+/// `simulator.set_recorder(recorder)`.
 template <typename RunRep>
 [[nodiscard]] dca::RunMetrics run_dca_replications(
     const exp::RunnerConfig& plan, std::uint64_t total_tasks,
@@ -112,7 +219,9 @@ template <typename RunRep>
   return runner.run_merged([&](std::uint64_t rep, std::uint64_t rep_seed) {
     return run_rep(
         exp::partition_size(total_tasks, effective.replications, rep),
-        rep_seed);
+        rep_seed,
+        effective.trace != nullptr ? &effective.trace->recorder(rep)
+                                   : nullptr);
   });
 }
 
@@ -128,8 +237,10 @@ template <typename MakeFailures>
     MakeFailures&& make_failures) {
   return run_dca_replications(
       plan, total_tasks,
-      [&](std::uint64_t rep_tasks, std::uint64_t rep_seed) {
+      [&](std::uint64_t rep_tasks, std::uint64_t rep_seed,
+          obs::Recorder* recorder) {
         sim::Simulator simulator;
+        simulator.set_recorder(recorder);
         dca::DcaConfig config = base;
         config.seed = rep_seed;
         const dca::SyntheticWorkload workload(rep_tasks);
@@ -171,6 +282,9 @@ template <typename MakeFailures>
         exp::partition_size(total_tasks, effective.replications, rep);
     config.seed = rep_seed;
     config.max_jobs_per_task = max_jobs_per_task;
+    config.recorder = effective.trace != nullptr
+                          ? &effective.trace->recorder(rep)
+                          : nullptr;
     return run_custom(factory, source, correct, config);
   });
 }
@@ -188,6 +302,9 @@ template <typename MakeFailures>
         exp::partition_size(total_tasks, effective.replications, rep);
     config.seed = rep_seed;
     config.max_jobs_per_task = max_jobs_per_task;
+    config.recorder = effective.trace != nullptr
+                          ? &effective.trace->recorder(rep)
+                          : nullptr;
     return run_binary(factory, reliability, config);
   });
 }

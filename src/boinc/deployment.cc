@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/expect.h"
+#include "obs/trace.h"
 
 namespace smartred::boinc {
 namespace {
@@ -90,6 +91,15 @@ void Deployment::enqueue_wave(std::uint64_t task, int jobs) {
   state.jobs_started += jobs;
   ++state.waves;
   metrics_.jobs_dispatched += static_cast<std::uint64_t>(jobs);
+  if (obs::Recorder* const rec = simulator_.recorder()) {
+    rec->record(obs::TraceEvent{
+        .time = simulator_.now(),
+        .task = task,
+        .arg = jobs,
+        .wave = static_cast<std::uint32_t>(state.waves),
+        .kind = obs::EventKind::kWaveDispatched,
+    });
+  }
   for (int j = 0; j < jobs; ++j) job_queue_.push_back(task);
 }
 
@@ -189,6 +199,16 @@ void Deployment::server_handle_result(redundancy::NodeId client,
   ++metrics_.jobs_completed;
   if (value == workload_.correct_value(task)) ++metrics_.jobs_correct;
   state.votes.push_back(redundancy::Vote{client, value});
+  if (obs::Recorder* const rec = simulator_.recorder()) {
+    rec->record(obs::TraceEvent{
+        .time = simulator_.now(),
+        .task = task,
+        .arg = value,
+        .node = client,
+        .wave = static_cast<std::uint32_t>(state.waves),
+        .kind = obs::EventKind::kVoteRecorded,
+    });
+  }
   --state.outstanding;
   if (state.outstanding == 0) consult_strategy(task);
 }
@@ -207,6 +227,15 @@ void Deployment::deadline_check(std::uint64_t task, std::uint64_t job_id) {
   if (live == state.live_jobs.end()) return;  // reported in time
   state.live_jobs.erase(live);
   ++metrics_.jobs_lost;
+  if (obs::Recorder* const rec = simulator_.recorder()) {
+    rec->record(obs::TraceEvent{
+        .time = simulator_.now(),
+        .task = task,
+        .arg = static_cast<std::int64_t>(job_id),
+        .wave = static_cast<std::uint32_t>(state.waves),
+        .kind = obs::EventKind::kDeadlineFired,
+    });
+  }
   if (state.jobs_started >= config_.max_jobs_per_task) {
     abort_task(task);
     return;
@@ -221,6 +250,16 @@ void Deployment::consult_strategy(std::uint64_t task) {
   TaskState& state = tasks_[task];
   const redundancy::Decision decision = state.strategy->decide(state.votes);
   if (decision.done()) {
+    if (obs::Recorder* const rec = simulator_.recorder()) {
+      rec->record(obs::TraceEvent{
+          .time = simulator_.now(),
+          .task = task,
+          .arg = decision.value,
+          .wave = static_cast<std::uint32_t>(state.waves),
+          .kind = obs::EventKind::kDecision,
+          .reason = static_cast<std::uint8_t>(decision.reason),
+      });
+    }
     finish_task(task, decision.value);
     return;
   }
@@ -262,6 +301,17 @@ void Deployment::abort_task(std::uint64_t task) {
   state.aborted = true;
   --undecided_;
   ++metrics_.tasks_aborted;
+  if (obs::Recorder* const rec = simulator_.recorder()) {
+    rec->record(obs::TraceEvent{
+        .time = simulator_.now(),
+        .task = task,
+        .arg = state.jobs_started,
+        .wave = static_cast<std::uint32_t>(state.waves),
+        .kind = obs::EventKind::kTaskAborted,
+        .reason = static_cast<std::uint8_t>(
+            redundancy::Decision::Reason::kBudgetExhausted),
+    });
+  }
   record_task_metrics(state);
   state.strategy = nullptr;
   state.owned_strategy.reset();

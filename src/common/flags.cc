@@ -1,5 +1,6 @@
 #include "common/flags.h"
 
+#include <algorithm>
 #include <charconv>
 #include <cstdlib>
 #include <iostream>
@@ -9,6 +10,24 @@
 
 namespace smartred::flags {
 namespace {
+
+/// Levenshtein distance, for "did you mean" suggestions on unknown flags.
+/// Flag names are short, so the quadratic two-row version is plenty.
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diagonal = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t substitution =
+          diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diagonal = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, substitution});
+    }
+  }
+  return row[b.size()];
+}
 
 bool parse_bool_text(const std::string& text, bool& out) {
   if (text == "true" || text == "1" || text == "yes" || text == "on") {
@@ -68,6 +87,24 @@ std::shared_ptr<bool> Parser::add_bool(std::string name, bool default_value,
                       nullptr, nullptr, value,
                       default_value ? "true" : "false"});
   return value;
+}
+
+std::string Parser::suggest(const std::string& name) const {
+  // Only near-misses make useful suggestions: within 2 edits, or within a
+  // third of the typed length for longer names. Ties go to the flag
+  // registered first (stable, and registration order puts the common
+  // experiment flags up front).
+  const std::size_t cutoff = std::max<std::size_t>(2, name.size() / 3);
+  std::size_t best = cutoff + 1;
+  std::string nearest;
+  for (const Flag& flag : all_) {
+    const std::size_t distance = edit_distance(name, flag.name);
+    if (distance < best) {
+      best = distance;
+      nearest = flag.name;
+    }
+  }
+  return nearest;
 }
 
 const Parser::Flag* Parser::find(const std::string& name) const {
@@ -135,7 +172,11 @@ void Parser::parse(int argc, const char* const* argv) const {
     }
     const Flag* flag = find(arg);
     if (flag == nullptr) {
-      throw ParseError("unknown flag --" + arg + "\n" + usage());
+      std::string message = "unknown flag --" + arg;
+      if (const std::string nearest = suggest(arg); !nearest.empty()) {
+        message += " (did you mean --" + nearest + "?)";
+      }
+      throw ParseError(message + "\n" + usage());
     }
     if (!has_value) {
       if (flag->kind == Kind::kBool) {

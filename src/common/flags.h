@@ -65,6 +65,8 @@ class Parser {
 
   void assign(const Flag& flag, const std::string& text) const;
   [[nodiscard]] const Flag* find(const std::string& name) const;
+  /// Nearest registered flag name within the suggestion cutoff, or "".
+  [[nodiscard]] std::string suggest(const std::string& name) const;
 
   std::string program_;
   std::string description_;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/expect.h"
+#include "obs/trace.h"
 
 namespace smartred::dca {
 
@@ -84,7 +85,7 @@ const RunMetrics& TaskServer::run() {
   // If churn drained the pool with no joins configured, the queue can
   // starve; surface the stuck tasks as aborted rather than hanging.
   for (std::uint64_t task = 0; task < task_count; ++task) {
-    if (!tasks_[task].decided) abort_task(task);
+    if (!tasks_[task].decided) abort_task(task, /*budget_exhausted=*/false);
   }
   SMARTRED_ENSURE(undecided_ == 0, "all tasks must be resolved");
   metrics_.jobs_unrun = job_queue_.size();
@@ -109,6 +110,15 @@ void TaskServer::enqueue_wave(std::uint64_t task, int jobs) {
   TaskState& state = tasks_[task];
   state.outstanding += jobs;
   ++state.waves;
+  if (obs::Recorder* const rec = simulator_.recorder()) {
+    rec->record(obs::TraceEvent{
+        .time = simulator_.now(),
+        .task = task,
+        .arg = jobs,
+        .wave = static_cast<std::uint32_t>(state.waves),
+        .kind = obs::EventKind::kWaveDispatched,
+    });
+  }
   // Top-up waves (everything past the first) jump the queue under the
   // started-tasks-first policy.
   const bool prioritized = state.waves > 1;
@@ -160,8 +170,17 @@ void TaskServer::start_job(const QueuedJob& job, redundancy::NodeId node) {
     } else {
       pool_.leave(node);
     }
-    simulator_.schedule(deadline, [this, job_id] {
+    simulator_.schedule(deadline, [this, job_id, task, node] {
       ++metrics_.jobs_timed_out;
+      if (obs::Recorder* const rec = simulator_.recorder()) {
+        rec->record(obs::TraceEvent{
+            .time = simulator_.now(),
+            .task = task,
+            .arg = static_cast<std::int64_t>(job_id),
+            .node = node,
+            .kind = obs::EventKind::kDeadlineFired,
+        });
+      }
       copy_lost(job_id, -1.0);
     });
     return;
@@ -207,11 +226,27 @@ void TaskServer::speculate(std::uint64_t job) {
   // speculative copy on a fresh node. The original keeps running — the
   // first finisher casts the vote, the loser is discarded.
   ++metrics_.jobs_timed_out;
+  if (obs::Recorder* const rec = simulator_.recorder()) {
+    rec->record(obs::TraceEvent{
+        .time = simulator_.now(),
+        .task = logical.task,
+        .arg = static_cast<std::int64_t>(job),
+        .kind = obs::EventKind::kDeadlineFired,
+    });
+  }
   if (state.jobs_started >= config_.max_jobs_per_task) return;
   ++logical.speculative;
   ++logical.copies;
   ++metrics_.jobs_speculative;
   enqueue_copy(job, logical.task, /*carried_work=*/-1.0, /*prioritized=*/true);
+  if (obs::Recorder* const rec = simulator_.recorder()) {
+    rec->record(obs::TraceEvent{
+        .time = simulator_.now(),
+        .task = logical.task,
+        .arg = static_cast<std::int64_t>(job),
+        .kind = obs::EventKind::kSpeculationLaunched,
+    });
+  }
   assign_available();
 }
 
@@ -229,14 +264,30 @@ void TaskServer::judge_completion(redundancy::NodeId node, bool late) {
 void TaskServer::quarantine_node(redundancy::NodeId node) {
   const int round = pool_.quarantine(node);
   ++metrics_.nodes_quarantined;
+  if (obs::Recorder* const rec = simulator_.recorder()) {
+    rec->record(obs::TraceEvent{
+        .time = simulator_.now(),
+        .arg = round,
+        .node = node,
+        .kind = obs::EventKind::kNodeQuarantined,
+    });
+  }
   const double backoff =
       std::min(config_.quarantine.backoff_cap,
                config_.quarantine.backoff_base *
                    std::pow(config_.quarantine.backoff_factor,
                             static_cast<double>(round - 1)));
-  simulator_.schedule(backoff, [this, node] {
+  simulator_.schedule(backoff, [this, node, round] {
     if (pool_.readmit(node)) {
       ++metrics_.nodes_readmitted;
+      if (obs::Recorder* const rec = simulator_.recorder()) {
+        rec->record(obs::TraceEvent{
+            .time = simulator_.now(),
+            .arg = round,
+            .node = node,
+            .kind = obs::EventKind::kNodeReadmitted,
+        });
+      }
       assign_available();
     }
   });
@@ -275,6 +326,16 @@ void TaskServer::complete_job(std::uint64_t job, redundancy::NodeId node) {
       failures_.report(node, task, correct, rng_fault_);
   if (value == correct) ++metrics_.jobs_correct;
   state.votes.push_back(redundancy::Vote{node, value});
+  if (obs::Recorder* const rec = simulator_.recorder()) {
+    rec->record(obs::TraceEvent{
+        .time = simulator_.now(),
+        .task = task,
+        .arg = value,
+        .node = node,
+        .wave = static_cast<std::uint32_t>(state.waves),
+        .kind = obs::EventKind::kVoteRecorded,
+    });
+  }
   logical.resolved = true;
   if (logical.spec_armed) {
     simulator_.cancel(logical.spec_timer);
@@ -316,6 +377,16 @@ void TaskServer::consult_strategy(std::uint64_t task) {
   TaskState& state = tasks_[task];
   const redundancy::Decision decision = state.strategy->decide(state.votes);
   if (decision.done()) {
+    if (obs::Recorder* const rec = simulator_.recorder()) {
+      rec->record(obs::TraceEvent{
+          .time = simulator_.now(),
+          .task = task,
+          .arg = decision.value,
+          .wave = static_cast<std::uint32_t>(state.waves),
+          .kind = obs::EventKind::kDecision,
+          .reason = static_cast<std::uint8_t>(decision.reason),
+      });
+    }
     finish_task(task, decision.value);
     return;
   }
@@ -355,13 +426,25 @@ void TaskServer::finish_task(std::uint64_t task,
   state.votes.shrink_to_fit();
 }
 
-void TaskServer::abort_task(std::uint64_t task) {
+void TaskServer::abort_task(std::uint64_t task, bool budget_exhausted) {
   TaskState& state = tasks_[task];
   SMARTRED_EXPECT(!state.decided, "abort of an already decided task");
   state.decided = true;
   state.aborted = true;
   --undecided_;
   ++metrics_.tasks_aborted;
+  if (obs::Recorder* const rec = simulator_.recorder()) {
+    rec->record(obs::TraceEvent{
+        .time = simulator_.now(),
+        .task = task,
+        .arg = state.jobs_started,
+        .wave = static_cast<std::uint32_t>(state.waves),
+        .kind = obs::EventKind::kTaskAborted,
+        .reason = static_cast<std::uint8_t>(
+            budget_exhausted ? redundancy::Decision::Reason::kBudgetExhausted
+                             : redundancy::Decision::Reason::kNone),
+    });
+  }
   record_task_metrics(state);
   if (undecided_ == 0) metrics_.makespan = simulator_.now();
   state.strategy = nullptr;

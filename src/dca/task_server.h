@@ -215,7 +215,9 @@ class TaskServer {
   void copy_lost(std::uint64_t job, double carried_work);
   void consult_strategy(std::uint64_t task);
   void finish_task(std::uint64_t task, redundancy::ResultValue accepted);
-  void abort_task(std::uint64_t task);
+  /// `budget_exhausted` distinguishes job-cap aborts (the normal in-run
+  /// cause, traced with that reason) from post-run starvation cleanup.
+  void abort_task(std::uint64_t task, bool budget_exhausted = true);
   void record_task_metrics(const TaskState& state);
   void schedule_churn_join();
   void schedule_churn_leave();

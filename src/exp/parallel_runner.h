@@ -28,6 +28,7 @@
 
 #include "common/expect.h"
 #include "common/rng.h"
+#include "obs/trace.h"
 
 namespace smartred::exp {
 
@@ -39,6 +40,12 @@ struct RunnerConfig {
   unsigned threads = 0;
   /// Master seed; replication i runs with rng::derive_seed(master_seed, i).
   std::uint64_t master_seed = 1;
+  /// Optional trace collector. When set, run() sizes it to one ring per
+  /// replication before any worker starts; the replication function picks
+  /// up its private ring with `trace->recorder(i)`. Per-replication rings
+  /// need no locks, and merging follows replication order — so traces obey
+  /// the same any-thread-count determinism contract as the results.
+  obs::TraceCollector* trace = nullptr;
 };
 
 /// Resolves a requested thread count: 0 -> hardware concurrency (at least
@@ -79,6 +86,7 @@ class ParallelRunner {
     static_assert(std::is_default_constructible_v<Result>,
                   "replication results must be default-constructible slots");
     const std::uint64_t n = config_.replications;
+    if (config_.trace != nullptr) config_.trace->prepare(n);
     std::vector<Result> results(n);
     const unsigned workers = static_cast<unsigned>(
         std::min<std::uint64_t>(resolve_threads(config_.threads), n));

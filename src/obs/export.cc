@@ -1,0 +1,147 @@
+#include "obs/export.h"
+
+#include <cstdio>
+#include <limits>
+#include <ostream>
+
+#include "redundancy/strategy.h"
+
+namespace smartred::obs {
+namespace {
+
+/// Writes a JSON string literal with the minimal escaping our labels can
+/// need (quotes, backslashes, control characters).
+void write_string(std::ostream& out, const std::string& text) {
+  out << '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out << buffer;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+/// The kind-specific meaning of TraceEvent::arg, used as its JSON key.
+const char* arg_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kWaveDispatched: return "jobs";
+    case EventKind::kVoteRecorded: return "value";
+    case EventKind::kDecision: return "value";
+    case EventKind::kDeadlineFired: return "job";
+    case EventKind::kSpeculationLaunched: return "job";
+    case EventKind::kNodeQuarantined: return "round";
+    case EventKind::kNodeReadmitted: return "round";
+    case EventKind::kTaskAborted: return "jobs";
+  }
+  return "arg";
+}
+
+/// Shared body of both formats' per-event payload: the fields after the
+/// envelope (task/wave/node plus the kind-specific arg and reason).
+void write_event_fields(std::ostream& out, const TraceEvent& event) {
+  out << "\"task\":" << event.task << ",\"wave\":" << event.wave
+      << ",\"node\":" << event.node << ",\"" << arg_name(event.kind)
+      << "\":" << event.arg;
+  if (event.reason != 0) {
+    out << ",\"reason\":\"" << reason_name(event.reason) << '"';
+  }
+}
+
+}  // namespace
+
+const char* kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kWaveDispatched: return "wave_dispatched";
+    case EventKind::kVoteRecorded: return "vote_recorded";
+    case EventKind::kDecision: return "decision";
+    case EventKind::kDeadlineFired: return "deadline_fired";
+    case EventKind::kSpeculationLaunched: return "speculation_launched";
+    case EventKind::kNodeQuarantined: return "node_quarantined";
+    case EventKind::kNodeReadmitted: return "node_readmitted";
+    case EventKind::kTaskAborted: return "task_aborted";
+  }
+  return "unknown";
+}
+
+const char* reason_name(std::uint8_t reason) {
+  return redundancy::to_string(
+      static_cast<redundancy::Decision::Reason>(reason));
+}
+
+void write_jsonl(std::ostream& out, std::span<const PointTrace> points) {
+  const auto previous =
+      out.precision(std::numeric_limits<double>::max_digits10);
+  for (const PointTrace& point : points) {
+    for (const TraceEvent& event : point.events) {
+      out << "{\"type\":\"event\",\"point\":";
+      write_string(out, point.label);
+      out << ",\"rep\":" << event.rep << ",\"time\":" << event.time
+          << ",\"kind\":\"" << kind_name(event.kind) << "\",";
+      write_event_fields(out, event);
+      out << "}\n";
+    }
+    out << "{\"type\":\"metrics\",\"point\":";
+    write_string(out, point.label);
+    out << ",\"dropped\":" << point.dropped << ",\"values\":";
+    point.metrics.write_json(out);
+    out << "}\n";
+  }
+  out.precision(previous);
+}
+
+void write_chrome_trace(std::ostream& out,
+                        std::span<const PointTrace> points) {
+  const auto previous =
+      out.precision(std::numeric_limits<double>::max_digits10);
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  const auto separate = [&] {
+    if (!first) out << ',';
+    first = false;
+    out << '\n';
+  };
+  for (std::size_t pid = 0; pid < points.size(); ++pid) {
+    const PointTrace& point = points[pid];
+    separate();
+    out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+        << ",\"args\":{\"name\":";
+    write_string(out, point.label);
+    out << "}}";
+    for (const TraceEvent& event : point.events) {
+      separate();
+      // Simulated seconds map to trace microseconds so about:tracing's
+      // time axis reads directly in simulated microseconds.
+      out << "{\"name\":\"" << kind_name(event.kind)
+          << "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":" << pid
+          << ",\"tid\":" << event.rep << ",\"ts\":" << event.time * 1e6
+          << ",\"args\":{";
+      write_event_fields(out, event);
+      out << "}}";
+    }
+    if (!point.metrics.empty()) {
+      separate();
+      double last_time = 0.0;
+      for (const TraceEvent& event : point.events) {
+        if (event.time > last_time) last_time = event.time;
+      }
+      out << "{\"name\":\"metrics\",\"ph\":\"i\",\"s\":\"p\",\"pid\":" << pid
+          << ",\"tid\":0,\"ts\":" << last_time * 1e6 << ",\"args\":";
+      point.metrics.write_json(out);
+      out << "}";
+    }
+  }
+  out << "\n]}\n";
+  out.precision(previous);
+}
+
+}  // namespace smartred::obs

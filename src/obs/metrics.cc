@@ -1,0 +1,97 @@
+#include "obs/metrics.h"
+
+#include <limits>
+#include <ostream>
+#include <utility>
+
+#include "dca/metrics.h"
+#include "redundancy/montecarlo.h"
+
+namespace smartred::obs {
+
+void MetricRegistry::counter(std::string name, std::uint64_t value) {
+  entries_.push_back(Metric{std::move(name), static_cast<double>(value),
+                            /*integral=*/true});
+}
+
+void MetricRegistry::gauge(std::string name, double value) {
+  entries_.push_back(Metric{std::move(name), value, /*integral=*/false});
+}
+
+void MetricRegistry::summary(const std::string& name,
+                             const stats::StreamingStats& stats) {
+  counter(name + ".count", stats.count());
+  if (stats.count() == 0) return;
+  gauge(name + ".mean", stats.mean());
+  gauge(name + ".min", stats.min());
+  gauge(name + ".max", stats.max());
+}
+
+void MetricRegistry::write_json(std::ostream& out) const {
+  const auto previous = out.precision(
+      std::numeric_limits<double>::max_digits10);
+  out << '{';
+  bool first = true;
+  for (const Metric& metric : entries_) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << metric.name << "\":";
+    if (metric.integral) {
+      out << static_cast<std::uint64_t>(metric.value);
+    } else {
+      out << metric.value;
+    }
+  }
+  out << '}';
+  out.precision(previous);
+}
+
+MetricRegistry snapshot(const dca::RunMetrics& metrics) {
+  MetricRegistry registry;
+  registry.counter("tasks_total", metrics.tasks_total);
+  registry.counter("tasks_correct", metrics.tasks_correct);
+  registry.counter("tasks_aborted", metrics.tasks_aborted);
+  registry.counter("jobs_dispatched", metrics.jobs_dispatched);
+  registry.counter("jobs_completed", metrics.jobs_completed);
+  registry.counter("jobs_correct", metrics.jobs_correct);
+  registry.counter("jobs_lost", metrics.jobs_lost);
+  registry.counter("jobs_discarded", metrics.jobs_discarded);
+  registry.counter("jobs_unrun", metrics.jobs_unrun);
+  registry.counter("jobs_speculative", metrics.jobs_speculative);
+  registry.counter("jobs_timed_out", metrics.jobs_timed_out);
+  registry.counter("nodes_joined", metrics.nodes_joined);
+  registry.counter("nodes_left", metrics.nodes_left);
+  registry.counter("nodes_quarantined", metrics.nodes_quarantined);
+  registry.counter("nodes_readmitted", metrics.nodes_readmitted);
+  registry.counter("max_jobs_single_task",
+                   static_cast<std::uint64_t>(metrics.max_jobs_single_task));
+  registry.summary("jobs_per_task", metrics.jobs_per_task);
+  registry.summary("waves_per_task", metrics.waves_per_task);
+  registry.summary("response_time", metrics.response_time);
+  registry.summary("deadline_estimate", metrics.deadline_estimate);
+  registry.gauge("makespan", metrics.makespan);
+  if (metrics.tasks_total > 0) {
+    registry.gauge("cost_factor", metrics.cost_factor());
+    registry.gauge("reliability", metrics.reliability());
+  }
+  return registry;
+}
+
+MetricRegistry snapshot(const redundancy::MonteCarloResult& result) {
+  MetricRegistry registry;
+  registry.counter("tasks", result.tasks);
+  registry.counter("tasks_correct", result.tasks_correct);
+  registry.counter("tasks_aborted", result.tasks_aborted);
+  registry.counter("jobs_total", result.jobs_total);
+  registry.counter("max_jobs_single_task",
+                   static_cast<std::uint64_t>(result.max_jobs_single_task));
+  registry.summary("jobs_per_task", result.jobs_per_task);
+  registry.summary("waves_per_task", result.waves_per_task);
+  if (result.tasks > 0) {
+    registry.gauge("cost_factor", result.cost_factor());
+    registry.gauge("reliability", result.reliability());
+  }
+  return registry;
+}
+
+}  // namespace smartred::obs

@@ -1,0 +1,75 @@
+// Counter/histogram registry: the uniform, enumerable view of a run's
+// aggregates.
+//
+// dca::RunMetrics and redundancy::MonteCarloResult grew one ad-hoc field
+// per PR; every consumer (table rows, CSV columns, trace files) hand-listed
+// the subset it knew about. The registry absorbs those fields into one
+// named-metric schema so exporters can dump *everything* a run measured
+// without being updated when a substrate grows a counter: snapshot() is the
+// single place that enumerates the fields.
+//
+// The registry is an export-time artifact, not a hot-path one: the
+// substrates keep accumulating into their plain structs (merge algebra and
+// zero-overhead counters are load-bearing there) and a snapshot is taken
+// once per data point.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace smartred::dca {
+struct RunMetrics;
+}
+namespace smartred::redundancy {
+struct MonteCarloResult;
+}
+
+namespace smartred::obs {
+
+/// One named metric value. `integral` distinguishes exact counters from
+/// measured gauges so exporters can format them faithfully.
+struct Metric {
+  std::string name;
+  double value = 0.0;
+  bool integral = false;
+
+  friend bool operator==(const Metric&, const Metric&) = default;
+};
+
+/// An ordered collection of named counters and gauges. Registration order
+/// is preserved — exporters emit metrics in the order the snapshot listed
+/// them, which keeps output diffs stable across runs.
+class MetricRegistry {
+ public:
+  /// Registers an exact (integer) counter.
+  void counter(std::string name, std::uint64_t value);
+  /// Registers a measured (floating) gauge.
+  void gauge(std::string name, double value);
+  /// Registers a streaming-stats summary as `<name>.count/.mean/.min/.max`
+  /// (mean/min/max only when at least one observation arrived).
+  void summary(const std::string& name, const stats::StreamingStats& stats);
+
+  [[nodiscard]] const std::vector<Metric>& entries() const {
+    return entries_;
+  }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+  /// Writes the registry as one JSON object `{"name": value, ...}`.
+  /// Gauges keep max_digits10 precision so snapshots round-trip exactly.
+  void write_json(std::ostream& out) const;
+
+ private:
+  std::vector<Metric> entries_;
+};
+
+/// The canonical enumeration of a DCA run's aggregates.
+[[nodiscard]] MetricRegistry snapshot(const dca::RunMetrics& metrics);
+
+/// The canonical enumeration of a Monte-Carlo run's aggregates.
+[[nodiscard]] MetricRegistry snapshot(const redundancy::MonteCarloResult& result);
+
+}  // namespace smartred::obs

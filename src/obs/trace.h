@@ -1,0 +1,196 @@
+// Flight-recorder observability layer: structured trace events in
+// fixed-size per-worker ring buffers.
+//
+// The paper's claims are aggregate curves (Figures 5-6); this layer is what
+// lets a run explain *why* it produced its numbers — which waves a task
+// dispatched, why iterative redundancy accepted at confidence d, when a
+// node was quarantined or a copy speculated. Design constraints, in order:
+//
+//  * Zero-cost when disabled. The emission sites hold a plain
+//    `obs::Recorder*` that is null by default; the entire tracing path is
+//    one never-taken branch, and the DES kernel itself carries the pointer
+//    without ever touching it on the schedule→fire hot path (the PR 3
+//    zero-allocation guarantees are verified unchanged by the counting-
+//    allocator bench and bench/check_perf.py).
+//  * Cheap when enabled. A Recorder is a fixed-capacity ring of POD
+//    TraceEvent records allocated once up front: recording is a bounds-free
+//    store plus two index updates, no heap, no locks. When the ring wraps,
+//    the oldest events are overwritten — flight-recorder semantics: the
+//    tail of the run is always retained, `dropped()` reports the loss.
+//  * Deterministic in parallel. Each experiment replication records into
+//    its own ring (TraceCollector hands out one Recorder per replication
+//    index); merging walks the rings in replication order, never in thread
+//    completion order, so the merged trace is bit-identical for any
+//    --threads value — the same contract exp::ParallelRunner gives the
+//    metric aggregates.
+//
+// Everything in this header is header-only and depends only on the
+// standard library, so low-level code (the DES kernel, the Monte-Carlo
+// sampler) can emit events without linking the obs library; exporters and
+// metric snapshots live in obs/export.h and obs/metrics.h.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/expect.h"
+
+namespace smartred::obs {
+
+/// What happened. The set mirrors the decision lifecycle of one task plus
+/// the straggler machinery around it.
+enum class EventKind : std::uint8_t {
+  kWaveDispatched = 0,    ///< strategy asked for `arg` more jobs (wave #)
+  kVoteRecorded,          ///< node `node` reported value `arg`
+  kDecision,              ///< value `arg` accepted; `reason` says why
+  kDeadlineFired,         ///< a copy of logical job `arg` missed its deadline
+  kSpeculationLaunched,   ///< speculative copy of logical job `arg` dispatched
+  kNodeQuarantined,       ///< node `node` sidelined (quarantine round `arg`)
+  kNodeReadmitted,        ///< node `node` back in the assignment rotation
+  kTaskAborted,           ///< task gave up; `reason` says why
+};
+
+/// One fixed-size trace record. No owned memory: every field is a scalar,
+/// so a ring of these never allocates after construction. `arg` is the
+/// kind-specific payload documented on EventKind; `reason` carries the
+/// strategy's redundancy::Decision::Reason as a raw byte so this header
+/// stays dependency-free (the exporters translate it back to a name).
+struct TraceEvent {
+  double time = 0.0;         ///< simulated time (task index in MC runs)
+  std::uint64_t task = 0;
+  std::int64_t arg = 0;      ///< kind-specific payload (jobs, value, round…)
+  std::uint32_t node = 0;
+  std::uint32_t rep = 0;     ///< replication index, stamped at merge time
+  std::uint32_t wave = 0;    ///< waves consulted for the task so far
+  EventKind kind = EventKind::kWaveDispatched;
+  std::uint8_t reason = 0;   ///< redundancy::Decision::Reason as a byte
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+/// A fixed-capacity event ring. Construct (or reset()) with the capacity
+/// once — that is the only allocation; record() never touches the heap.
+/// Not thread-safe: one Recorder belongs to one logical thread of control
+/// (one simulation run / one experiment replication).
+class Recorder {
+ public:
+  Recorder() = default;
+  explicit Recorder(std::size_t capacity) { reset(capacity); }
+
+  /// Clears the ring and sets its capacity (re-allocating only on growth).
+  void reset(std::size_t capacity) {
+    ring_.resize(capacity);
+    head_ = 0;
+    size_ = 0;
+    recorded_ = 0;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+  /// Events currently retained (<= capacity()).
+  [[nodiscard]] std::size_t size() const { return size_; }
+  /// Events ever recorded, including overwritten ones.
+  [[nodiscard]] std::uint64_t recorded() const { return recorded_; }
+  /// Events lost to ring wraparound (oldest-first).
+  [[nodiscard]] std::uint64_t dropped() const { return recorded_ - size_; }
+
+  /// Appends one event, overwriting the oldest when the ring is full.
+  /// A zero-capacity recorder counts the event and stores nothing.
+  void record(const TraceEvent& event) {
+    ++recorded_;
+    const std::size_t cap = ring_.size();
+    if (cap == 0) return;
+    if (size_ < cap) {
+      ring_[wrap(head_ + size_)] = event;
+      ++size_;
+    } else {
+      ring_[head_] = event;
+      head_ = wrap(head_ + 1);
+    }
+  }
+
+  /// Visits the retained events oldest-first.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < size_; ++i) {
+      fn(ring_[wrap(head_ + i)]);
+    }
+  }
+
+  /// The retained events oldest-first, copied out (for tests/exporters).
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const {
+    std::vector<TraceEvent> events;
+    events.reserve(size_);
+    for_each([&](const TraceEvent& event) { events.push_back(event); });
+    return events;
+  }
+
+ private:
+  [[nodiscard]] std::size_t wrap(std::size_t i) const {
+    return i < ring_.size() ? i : i - ring_.size();
+  }
+
+  std::vector<TraceEvent> ring_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::uint64_t recorded_ = 0;
+};
+
+/// Per-replication recorders for one parallel experiment run, plus the
+/// deterministic merge. prepare(n) is called by exp::ParallelRunner before
+/// any worker starts; each worker then writes exclusively to the Recorder
+/// of the replication index it claimed, so no synchronization is needed.
+class TraceCollector {
+ public:
+  static constexpr std::size_t kDefaultRingCapacity = 1u << 14;
+
+  explicit TraceCollector(std::size_t ring_capacity = kDefaultRingCapacity)
+      : ring_capacity_(ring_capacity) {}
+
+  /// Sizes (and clears) one ring per replication. Must not be called while
+  /// workers are recording.
+  void prepare(std::uint64_t replications) {
+    recorders_.resize(static_cast<std::size_t>(replications));
+    for (Recorder& recorder : recorders_) recorder.reset(ring_capacity_);
+  }
+
+  [[nodiscard]] std::size_t replications() const { return recorders_.size(); }
+
+  /// The ring of replication `rep`. Only that replication's worker may
+  /// record into it.
+  [[nodiscard]] Recorder& recorder(std::uint64_t rep) {
+    SMARTRED_EXPECT(rep < recorders_.size(),
+                    "recorder() for an unprepared replication");
+    return recorders_[static_cast<std::size_t>(rep)];
+  }
+
+  /// All retained events, walked in replication-index order (never in
+  /// thread completion order) with each event stamped with its replication
+  /// — bit-identical for any worker count.
+  [[nodiscard]] std::vector<TraceEvent> merged() const {
+    std::size_t total = 0;
+    for (const Recorder& recorder : recorders_) total += recorder.size();
+    std::vector<TraceEvent> events;
+    events.reserve(total);
+    for (std::size_t rep = 0; rep < recorders_.size(); ++rep) {
+      recorders_[rep].for_each([&](const TraceEvent& event) {
+        events.push_back(event);
+        events.back().rep = static_cast<std::uint32_t>(rep);
+      });
+    }
+    return events;
+  }
+
+  /// Total events lost to ring wraparound across all replications.
+  [[nodiscard]] std::uint64_t dropped() const {
+    std::uint64_t total = 0;
+    for (const Recorder& recorder : recorders_) total += recorder.dropped();
+    return total;
+  }
+
+ private:
+  std::size_t ring_capacity_;
+  std::vector<Recorder> recorders_;
+};
+
+}  // namespace smartred::obs

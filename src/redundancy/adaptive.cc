@@ -38,11 +38,12 @@ Decision AdaptiveReplication::decide(std::span<const Vote> votes) {
   if (votes.empty()) return Decision::dispatch(1);
   if (votes.size() == 1 && book_->trusted(votes.front().node)) {
     // The adaptive shortcut: trusted node, no replication at all.
-    return Decision::accept(votes.front().value);
+    return Decision::accept(votes.front().value,
+                            Decision::Reason::kTrustedNode);
   }
   const VoteTally tally{votes};
   if (tally.leader_count() >= quorum_) {
-    return Decision::accept(tally.leader());
+    return Decision::accept(tally.leader(), Decision::Reason::kQuorum);
   }
   // Fall back to plain quorum replication, topping up optimistically like
   // progressive redundancy does.

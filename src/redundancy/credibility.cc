@@ -82,7 +82,7 @@ Decision CredibilityStrategy::decide(std::span<const Vote> votes) {
   if (tally.total() == 0) return Decision::dispatch(1);
   const ResultValue leader = tally.leader();
   if (posterior(votes, leader) >= threshold_) {
-    return Decision::accept(leader);
+    return Decision::accept(leader, Decision::Reason::kConfidenceReached);
   }
   // Unlike the margin rule, required future credibility is not predictable
   // (it depends on which nodes answer next), so grow one job at a time.

@@ -10,7 +10,10 @@ Decision IterativeRedundancy::decide(std::span<const Vote> votes) {
   const VoteTally tally{votes};
   if (tally.total() == 0) return Decision::dispatch(d_);
   const int margin = tally.margin();
-  if (margin >= d_) return Decision::accept(tally.leader());
+  if (margin >= d_) {
+    return Decision::accept(tally.leader(),
+                            Decision::Reason::kConfidenceReached);
+  }
   return Decision::dispatch(d_ - margin);
 }
 

@@ -59,7 +59,8 @@ Decision IterativeNaive::decide(std::span<const Vote> votes) {
   // minority value; with non-binary results this is conservative (§5.3).
   const int minority = tally.minority_total();
   if (confidence(majority, minority) >= threshold_ - kThresholdSlack) {
-    return Decision::accept(tally.leader());
+    return Decision::accept(tally.leader(),
+                            Decision::Reason::kConfidenceReached);
   }
   // Dispatch the minimum number of jobs that, if they all agreed with the
   // current majority, would reach the confidence threshold.

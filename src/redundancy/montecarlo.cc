@@ -51,6 +51,7 @@ MonteCarloResult run_custom(const StrategyFactory& factory,
   const auto strategy = factory.make();
   std::vector<Vote> votes;
   votes.reserve(static_cast<std::size_t>(config.max_jobs_per_task));
+  obs::Recorder* const recorder = config.recorder;
   for (std::uint64_t task = 0; task < config.tasks; ++task) {
     rng::Stream task_rng = master.fork(task);
     strategy->reset();
@@ -62,11 +63,31 @@ MonteCarloResult run_custom(const StrategyFactory& factory,
       decision = strategy->decide(votes);
       if (decision.done()) break;
       ++waves;
+      if (recorder != nullptr) {
+        recorder->record(obs::TraceEvent{
+            .time = static_cast<double>(task),
+            .task = task,
+            .arg = decision.jobs,
+            .wave = static_cast<std::uint32_t>(waves),
+            .kind = obs::EventKind::kWaveDispatched,
+        });
+      }
       const int already = static_cast<int>(votes.size());
       const int wave =
           std::min(decision.jobs, config.max_jobs_per_task - already);
       for (int j = 0; j < wave; ++j) {
         votes.push_back(source(task, already + j, task_rng));
+        if (recorder != nullptr) {
+          const Vote& vote = votes.back();
+          recorder->record(obs::TraceEvent{
+              .time = static_cast<double>(task),
+              .task = task,
+              .arg = vote.value,
+              .node = static_cast<std::uint32_t>(vote.node),
+              .wave = static_cast<std::uint32_t>(waves),
+              .kind = obs::EventKind::kVoteRecorded,
+          });
+        }
       }
       if (wave < decision.jobs) {
         aborted = true;  // cap reached mid-wave; give up on this task
@@ -80,7 +101,28 @@ MonteCarloResult run_custom(const StrategyFactory& factory,
     result.waves_per_task.add(static_cast<double>(waves));
     if (aborted) {
       ++result.tasks_aborted;
+      if (recorder != nullptr) {
+        recorder->record(obs::TraceEvent{
+            .time = static_cast<double>(task),
+            .task = task,
+            .arg = jobs,
+            .wave = static_cast<std::uint32_t>(waves),
+            .kind = obs::EventKind::kTaskAborted,
+            .reason = static_cast<std::uint8_t>(
+                Decision::Reason::kBudgetExhausted),
+        });
+      }
       continue;  // an aborted task never accepts, hence counts incorrect
+    }
+    if (recorder != nullptr) {
+      recorder->record(obs::TraceEvent{
+          .time = static_cast<double>(task),
+          .task = task,
+          .arg = decision.value,
+          .wave = static_cast<std::uint32_t>(waves),
+          .kind = obs::EventKind::kDecision,
+          .reason = static_cast<std::uint8_t>(decision.reason),
+      });
     }
     if (decision.value == correct_value) ++result.tasks_correct;
   }

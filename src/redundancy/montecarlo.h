@@ -12,6 +12,7 @@
 
 #include "common/rng.h"
 #include "common/stats.h"
+#include "obs/trace.h"
 #include "redundancy/strategy.h"
 
 namespace smartred::redundancy {
@@ -59,6 +60,10 @@ struct MonteCarloConfig {
   /// under sane parameters — the cap exists to keep adversarial inputs from
   /// hanging an experiment.
   int max_jobs_per_task = 100'000;
+  /// Optional flight recorder. Monte-Carlo runs have no simulated clock, so
+  /// events are stamped with the task index as their "time" — within a task
+  /// they stay in decision order. Null disables tracing at zero cost.
+  obs::Recorder* recorder = nullptr;
 };
 
 /// Runs `factory`'s strategy over binary worst-case votes: each job is

@@ -10,7 +10,7 @@ Decision ProgressiveRedundancy::decide(std::span<const Vote> votes) {
   const VoteTally tally{votes};
   if (tally.total() == 0) return Decision::dispatch(quorum());
   if (tally.leader_count() >= quorum()) {
-    return Decision::accept(tally.leader());
+    return Decision::accept(tally.leader(), Decision::Reason::kQuorum);
   }
   // Optimistic top-up: assume every new job will agree with the leader and
   // dispatch only what would then complete the quorum.

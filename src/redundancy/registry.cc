@@ -1,0 +1,219 @@
+#include "redundancy/registry.h"
+
+#include <charconv>
+#include <sstream>
+#include <utility>
+
+#include "redundancy/adaptive.h"
+#include "redundancy/credibility.h"
+#include "redundancy/iterative.h"
+#include "redundancy/iterative_naive.h"
+#include "redundancy/progressive.h"
+#include "redundancy/self_tuning.h"
+#include "redundancy/traditional.h"
+#include "redundancy/weighted.h"
+
+namespace smartred::redundancy {
+namespace {
+
+/// Parsed `key=value` pairs of a spec, tracking which keys the technique
+/// consumed so leftovers can be reported as unknown.
+class Params {
+ public:
+  Params(std::string_view technique, std::string_view body)
+      : technique_(technique) {
+    while (!body.empty()) {
+      const std::size_t comma = body.find(',');
+      const std::string_view pair = body.substr(0, comma);
+      body = comma == std::string_view::npos ? std::string_view{}
+                                             : body.substr(comma + 1);
+      const std::size_t eq = pair.find('=');
+      if (eq == std::string_view::npos || eq == 0 || eq + 1 == pair.size()) {
+        fail("expected key=value, got '" + std::string(pair) + "'");
+      }
+      const std::string_view key = pair.substr(0, eq);
+      for (const Entry& entry : entries_) {
+        if (entry.key == key) {
+          fail("duplicate key '" + std::string(key) + "'");
+        }
+      }
+      entries_.push_back(Entry{std::string(key),
+                               std::string(pair.substr(eq + 1)), false});
+    }
+  }
+
+  /// Required integer parameter.
+  int get_int(std::string_view key) {
+    return parse_int(key, require(key));
+  }
+  /// Required floating parameter.
+  double get_double(std::string_view key) {
+    return parse_double(key, require(key));
+  }
+  /// Optional parameters fall back to the given default.
+  int get_int(std::string_view key, int fallback) {
+    const std::string* raw = find(key);
+    return raw == nullptr ? fallback : parse_int(key, *raw);
+  }
+  double get_double(std::string_view key, double fallback) {
+    const std::string* raw = find(key);
+    return raw == nullptr ? fallback : parse_double(key, *raw);
+  }
+
+  /// Call after consuming everything the technique understands: any key
+  /// never looked up is unknown, and that is an error.
+  void finish(std::string_view valid_keys) const {
+    for (const Entry& entry : entries_) {
+      if (!entry.consumed) {
+        fail("unknown key '" + entry.key + "' (valid keys: " +
+             std::string(valid_keys) + ")");
+      }
+    }
+  }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw SpecError("strategy spec '" + std::string(technique_) +
+                    "': " + what);
+  }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string value;
+    bool consumed;
+  };
+
+  const std::string* find(std::string_view key) {
+    for (Entry& entry : entries_) {
+      if (entry.key == key) {
+        entry.consumed = true;
+        return &entry.value;
+      }
+    }
+    return nullptr;
+  }
+
+  const std::string& require(std::string_view key) {
+    const std::string* raw = find(key);
+    if (raw == nullptr) {
+      fail("missing required key '" + std::string(key) + "'");
+    }
+    return *raw;
+  }
+
+  int parse_int(std::string_view key, const std::string& raw) const {
+    int value = 0;
+    const auto [end, ec] =
+        std::from_chars(raw.data(), raw.data() + raw.size(), value);
+    if (ec != std::errc{} || end != raw.data() + raw.size()) {
+      fail("key '" + std::string(key) + "': '" + raw +
+           "' is not an integer");
+    }
+    return value;
+  }
+
+  double parse_double(std::string_view key, const std::string& raw) const {
+    // std::from_chars for doubles is spotty across standard libraries;
+    // stringstream parsing is plenty for flag-sized inputs.
+    std::istringstream in(raw);
+    double value = 0.0;
+    in >> value;
+    if (in.fail() || !in.eof()) {
+      fail("key '" + std::string(key) + "': '" + raw + "' is not a number");
+    }
+    return value;
+  }
+
+  std::string_view technique_;
+  std::vector<Entry> entries_;
+};
+
+const char* const kTechniqueList =
+    "traditional (tr), progressive (pr), iterative (ir), naive, weighted, "
+    "selftuning, adaptive, credibility";
+
+}  // namespace
+
+std::shared_ptr<StrategyFactory> Registry::make(std::string_view spec) {
+  const std::size_t colon = spec.find(':');
+  const std::string_view technique = spec.substr(0, colon);
+  const std::string_view body =
+      colon == std::string_view::npos ? std::string_view{}
+                                      : spec.substr(colon + 1);
+  Params params(technique, body);
+
+  if (technique == "traditional" || technique == "tr") {
+    const int k = params.get_int("k");
+    params.finish("k");
+    return std::make_shared<TraditionalFactory>(k);
+  }
+  if (technique == "progressive" || technique == "pr") {
+    const int k = params.get_int("k");
+    params.finish("k");
+    return std::make_shared<ProgressiveFactory>(k);
+  }
+  if (technique == "iterative" || technique == "ir") {
+    const int d = params.get_int("d");
+    params.finish("d");
+    return std::make_shared<IterativeFactory>(d);
+  }
+  if (technique == "naive") {
+    const double r = params.get_double("r");
+    const double target = params.get_double("R");
+    params.finish("r, R");
+    return std::make_shared<IterativeNaiveFactory>(r, target);
+  }
+  if (technique == "weighted") {
+    // The registry can only express a uniform pool — per-node lookups need
+    // code. r doubles as every node's reliability and the typical gain.
+    const double r = params.get_double("r");
+    const double target = params.get_double("R");
+    params.finish("r, R");
+    return std::make_shared<WeightedIterativeFactory>(
+        [r](NodeId) { return r; }, r, target);
+  }
+  if (technique == "selftuning") {
+    SelfTuningConfig config;
+    config.target_reliability = params.get_double("R");
+    config.initial_margin = params.get_int("initial", config.initial_margin);
+    config.warmup_votes = params.get_int("warmup", config.warmup_votes);
+    config.max_margin = params.get_int("max", config.max_margin);
+    config.min_usable_estimate =
+        params.get_double("min_estimate", config.min_usable_estimate);
+    config.forgetting = params.get_double("forgetting", config.forgetting);
+    params.finish("R, initial, warmup, max, min_estimate, forgetting");
+    return std::make_shared<SelfTuningFactory>(config);
+  }
+  if (technique == "adaptive") {
+    const int quorum = params.get_int("quorum");
+    const int trust = params.get_int("trust");
+    params.finish("quorum, trust");
+    return std::make_shared<AdaptiveFactory>(
+        std::make_shared<TrustBook>(trust), quorum);
+  }
+  if (technique == "credibility") {
+    const double threshold = params.get_double("threshold");
+    const double fault = params.get_double("f", 0.2);
+    params.finish("threshold, f");
+    return std::make_shared<CredibilityFactory>(
+        std::make_shared<ReputationBook>(fault), threshold);
+  }
+  throw SpecError("unknown redundancy technique '" + std::string(technique) +
+                  "' (known: " + kTechniqueList + ")");
+}
+
+std::vector<std::string> Registry::describe() {
+  return {
+      "traditional (tr): k=<int>            majority over k copies",
+      "progressive (pr): k=<int>            quorum of k, jobs in waves",
+      "iterative (ir):   d=<int>            margin rule, margin d",
+      "naive:            r=<p>,R=<p>        naive confidence iteration",
+      "weighted:         r=<p>,R=<p>        weighted votes, uniform pool",
+      "selftuning:       R=<p>[,initial=,warmup=,max=,min_estimate=,"
+      "forgetting=]",
+      "adaptive:         quorum=<int>,trust=<int>",
+      "credibility:      threshold=<p>[,f=<p>]",
+  };
+}
+
+}  // namespace smartred::redundancy

@@ -1,0 +1,52 @@
+// String-keyed construction of redundancy strategies.
+//
+// Every bench and tool used to hand-roll its factory wiring (pick the
+// class, parse its own flags, thread shared books by hand). The registry
+// replaces that with one tiny spec grammar:
+//
+//   technique[:key=value[,key=value...]]
+//
+// e.g. "iterative:d=4", "traditional:k=5", "selftuning:R=0.999",
+// "adaptive:quorum=3,trust=10". Unknown techniques and unknown or missing
+// keys raise SpecError with a message listing what *is* valid, so a typo'd
+// --strategy flag fails loudly instead of silently running the wrong
+// experiment.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "redundancy/strategy.h"
+
+namespace smartred::redundancy {
+
+/// A malformed or unknown strategy spec. The message names the offending
+/// part and lists the valid alternatives.
+class SpecError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Registry {
+ public:
+  /// Builds a factory from a spec string. Throws SpecError on unknown
+  /// technique, unknown/duplicate/missing keys, or unparsable values.
+  [[nodiscard]] static std::shared_ptr<StrategyFactory> make(
+      std::string_view spec);
+
+  /// The technique names make() accepts, with their aliases and keys —
+  /// one "name[,alias]: key=default..." line per technique, for help text.
+  [[nodiscard]] static std::vector<std::string> describe();
+};
+
+/// Convenience wrapper over Registry::make for call sites that want a
+/// free function.
+[[nodiscard]] inline std::shared_ptr<StrategyFactory> make_strategy(
+    std::string_view spec) {
+  return Registry::make(spec);
+}
+
+}  // namespace smartred::redundancy

@@ -85,7 +85,7 @@ Decision SelfTuningIterative::decide(std::span<const Vote> votes) {
       estimator_->observe_votes(agreeing, sample);
       reported_ = true;
     }
-    return Decision::accept(accepted);
+    return Decision::accept(accepted, Decision::Reason::kConfidenceReached);
   }
   return Decision::dispatch(target_margin - current);
 }

@@ -29,20 +29,48 @@ struct Decision {
     kAccept,    ///< done: `value` is the task's result
   };
 
+  /// Why a value was accepted (or a task given up on) — one byte of
+  /// explanation that traces and tests can assert on. Strategies set it on
+  /// accept(); kNone keeps existing call sites source-compatible, and
+  /// kBudgetExhausted is set by substrates when the per-task job cap aborts
+  /// a task (a strategy itself never gives up).
+  enum class Reason : std::uint8_t {
+    kNone = 0,            ///< unspecified (legacy call sites, dispatches)
+    kConfidenceReached,   ///< margin/posterior cleared the confidence bar
+    kMajority,            ///< fixed-size vote completed with a majority
+    kQuorum,              ///< some value reached the consensus quorum
+    kTrustedNode,         ///< a trusted node's single result was accepted
+    kBudgetExhausted,     ///< per-task job cap reached; task aborted
+  };
+
   Kind kind = Kind::kDispatch;
   int jobs = 0;             ///< valid when kind == kDispatch; always > 0
   ResultValue value = 0;    ///< valid when kind == kAccept
+  Reason reason = Reason::kNone;  ///< why `value` was accepted
 
   static Decision dispatch(int jobs) {
     SMARTRED_EXPECT(jobs > 0, "a dispatch decision must request jobs");
-    return Decision{Kind::kDispatch, jobs, 0};
+    return Decision{Kind::kDispatch, jobs, 0, Reason::kNone};
   }
-  static Decision accept(ResultValue value) {
-    return Decision{Kind::kAccept, 0, value};
+  static Decision accept(ResultValue value, Reason reason = Reason::kNone) {
+    return Decision{Kind::kAccept, 0, value, reason};
   }
 
   [[nodiscard]] bool done() const { return kind == Kind::kAccept; }
 };
+
+/// Stable lower_snake_case name of a reason, for traces and table output.
+[[nodiscard]] constexpr const char* to_string(Decision::Reason reason) {
+  switch (reason) {
+    case Decision::Reason::kNone: return "none";
+    case Decision::Reason::kConfidenceReached: return "confidence_reached";
+    case Decision::Reason::kMajority: return "majority";
+    case Decision::Reason::kQuorum: return "quorum";
+    case Decision::Reason::kTrustedNode: return "trusted_node";
+    case Decision::Reason::kBudgetExhausted: return "budget_exhausted";
+  }
+  return "unknown";
+}
 
 /// Per-task decision engine. Instances are created per task by a
 /// StrategyFactory and consulted once per completed wave.

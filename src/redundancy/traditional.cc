@@ -16,7 +16,7 @@ Decision TraditionalRedundancy::decide(std::span<const Vote> votes) {
   }
   // With odd k and binary results the leader always holds a strict majority;
   // with non-binary results (paper §5.3) this generalizes to plurality.
-  return Decision::accept(tally.leader());
+  return Decision::accept(tally.leader(), Decision::Reason::kMajority);
 }
 
 TraditionalFactory::TraditionalFactory(int k) : k_(k) {

@@ -60,7 +60,7 @@ Decision WeightedIterative::decide(std::span<const Vote> votes) {
   const ResultValue leader = tally.leader();
   const double current = llr(votes, leader);
   if (current >= needed_llr - kThresholdSlack) {
-    return Decision::accept(leader);
+    return Decision::accept(leader, Decision::Reason::kConfidenceReached);
   }
   // Minimum number of typical-quality agreeing votes closing the gap —
   // exactly the weighted analogue of the margin rule's d − (a − b).

@@ -40,6 +40,10 @@
 #include "common/expect.h"
 #include "sim/inline_action.h"
 
+namespace smartred::obs {
+class Recorder;
+}
+
 namespace smartred::sim {
 
 /// Simulated time, in abstract "time units" (the paper's job durations are
@@ -121,6 +125,14 @@ class Simulator {
   /// Executes at most `max_events` events. Returns the number executed
   /// (less than max_events only if the queue emptied).
   std::uint64_t step(std::uint64_t max_events);
+
+  /// Attaches a flight recorder (or detaches with nullptr). The kernel
+  /// itself never emits events — it only carries the pointer so domain
+  /// models sharing this simulator find one sink without extra plumbing.
+  /// The hot schedule→fire path is untouched either way.
+  void set_recorder(obs::Recorder* recorder) { recorder_ = recorder; }
+  /// The attached flight recorder, or nullptr when tracing is off.
+  [[nodiscard]] obs::Recorder* recorder() const { return recorder_; }
 
  private:
   static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
@@ -210,6 +222,7 @@ class Simulator {
   std::vector<HeapEntry> heap_;
   std::vector<Slot> slots_;
   std::uint32_t free_head_ = kNoSlot;
+  obs::Recorder* recorder_ = nullptr;
 };
 
 }  // namespace smartred::sim

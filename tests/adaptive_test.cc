@@ -57,6 +57,7 @@ TEST(AdaptiveTest, QuorumOfTwoMatchingAccepts) {
   const Decision decision = strategy.decide(votes);
   ASSERT_TRUE(decision.done());
   EXPECT_EQ(decision.value, 7);
+  EXPECT_EQ(decision.reason, Decision::Reason::kQuorum);
 }
 
 TEST(AdaptiveTest, DisagreementExtendsReplication) {
@@ -77,6 +78,7 @@ TEST(AdaptiveTest, TrustedNodeSkipsReplication) {
   const Decision decision = strategy.decide(votes);
   ASSERT_TRUE(decision.done());
   EXPECT_EQ(decision.value, 7);
+  EXPECT_EQ(decision.reason, Decision::Reason::kTrustedNode);
 }
 
 TEST(AdaptiveTest, PatientAttackerIsAcceptedUnchecked) {

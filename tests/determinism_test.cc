@@ -13,11 +13,28 @@
 #include "dca/task_server.h"
 #include "dca/workload.h"
 #include "fault/failure_model.h"
+#include "obs/trace.h"
 #include "redundancy/iterative.h"
 #include "sim/simulator.h"
 
 namespace smartred::dca {
 namespace {
+
+/// Runs the pinned fig5a-path scenario, optionally with a flight recorder
+/// attached, and returns the merged metrics.
+RunMetrics pinned_run(obs::Recorder* recorder) {
+  sim::Simulator simulator;
+  simulator.set_recorder(recorder);
+  DcaConfig config;
+  config.nodes = 200;
+  config.seed = 7;
+  const redundancy::IterativeFactory factory(4);
+  const SyntheticWorkload workload(400);
+  fault::ByzantineCollusion failures(fault::ReliabilityAssigner(
+      fault::ConstantReliability{0.7}, rng::Stream(7)));
+  TaskServer server(simulator, config, factory, workload, failures);
+  return RunMetrics(server.run());
+}
 
 TEST(DeterminismTest, Fig5aPathAggregatesArePinned) {
   sim::Simulator simulator;
@@ -37,6 +54,36 @@ TEST(DeterminismTest, Fig5aPathAggregatesArePinned) {
   EXPECT_EQ(metrics.jobs_dispatched, 3576u);
   EXPECT_DOUBLE_EQ(metrics.makespan, 25.371052742587459);
   EXPECT_DOUBLE_EQ(metrics.response_time.mean(), 8.2202844792206236);
+}
+
+// Attaching the flight recorder must be invisible to the simulation: the
+// traced run reproduces every pinned aggregate bit-for-bit while actually
+// capturing events. This is the obs-layer "tracing is read-only" contract.
+TEST(DeterminismTest, TracedRunIsBitIdenticalToUntraced) {
+  const RunMetrics untraced = pinned_run(nullptr);
+  obs::Recorder recorder(1u << 16);
+  const RunMetrics traced = pinned_run(&recorder);
+
+  EXPECT_GT(recorder.recorded(), 0u);
+  EXPECT_EQ(recorder.dropped(), 0u);
+  EXPECT_EQ(traced.tasks_correct, untraced.tasks_correct);
+  EXPECT_EQ(traced.jobs_dispatched, untraced.jobs_dispatched);
+  EXPECT_EQ(traced.jobs_dispatched, 3576u);
+  EXPECT_DOUBLE_EQ(traced.makespan, untraced.makespan);
+  EXPECT_DOUBLE_EQ(traced.makespan, 25.371052742587459);
+  EXPECT_DOUBLE_EQ(traced.response_time.mean(),
+                   untraced.response_time.mean());
+
+  // Every task dispatched at least one wave and reached a decision, so the
+  // trace must contain both ends of the lifecycle.
+  std::uint64_t waves = 0;
+  std::uint64_t decisions = 0;
+  recorder.for_each([&](const obs::TraceEvent& event) {
+    if (event.kind == obs::EventKind::kWaveDispatched) ++waves;
+    if (event.kind == obs::EventKind::kDecision) ++decisions;
+  });
+  EXPECT_GE(waves, 400u);
+  EXPECT_EQ(decisions, 400u);
 }
 
 }  // namespace

@@ -63,6 +63,34 @@ TEST(FlagsTest, UnknownFlagIsError) {
   EXPECT_THROW(parser.parse(2, argv.data()), ParseError);
 }
 
+TEST(FlagsTest, UnknownFlagSuggestsNearestMatch) {
+  Parser parser("prog", "test");
+  parser.add_int("tasks", 1, "");
+  parser.add_int("nodes", 1, "");
+  const std::array argv = {"prog", "--taks=5"};
+  try {
+    parser.parse(2, argv.data());
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("unknown flag --taks"), std::string::npos);
+    EXPECT_NE(message.find("did you mean --tasks?"), std::string::npos);
+  }
+}
+
+TEST(FlagsTest, UnknownFlagWithNoCloseMatchOmitsSuggestion) {
+  Parser parser("prog", "test");
+  parser.add_int("tasks", 1, "");
+  const std::array argv = {"prog", "--zzzzzzzz=5"};
+  try {
+    parser.parse(2, argv.data());
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& error) {
+    EXPECT_EQ(std::string(error.what()).find("did you mean"),
+              std::string::npos);
+  }
+}
+
 TEST(FlagsTest, MalformedIntIsError) {
   Parser parser("prog", "test");
   parser.add_int("tasks", 1, "");

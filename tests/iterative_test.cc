@@ -36,6 +36,7 @@ TEST(IterativeTest, UnanimousFirstWaveCompletes) {
   const Decision decision = strategy.decide(binary_votes(4, 0));
   ASSERT_TRUE(decision.done());
   EXPECT_EQ(decision.value, 1);
+  EXPECT_EQ(decision.reason, Decision::Reason::kConfidenceReached);
 }
 
 TEST(IterativeTest, PaperWalkthroughSixThenFourTwo) {

@@ -1,0 +1,206 @@
+// Unit tests for the obs:: flight recorder: ring semantics, deterministic
+// parallel merge, and exporter output validity.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/parallel_runner.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace smartred::obs {
+namespace {
+
+TraceEvent event_for(std::uint64_t task) {
+  return TraceEvent{.time = static_cast<double>(task),
+                    .task = task,
+                    .arg = static_cast<std::int64_t>(task) * 3,
+                    .node = static_cast<std::uint32_t>(task % 5),
+                    .rep = 0,
+                    .wave = static_cast<std::uint32_t>(task % 2),
+                    .kind = EventKind::kVoteRecorded,
+                    .reason = 0};
+}
+
+TEST(RecorderTest, RingWraparoundKeepsNewestEvents) {
+  Recorder recorder(4);
+  for (std::uint64_t task = 0; task < 10; ++task) {
+    recorder.record(event_for(task));
+  }
+  EXPECT_EQ(recorder.capacity(), 4u);
+  EXPECT_EQ(recorder.size(), 4u);
+  EXPECT_EQ(recorder.recorded(), 10u);
+  EXPECT_EQ(recorder.dropped(), 6u);
+  const std::vector<TraceEvent> tail = recorder.snapshot();
+  ASSERT_EQ(tail.size(), 4u);
+  for (std::size_t i = 0; i < tail.size(); ++i) {
+    EXPECT_EQ(tail[i], event_for(6 + i)) << "slot " << i;
+  }
+}
+
+TEST(RecorderTest, ZeroCapacityCountsButStoresNothing) {
+  Recorder recorder(0);
+  recorder.record(event_for(1));
+  recorder.record(event_for(2));
+  EXPECT_EQ(recorder.size(), 0u);
+  EXPECT_EQ(recorder.recorded(), 2u);
+  EXPECT_EQ(recorder.dropped(), 2u);
+  EXPECT_TRUE(recorder.snapshot().empty());
+}
+
+TEST(RecorderTest, ResetClearsCountsAndResizes) {
+  Recorder recorder(2);
+  recorder.record(event_for(1));
+  recorder.record(event_for(2));
+  recorder.record(event_for(3));
+  recorder.reset(8);
+  EXPECT_EQ(recorder.capacity(), 8u);
+  EXPECT_EQ(recorder.size(), 0u);
+  EXPECT_EQ(recorder.recorded(), 0u);
+  recorder.record(event_for(4));
+  EXPECT_EQ(recorder.snapshot().front(), event_for(4));
+}
+
+TEST(TraceCollectorTest, MergedStampsReplicationIndexInOrder) {
+  TraceCollector collector(/*ring_capacity=*/16);
+  collector.prepare(3);
+  // Fill out of replication order to prove the merge ignores it.
+  collector.recorder(2).record(event_for(20));
+  collector.recorder(0).record(event_for(0));
+  collector.recorder(0).record(event_for(1));
+  collector.recorder(1).record(event_for(10));
+  const std::vector<TraceEvent> merged = collector.merged();
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_EQ(merged[0].task, 0u);
+  EXPECT_EQ(merged[0].rep, 0u);
+  EXPECT_EQ(merged[1].task, 1u);
+  EXPECT_EQ(merged[1].rep, 0u);
+  EXPECT_EQ(merged[2].task, 10u);
+  EXPECT_EQ(merged[2].rep, 1u);
+  EXPECT_EQ(merged[3].task, 20u);
+  EXPECT_EQ(merged[3].rep, 2u);
+}
+
+/// Runs one traced parallel experiment and returns the merged event stream.
+std::vector<TraceEvent> traced_run(unsigned threads,
+                                   TraceCollector& collector) {
+  exp::RunnerConfig plan;
+  plan.replications = 6;
+  plan.threads = threads;
+  plan.master_seed = 99;
+  plan.trace = &collector;
+  exp::ParallelRunner runner(plan);
+  (void)runner.run([&](std::uint64_t rep, std::uint64_t rep_seed) {
+    Recorder& recorder = collector.recorder(rep);
+    // Seed-derived payloads so a mis-merged stream cannot accidentally
+    // match; per-rep event counts differ so offsets shift too.
+    for (std::uint64_t i = 0; i <= rep; ++i) {
+      recorder.record(event_for(rep_seed % 1000 + i));
+    }
+    return static_cast<int>(rep);
+  });
+  return collector.merged();
+}
+
+TEST(TraceCollectorTest, MergeIsIdenticalForAnyThreadCount) {
+  TraceCollector serial(/*ring_capacity=*/64);
+  TraceCollector parallel(/*ring_capacity=*/64);
+  const std::vector<TraceEvent> one = traced_run(1, serial);
+  const std::vector<TraceEvent> four = traced_run(4, parallel);
+  ASSERT_EQ(one.size(), 21u);  // 1 + 2 + ... + 6 events
+  EXPECT_EQ(one, four);
+}
+
+/// Structural JSON check: balanced braces/brackets outside string literals,
+/// no unterminated strings. Not a full parser, but catches broken escaping
+/// and truncated output.
+bool balanced_json(const std::string& text) {
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (const char c : text) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (in_string) {
+      if (c == '\\') escaped = true;
+      if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') {
+      if (--depth < 0) return false;
+    }
+  }
+  return depth == 0 && !in_string && !escaped;
+}
+
+std::vector<PointTrace> sample_points() {
+  PointTrace point;
+  point.label = "iterative:d=4 \"quoted\" \\ backslash";
+  point.events = {event_for(0), event_for(1)};
+  point.events[1].kind = EventKind::kDecision;
+  point.events[1].reason = 1;
+  point.metrics.counter("tasks_total", 2);
+  point.metrics.gauge("makespan", 1.5);
+  return {point};
+}
+
+TEST(ExportTest, JsonlLinesAreEachValidJson) {
+  std::ostringstream out;
+  const std::vector<PointTrace> points = sample_points();
+  write_jsonl(out, points);
+  std::istringstream lines(out.str());
+  std::string line;
+  std::size_t events = 0;
+  std::size_t metrics = 0;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_TRUE(balanced_json(line)) << line;
+    if (line.find("\"type\":\"event\"") != std::string::npos) ++events;
+    if (line.find("\"type\":\"metrics\"") != std::string::npos) ++metrics;
+  }
+  EXPECT_EQ(events, 2u);
+  EXPECT_EQ(metrics, 1u);
+}
+
+TEST(ExportTest, ChromeTraceIsOneBalancedDocument) {
+  std::ostringstream out;
+  const std::vector<PointTrace> points = sample_points();
+  write_chrome_trace(out, points);
+  const std::string text = out.str();
+  EXPECT_TRUE(balanced_json(text));
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  // The label contains a quote and a backslash; both must round-trip
+  // escaped, or about:tracing rejects the file.
+  EXPECT_NE(text.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(text.find("\\\\ backslash"), std::string::npos);
+}
+
+TEST(ExportTest, KindAndReasonNamesAreStable) {
+  EXPECT_STREQ(kind_name(EventKind::kWaveDispatched), "wave_dispatched");
+  EXPECT_STREQ(kind_name(EventKind::kTaskAborted), "task_aborted");
+  EXPECT_STREQ(reason_name(0), "none");
+}
+
+TEST(MetricsTest, RegistryWritesFiniteJson) {
+  MetricRegistry registry;
+  registry.counter("jobs", 42);
+  registry.gauge("cost", 2.25);
+  std::ostringstream out;
+  registry.write_json(out);
+  EXPECT_TRUE(balanced_json(out.str()));
+  EXPECT_NE(out.str().find("\"jobs\":42"), std::string::npos);
+  EXPECT_NE(out.str().find("\"cost\":2.25"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace smartred::obs

@@ -38,6 +38,7 @@ TEST(ProgressiveTest, UnanimousFirstWaveCompletes) {
   const Decision decision = strategy.decide(votes);
   ASSERT_TRUE(decision.done());
   EXPECT_EQ(decision.value, 1);
+  EXPECT_EQ(decision.reason, Decision::Reason::kQuorum);
 }
 
 TEST(ProgressiveTest, TopUpIsMinimumToReachQuorum) {

@@ -1,0 +1,111 @@
+// Tests for the string-keyed strategy registry: every technique spelled by
+// spec, alias equivalence, and precise errors for malformed specs.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "redundancy/registry.h"
+#include "redundancy/strategy.h"
+
+namespace smartred::redundancy {
+namespace {
+
+/// The message a bad spec fails with, or "" if it unexpectedly succeeds.
+std::string error_for(const std::string& spec) {
+  try {
+    (void)Registry::make(spec);
+  } catch (const SpecError& error) {
+    return error.what();
+  }
+  return "";
+}
+
+TEST(RegistryTest, BuildsEveryTechnique) {
+  EXPECT_EQ(Registry::make("traditional:k=5")->name(), "traditional(k=5)");
+  EXPECT_EQ(Registry::make("progressive:k=3")->name(), "progressive(k=3)");
+  EXPECT_EQ(Registry::make("iterative:d=4")->name(), "iterative(d=4)");
+  EXPECT_NE(Registry::make("naive:r=0.7,R=0.99"), nullptr);
+  EXPECT_NE(Registry::make("weighted:r=0.7,R=0.99"), nullptr);
+  EXPECT_NE(Registry::make("selftuning:R=0.999"), nullptr);
+  EXPECT_NE(Registry::make("adaptive:quorum=3,trust=5"), nullptr);
+  EXPECT_NE(Registry::make("credibility:threshold=0.99"), nullptr);
+}
+
+TEST(RegistryTest, AliasesNameTheSameFactory) {
+  EXPECT_EQ(Registry::make("tr:k=5")->name(),
+            Registry::make("traditional:k=5")->name());
+  EXPECT_EQ(Registry::make("pr:k=5")->name(),
+            Registry::make("progressive:k=5")->name());
+  EXPECT_EQ(Registry::make("ir:d=2")->name(),
+            Registry::make("iterative:d=2")->name());
+}
+
+TEST(RegistryTest, OptionalKeysFallBackToDefaults) {
+  // selftuning needs only R; every tuning knob has a default.
+  EXPECT_NE(Registry::make("selftuning:R=0.99,initial=8,warmup=500"),
+            nullptr);
+  EXPECT_NE(Registry::make("credibility:threshold=0.95,f=0.3"), nullptr);
+}
+
+TEST(RegistryTest, UnknownTechniqueListsKnownOnes) {
+  const std::string message = error_for("bogus:k=1");
+  EXPECT_NE(message.find("unknown redundancy technique 'bogus'"),
+            std::string::npos);
+  EXPECT_NE(message.find("iterative"), std::string::npos);
+}
+
+TEST(RegistryTest, UnknownKeyListsValidKeys) {
+  const std::string message = error_for("iterative:d=4,z=1");
+  EXPECT_NE(message.find("unknown key 'z'"), std::string::npos);
+  EXPECT_NE(message.find("valid keys: d"), std::string::npos);
+}
+
+TEST(RegistryTest, MissingRequiredKeyIsAnError) {
+  EXPECT_NE(error_for("iterative").find("missing required key 'd'"),
+            std::string::npos);
+  EXPECT_NE(error_for("naive:r=0.7").find("missing required key 'R'"),
+            std::string::npos);
+}
+
+TEST(RegistryTest, DuplicateKeyIsAnError) {
+  EXPECT_NE(error_for("iterative:d=1,d=2").find("duplicate key 'd'"),
+            std::string::npos);
+}
+
+TEST(RegistryTest, MalformedValuesAreErrors) {
+  EXPECT_NE(error_for("iterative:d=abc").find("not an integer"),
+            std::string::npos);
+  EXPECT_NE(error_for("naive:r=zap,R=0.9").find("not a number"),
+            std::string::npos);
+  EXPECT_NE(error_for("iterative:d").find("expected key=value"),
+            std::string::npos);
+}
+
+TEST(RegistryTest, FreeFunctionForwardsToRegistry) {
+  const std::shared_ptr<StrategyFactory> factory =
+      make_strategy("iterative:d=3");
+  ASSERT_NE(factory, nullptr);
+  EXPECT_EQ(factory->name(), "iterative(d=3)");
+}
+
+TEST(RegistryTest, DescribeCoversEveryTechnique) {
+  const auto lines = Registry::describe();
+  EXPECT_EQ(lines.size(), 8u);
+}
+
+TEST(RegistryTest, BuiltStrategiesDecideWithReasons) {
+  // A registry-built strategy behaves like the directly constructed one,
+  // including the Decision::Reason it reports.
+  const auto factory = Registry::make("traditional:k=1");
+  const auto strategy = factory->make();
+  const Decision first = strategy->decide({});
+  ASSERT_EQ(first.kind, Decision::Kind::kDispatch);
+  const Vote votes[] = {Vote{0, 1}};
+  const Decision done = strategy->decide(votes);
+  ASSERT_EQ(done.kind, Decision::Kind::kAccept);
+  EXPECT_EQ(done.reason, Decision::Reason::kMajority);
+}
+
+}  // namespace
+}  // namespace smartred::redundancy

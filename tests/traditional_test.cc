@@ -37,6 +37,7 @@ TEST(TraditionalTest, AcceptsMajorityAfterKVotes) {
   const Decision decision = strategy.decide(votes);
   ASSERT_TRUE(decision.done());
   EXPECT_EQ(decision.value, 1);
+  EXPECT_EQ(decision.reason, Decision::Reason::kMajority);
 }
 
 TEST(TraditionalTest, AcceptsWrongMajorityToo) {
