@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
   const std::string spec = "iterative:d=" + std::to_string(dd);
   const auto factory = smartred::redundancy::make_strategy(spec);
 
-  smartred::bench::TraceSession trace(flags);
+  smartred::bench::TelemetrySession trace(flags);
   std::uint64_t point = 0;
   for (double rate : {0.0, 1.0, 5.0, 20.0, 50.0}) {
     smartred::dca::DcaConfig base;

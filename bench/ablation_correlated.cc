@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
   const double r_independent = *r_ind;
   const double cluster_failure = *q;
 
-  smartred::bench::TraceSession trace(flags);
+  smartred::bench::TelemetrySession trace(flags);
   std::uint64_t point = 0;
   for (int clusters : {2'000, 200, 50, 10, 4, 1}) {
     smartred::dca::DcaConfig base;

@@ -71,7 +71,7 @@ int main(int argc, char** argv) {
 
   const std::string spec = "iterative:d=" + std::to_string(dd);
   const auto factory = smartred::redundancy::make_strategy(spec);
-  smartred::bench::TraceSession trace(flags);
+  smartred::bench::TelemetrySession trace(flags);
   std::uint64_t point = 0;
   for (const Pool& pool : pools) {
     const auto metrics =

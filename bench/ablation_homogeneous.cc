@@ -81,7 +81,7 @@ int main(int argc, char** argv) {
                 "A11 — honest answers jittered across 3 CPU classes");
   table::Table out({"comparison", "reliability", "cost", "aborted_tasks",
                     "max_jobs"});
-  bench::TraceSession trace(flags);
+  bench::TelemetrySession trace(flags);
   const auto exact =
       run_mode(trace.plan(bench::plan_point(flags, 0),
                           "iterative:d=4 bit-exact"),

@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
   const auto factory = smartred::redundancy::make_strategy(spec);
   const double reliability = *r;
 
-  smartred::bench::TraceSession trace(flags);
+  smartred::bench::TelemetrySession trace(flags);
   std::uint64_t point = 0;
   for (int spread : {1, 2, 4, 16, 256}) {
     smartred::dca::DcaConfig base;

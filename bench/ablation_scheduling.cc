@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
                     "cost", "makespan"});
 
   const auto ir = redundancy::make_strategy("iterative:d=4");
-  bench::TraceSession trace(flags);
+  bench::TelemetrySession trace(flags);
   std::uint64_t point = 0;
   for (const std::string spec :
        {"traditional:k=9", "progressive:k=9", "iterative:d=4"}) {

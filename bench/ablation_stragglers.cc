@@ -27,10 +27,11 @@ smartred::dca::RunMetrics run_one(
   return smartred::bench::run_dca_replications(
       plan, tasks,
       [&](std::uint64_t rep_tasks, std::uint64_t rep_seed,
-          smartred::obs::Recorder* recorder) {
+          const smartred::bench::RepTelemetry& telemetry) {
         smartred::sim::Simulator simulator;
-        simulator.set_recorder(recorder);
+        simulator.set_recorder(telemetry.trace);
         smartred::dca::DcaConfig config;
+        telemetry.apply(config);
         config.nodes = nodes;
         config.seed = rep_seed;
         config.timeout = 25.0;  // pre-warmup fallback; fixed runs never
@@ -97,9 +98,10 @@ int main(int argc, char** argv) {
       "A12 — lognormal latency (sigma 1.2), 10% of hosts 8x slow: fixed "
       "timeout vs. adaptive + speculation + quarantine");
   smartred::table::Table out({"strategy", "mode", "reliability", "cost",
-                              "resp_mean", "resp_max", "speculative",
-                              "timed_out", "quarantined", "makespan"});
-  smartred::bench::TraceSession trace(flags);
+                              "resp_mean", "resp_p99", "resp_max",
+                              "speculative", "timed_out", "quarantined",
+                              "makespan"});
+  smartred::bench::TelemetrySession trace(flags);
   std::uint64_t point = 0;
   for (const std::string spec : specs) {
     const auto factory = smartred::redundancy::make_strategy(spec);
@@ -113,7 +115,9 @@ int main(int argc, char** argv) {
       trace.record_metrics(metrics);
       out.add_row({spec, mode,
                    metrics.reliability(), metrics.cost_factor(),
-                   metrics.response_time.mean(), metrics.response_time.max(),
+                   metrics.response_time.mean(),
+                   metrics.response_time_hist.quantile(0.99),
+                   metrics.response_time.max(),
                    static_cast<long long>(metrics.jobs_speculative),
                    static_cast<long long>(metrics.jobs_timed_out),
                    static_cast<long long>(metrics.nodes_quarantined),
@@ -126,7 +130,8 @@ int main(int argc, char** argv) {
       std::cout,
       "Pool poisoning: response time vs. slow-host fraction, IR(4)");
   smartred::table::Table poison({"slow_fraction", "resp_fixed",
-                                 "resp_smart", "quarantined", "readmitted"});
+                                 "resp_smart", "p99_fixed", "p99_smart",
+                                 "quarantined", "readmitted"});
   for (const double fraction : {0.0, 0.05, 0.1, 0.2, 0.4}) {
     const std::string label = "iterative:d=4 slow=" + std::to_string(fraction);
     const auto fixed = run_one(
@@ -141,6 +146,8 @@ int main(int argc, char** argv) {
     trace.record_metrics(smart);
     poison.add_row({fraction, fixed.response_time.mean(),
                     smart.response_time.mean(),
+                    fixed.response_time_hist.quantile(0.99),
+                    smart.response_time_hist.quantile(0.99),
                     static_cast<long long>(smart.nodes_quarantined),
                     static_cast<long long>(smart.nodes_readmitted)});
   }

@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
   smartred::table::Table meas(
       {"technique", "mean_waves", "max_waves", "analytic_mean"});
   const auto n_tasks = static_cast<std::uint64_t>(*tasks);
-  smartred::bench::TraceSession trace(flags);
+  smartred::bench::TelemetrySession trace(flags);
   const std::string pr_spec = "progressive:k=" + std::to_string(kk);
   const auto pr = smartred::bench::run_binary_mc(
       trace.plan(smartred::bench::plan_point(flags, 0), pr_spec),

@@ -1,9 +1,10 @@
 #!/usr/bin/env python3
 """Kernel perf gate: fail on churn ns/op regressions against BENCH_kernel.json.
 
-Runs the micro_overhead google-benchmark binary (kernel churn benchmarks
-only by default), converts each result to ns per item, and compares against
-the *latest* entry of the tracked perf trajectory in BENCH_kernel.json:
+Runs the micro_overhead google-benchmark binary (by default the kernel
+churn benchmarks plus the Monte-Carlo task loop), converts each result to
+ns per item, and compares against the *latest* entry of the tracked perf
+trajectory in BENCH_kernel.json:
 
   * any gated benchmark more than --tolerance (default 10%) slower than its
     baseline fails the check, and
@@ -35,9 +36,11 @@ def parse_args(argv):
     parser.add_argument("--tolerance", type=float, default=0.10,
                         help="allowed fractional ns/op regression "
                              "(default: 0.10)")
-    parser.add_argument("--filter", default="^BM_Kernel",
-                        help="google-benchmark regex of gated benchmarks "
-                             "(default: ^BM_Kernel)")
+    parser.add_argument("--filter", action="append", default=None,
+                        help="google-benchmark regex of gated benchmarks; "
+                             "repeatable, groups are OR-ed together "
+                             "(default: ^BM_Kernel and "
+                             "^BM_RunBinaryMonteCarlo$)")
     parser.add_argument("--repetitions", type=int, default=5,
                         help="benchmark repetitions; the median is compared "
                              "so scheduler noise doesn't fail the gate "
@@ -117,8 +120,12 @@ def run_benchmarks(binary, pattern, repetitions):
 
 def main(argv=None):
     args = parse_args(argv)
+    # Each --filter is one gated group; the benchmark binary takes a single
+    # regex, so the groups are OR-ed into one alternation.
+    groups = args.filter or ["^BM_Kernel", "^BM_RunBinaryMonteCarlo$"]
+    pattern = "|".join(f"({group})" for group in groups)
     rev, baseline = load_baseline(args.baseline)
-    measured = run_benchmarks(args.binary, args.filter, args.repetitions)
+    measured = run_benchmarks(args.binary, pattern, args.repetitions)
 
     failures = []
     print(f"perf gate vs baseline {rev} "

@@ -48,7 +48,7 @@ int main(int argc, char** argv) {
   const auto n_tasks = static_cast<std::uint64_t>(*tasks);
   smartred::dca::DcaConfig base;
   base.nodes = static_cast<std::size_t>(*nodes);
-  smartred::bench::TraceSession trace(flags);
+  smartred::bench::TelemetrySession trace(flags);
 
   smartred::table::banner(
       std::cout, "Figure 5(a) — XDEVS-style DCA simulation, r = " +

@@ -36,12 +36,12 @@ smartred::dca::RunMetrics run_point(
   smartred::exp::ParallelRunner runner(plan);
   return runner.run_merged(
       [&](std::uint64_t rep, std::uint64_t rep_seed) {
+        const auto telemetry = smartred::bench::rep_telemetry(plan, rep);
         smartred::sim::Simulator simulator;
-        if (plan.trace != nullptr) {
-          simulator.set_recorder(&plan.trace->recorder(rep));
-        }
+        simulator.set_recorder(telemetry.trace);
         smartred::boinc::BoincConfig config;
         config.seed = rep_seed;
+        config.timeseries = telemetry.timeseries;
         smartred::boinc::Deployment deployment(simulator, config, profiles,
                                                factory, workload);
         return smartred::dca::RunMetrics(deployment.run());
@@ -91,7 +91,7 @@ int main(int argc, char** argv) {
   smartred::table::Table out({"technique", "param", "cost", "reliability",
                               "max_jobs", "jobs_lost", "est_r"});
 
-  smartred::bench::TraceSession trace(flags);
+  smartred::bench::TelemetrySession trace(flags);
   std::uint64_t point = 0;
   auto run_series = [&](const std::string& name, const std::string& spec,
                         long long parameter) {

@@ -58,7 +58,7 @@ int main(int argc, char** argv) {
       {"r", "PR_cost_meas", "PR_improvement_meas", "IR_d", "IR_cost_meas",
        "IR_improvement_analytic"});
   const auto n_tasks = static_cast<std::uint64_t>(*cross_tasks);
-  smartred::bench::TraceSession trace(flags);
+  smartred::bench::TelemetrySession trace(flags);
   std::uint64_t point = 0;
   for (double r : {0.6, 0.7, 0.86, 0.95}) {
     const std::string pr_spec = "progressive:k=" + std::to_string(ref_k);

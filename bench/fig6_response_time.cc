@@ -43,19 +43,20 @@ int main(int argc, char** argv) {
                           "Figure 6 — response time vs. cost factor, r = " +
                               std::to_string(*r));
   smartred::table::Table out({"technique", "param", "cost", "avg_response",
-                              "response_analytic", "max_response",
-                              "avg_waves"});
+                              "response_analytic", "p99_response",
+                              "max_response", "avg_waves"});
 
   auto emit_row = [&](const std::string& name, long long parameter,
                       const smartred::dca::RunMetrics& metrics,
                       double analytic) {
     out.add_row({name, parameter, metrics.cost_factor(),
                  metrics.response_time.mean(), analytic,
+                 metrics.response_time_hist.quantile(0.99),
                  metrics.response_time.max(),
                  metrics.waves_per_task.mean()});
   };
 
-  smartred::bench::TraceSession trace(flags);
+  smartred::bench::TelemetrySession trace(flags);
   std::uint64_t point = 0;
   auto run_spec = [&](const std::string& spec) {
     const auto factory = smartred::redundancy::make_strategy(spec);

@@ -31,6 +31,8 @@
 #include "fault/failure_model.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "redundancy/montecarlo.h"
 #include "redundancy/strategy.h"
@@ -64,9 +66,14 @@ struct ExperimentFlags {
   std::shared_ptr<std::int64_t> seed;
   std::shared_ptr<std::string> csv;
   std::shared_ptr<std::string> trace;
+  std::shared_ptr<std::int64_t> trace_ring;
+  std::shared_ptr<std::string> metrics;
+  std::shared_ptr<bool> progress;
+  std::shared_ptr<bool> profile;
 };
 
-/// Registers --reps, --threads, --seed, --csv, and --trace on `parser`.
+/// Registers --reps, --threads, --seed, --csv, and the telemetry flags
+/// (--trace, --trace-ring, --metrics, --progress, --profile) on `parser`.
 inline ExperimentFlags add_experiment_flags(flags::Parser& parser,
                                             std::int64_t default_reps = 8,
                                             std::int64_t default_seed = 1) {
@@ -81,97 +88,176 @@ inline ExperimentFlags add_experiment_flags(flags::Parser& parser,
       "trace", "",
       "flight-recorder output path: *.jsonl for JSON lines, anything else "
       "for Chrome about:tracing JSON (optional)");
+  handles.trace_ring = parser.add_int(
+      "trace-ring",
+      static_cast<std::int64_t>(obs::TraceCollector::kDefaultRingCapacity),
+      "per-replication flight-recorder ring capacity, in events");
+  handles.metrics = parser.add_string(
+      "metrics", "",
+      "telemetry output path: Prometheus text exposition to <path>, health "
+      "time-series CSV to <path>.timeseries.csv (optional)");
+  handles.progress = parser.add_bool(
+      "progress", false,
+      "live stderr progress line per data point (reps done, rep/s, ETA)");
+  handles.profile = parser.add_bool(
+      "profile", false, "print a wall-clock phase profile to stderr at exit");
   return handles;
 }
 
-/// Per-binary flight-recorder session driving obs:: from the --trace flag.
+/// Per-binary telemetry session driving obs:: from the --trace, --metrics,
+/// --progress, and --profile flags.
 ///
 /// One session serves a whole bench run: for every data point the bench
 /// wraps its runner plan with `session.plan(...)` (which attaches the
-/// collector and names the point) and reports the point's merged aggregate
-/// with `record_metrics(...)`. The destructor (or an explicit finish())
-/// writes all points to the --trace path — JSON lines when the path ends in
-/// .jsonl, Chrome about:tracing JSON otherwise. With --trace unset every
-/// call is a no-op and no collector is ever attached, so traced and
-/// untraced runs execute the exact same simulation code path.
-class TraceSession {
+/// enabled collectors and names the point) and reports the point's merged
+/// aggregate with `record_metrics(...)`. The destructor (or an explicit
+/// finish()) writes every enabled output:
+///   * --trace=<path>: flight-recorder events — JSON lines when the path
+///     ends in .jsonl, Chrome about:tracing JSON otherwise;
+///   * --metrics=<path>: Prometheus text exposition of the per-point
+///     aggregates (scalars, summaries, latency histograms) to <path> and
+///     the health time-series to <path>.timeseries.csv;
+///   * --profile: a wall-clock phase profile on stderr;
+///   * --progress: a live per-point stderr progress line during the runs.
+/// With all flags unset every call is a no-op and no collector is ever
+/// attached, so instrumented and plain runs execute the exact same
+/// simulation code path.
+class TelemetrySession {
  public:
-  explicit TraceSession(
-      std::string path,
-      std::size_t ring_capacity = obs::TraceCollector::kDefaultRingCapacity)
-      : path_(std::move(path)), collector_(ring_capacity) {}
-  explicit TraceSession(const ExperimentFlags& flags)
-      : TraceSession(*flags.trace) {}
+  explicit TelemetrySession(const ExperimentFlags& flags)
+      : trace_path_(*flags.trace),
+        metrics_path_(*flags.metrics),
+        ring_capacity_(*flags.trace_ring > 0
+                           ? static_cast<std::size_t>(*flags.trace_ring)
+                           : obs::TraceCollector::kDefaultRingCapacity),
+        collector_(ring_capacity_),
+        progress_(*flags.progress),
+        profile_enabled_(*flags.profile) {}
 
-  TraceSession(const TraceSession&) = delete;
-  TraceSession& operator=(const TraceSession&) = delete;
+  TelemetrySession(const TelemetrySession&) = delete;
+  TelemetrySession& operator=(const TelemetrySession&) = delete;
 
-  ~TraceSession() { finish(); }
+  ~TelemetrySession() { finish(); }
 
-  [[nodiscard]] bool enabled() const { return !path_.empty(); }
+  [[nodiscard]] bool tracing() const { return !trace_path_.empty(); }
+  [[nodiscard]] bool metrics_enabled() const { return !metrics_path_.empty(); }
 
-  /// Seals the previous point (if any) and attaches the collector to
-  /// `plan` under `label`. Returns `plan` unchanged when tracing is off.
+  /// Seals the previous point (if any), attaches the enabled collectors to
+  /// `plan`, and names the point `label`. Returns `plan` unchanged when all
+  /// telemetry is off.
   [[nodiscard]] exp::RunnerConfig plan(exp::RunnerConfig plan,
                                        std::string label) {
-    if (!enabled()) return plan;
-    seal();
-    pending_ = true;
-    pending_label_ = std::move(label);
-    plan.trace = &collector_;
+    if (progress_) {
+      plan.progress = true;
+      plan.progress_label = label;
+    }
+    if (profile_enabled_) plan.profile = &profiler_;
+    if (tracing() || metrics_enabled()) {
+      seal();
+      pending_ = true;
+      pending_label_ = std::move(label);
+      if (tracing()) plan.trace = &collector_;
+      if (metrics_enabled()) plan.timeseries = &timeseries_;
+    }
     return plan;
   }
 
-  /// Snapshots the current point's merged aggregates into the trace.
+  /// Snapshots the current point's merged aggregates for the trace and
+  /// metrics outputs.
   template <typename Aggregate>
   void record_metrics(const Aggregate& aggregate) {
-    if (!enabled() || !pending_) return;
+    if (!pending_) return;
     pending_metrics_ = obs::snapshot(aggregate);
   }
 
-  /// Seals the last point and writes the trace file. Safe to call twice;
-  /// the destructor calls it for benches that don't.
+  /// Seals the last point and writes all enabled outputs. Safe to call
+  /// twice; the destructor calls it for benches that don't.
   void finish() {
-    if (!enabled() || finished_) return;
+    if (finished_) return;
     finished_ = true;
     seal();
-    std::ofstream out(path_);
-    if (!out) {
-      std::cerr << "trace: cannot open " << path_ << " for writing\n";
-      return;
-    }
-    const bool jsonl = path_.size() >= 6 &&
-                       path_.compare(path_.size() - 6, 6, ".jsonl") == 0;
-    if (jsonl) {
-      obs::write_jsonl(out, points_);
-    } else {
-      obs::write_chrome_trace(out, points_);
-    }
-    std::uint64_t dropped = 0;
-    for (const obs::PointTrace& point : points_) dropped += point.dropped;
-    std::cout << "(trace written to " << path_;
-    if (dropped > 0) {
-      std::cout << "; " << dropped
-                << " events dropped by full rings — raise the ring capacity "
-                   "or trace a smaller run";
-    }
-    std::cout << ")\n";
+    write_trace();
+    write_metrics();
+    if (profile_enabled_) profiler_.report(std::cerr);
   }
 
  private:
   void seal() {
     if (!pending_) return;
-    points_.push_back(obs::PointTrace{std::move(pending_label_),
-                                      collector_.merged(),
-                                      std::move(pending_metrics_)});
-    points_.back().dropped = collector_.dropped();
+    if (tracing()) {
+      points_.push_back(obs::PointTrace{pending_label_, collector_.merged(),
+                                        pending_metrics_});
+      points_.back().dropped = collector_.dropped();
+    }
+    if (metrics_enabled()) {
+      series_points_.push_back(
+          obs::PointSeries{pending_label_, timeseries_.merged()});
+      metric_points_.push_back(
+          obs::MetricsPoint{std::move(pending_label_),
+                            std::move(pending_metrics_)});
+    }
     pending_ = false;
+    pending_label_.clear();
     pending_metrics_ = obs::MetricRegistry{};
   }
 
-  std::string path_;
+  void write_trace() {
+    if (!tracing()) return;
+    std::ofstream out(trace_path_);
+    if (!out) {
+      std::cerr << "trace: cannot open " << trace_path_ << " for writing\n";
+      return;
+    }
+    const bool jsonl =
+        trace_path_.size() >= 6 &&
+        trace_path_.compare(trace_path_.size() - 6, 6, ".jsonl") == 0;
+    if (jsonl) {
+      obs::write_jsonl(out, points_);
+    } else {
+      obs::write_chrome_trace(out, points_);
+    }
+    std::cout << "(trace written to " << trace_path_ << ")\n";
+    std::uint64_t dropped = 0;
+    for (const obs::PointTrace& point : points_) dropped += point.dropped;
+    if (dropped > 0) {
+      std::cerr << "warning: trace dropped " << dropped
+                << " events to full rings (capacity " << ring_capacity_
+                << " events per replication) — raise --trace-ring or trace "
+                   "a smaller run\n";
+    }
+  }
+
+  void write_metrics() {
+    if (!metrics_enabled()) return;
+    std::ofstream out(metrics_path_);
+    if (!out) {
+      std::cerr << "metrics: cannot open " << metrics_path_
+                << " for writing\n";
+      return;
+    }
+    obs::write_prometheus(out, metric_points_);
+    std::cout << "(metrics written to " << metrics_path_ << ")\n";
+    const std::string csv_path = metrics_path_ + ".timeseries.csv";
+    std::ofstream csv(csv_path);
+    if (!csv) {
+      std::cerr << "metrics: cannot open " << csv_path << " for writing\n";
+      return;
+    }
+    obs::write_timeseries_csv(csv, series_points_);
+    std::cout << "(time series written to " << csv_path << ")\n";
+  }
+
+  std::string trace_path_;
+  std::string metrics_path_;
+  std::size_t ring_capacity_;
   obs::TraceCollector collector_;
+  obs::TimeSeriesCollector timeseries_;
+  obs::PhaseProfiler profiler_;
+  bool progress_;
+  bool profile_enabled_;
   std::vector<obs::PointTrace> points_;
+  std::vector<obs::MetricsPoint> metric_points_;
+  std::vector<obs::PointSeries> series_points_;
   std::string pending_label_;
   obs::MetricRegistry pending_metrics_;
   bool pending_ = false;
@@ -203,13 +289,42 @@ inline exp::RunnerConfig plan_point(const ExperimentFlags& flags,
   return effective;
 }
 
+/// Per-replication telemetry handles handed to DCA replication functions:
+/// this replication's private flight-recorder ring and health-sampling
+/// recorder (each null when the plan carries no such collector), plus the
+/// shared phase profiler (thread-safe; null when profiling is off).
+struct RepTelemetry {
+  obs::Recorder* trace = nullptr;
+  obs::TimeSeriesRecorder* timeseries = nullptr;
+  obs::PhaseProfiler* profile = nullptr;
+
+  /// Wires the handles into a DCA server config (keeping the config's own
+  /// sample_interval).
+  void apply(dca::DcaConfig& config) const {
+    config.timeseries = timeseries;
+    config.profile = profile;
+  }
+};
+
+/// The telemetry handles of replication `rep` under `plan`.
+[[nodiscard]] inline RepTelemetry rep_telemetry(const exp::RunnerConfig& plan,
+                                                std::uint64_t rep) {
+  RepTelemetry telemetry;
+  if (plan.trace != nullptr) telemetry.trace = &plan.trace->recorder(rep);
+  if (plan.timeseries != nullptr) {
+    telemetry.timeseries = &plan.timeseries->recorder(rep);
+  }
+  telemetry.profile = plan.profile;
+  return telemetry;
+}
+
 /// Merged metrics of `plan.replications` DCA replications that together
 /// simulate `total_tasks` tasks (split as evenly as possible).
-/// `run_rep(rep_tasks, rep_seed, recorder) -> dca::RunMetrics` must be pure
-/// in its arguments — it is called concurrently from worker threads. The
-/// recorder is this replication's private flight-recorder ring (null when
-/// the plan carries no trace collector); DES replications attach it with
-/// `simulator.set_recorder(recorder)`.
+/// `run_rep(rep_tasks, rep_seed, telemetry) -> dca::RunMetrics` must be
+/// pure in its arguments — it is called concurrently from worker threads.
+/// The telemetry carries this replication's private flight-recorder ring
+/// (attach with `simulator.set_recorder(telemetry.trace)`) and health
+/// sampler (wire with `telemetry.apply(config)`).
 template <typename RunRep>
 [[nodiscard]] dca::RunMetrics run_dca_replications(
     const exp::RunnerConfig& plan, std::uint64_t total_tasks,
@@ -219,9 +334,7 @@ template <typename RunRep>
   return runner.run_merged([&](std::uint64_t rep, std::uint64_t rep_seed) {
     return run_rep(
         exp::partition_size(total_tasks, effective.replications, rep),
-        rep_seed,
-        effective.trace != nullptr ? &effective.trace->recorder(rep)
-                                   : nullptr);
+        rep_seed, rep_telemetry(effective, rep));
   });
 }
 
@@ -238,11 +351,12 @@ template <typename MakeFailures>
   return run_dca_replications(
       plan, total_tasks,
       [&](std::uint64_t rep_tasks, std::uint64_t rep_seed,
-          obs::Recorder* recorder) {
+          const RepTelemetry& telemetry) {
         sim::Simulator simulator;
-        simulator.set_recorder(recorder);
+        simulator.set_recorder(telemetry.trace);
         dca::DcaConfig config = base;
         config.seed = rep_seed;
+        telemetry.apply(config);
         const dca::SyntheticWorkload workload(rep_tasks);
         auto failures = make_failures(rep_seed);
         dca::TaskServer server(simulator, config, factory, workload,
@@ -282,9 +396,9 @@ template <typename MakeFailures>
         exp::partition_size(total_tasks, effective.replications, rep);
     config.seed = rep_seed;
     config.max_jobs_per_task = max_jobs_per_task;
-    config.recorder = effective.trace != nullptr
-                          ? &effective.trace->recorder(rep)
-                          : nullptr;
+    const RepTelemetry telemetry = rep_telemetry(effective, rep);
+    config.recorder = telemetry.trace;
+    config.timeseries = telemetry.timeseries;
     return run_custom(factory, source, correct, config);
   });
 }
@@ -302,9 +416,9 @@ template <typename MakeFailures>
         exp::partition_size(total_tasks, effective.replications, rep);
     config.seed = rep_seed;
     config.max_jobs_per_task = max_jobs_per_task;
-    config.recorder = effective.trace != nullptr
-                          ? &effective.trace->recorder(rep)
-                          : nullptr;
+    const RepTelemetry telemetry = rep_telemetry(effective, rep);
+    config.recorder = telemetry.trace;
+    config.timeseries = telemetry.timeseries;
     return run_binary(factory, reliability, config);
   });
 }

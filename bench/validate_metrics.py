@@ -1,0 +1,213 @@
+#!/usr/bin/env python3
+"""Telemetry format gate: validate --metrics output of a bench binary.
+
+Runs the given bench with --metrics=<tmpdir>/metrics.prom and checks both
+exports for well-formedness:
+
+  * Prometheus text exposition: every sample belongs to a family announced
+    by a preceding `# TYPE` line with a valid type; sample lines parse as
+    `name{labels} value` with a finite numeric value; histogram families
+    have per-point `le` bucket bounds strictly increasing with cumulative
+    counts non-decreasing, and the `+Inf` bucket equals `_count`.
+  * Time-series CSV: header `point,rep,series,time,value`, five fields per
+    row, integer rep, numeric time/value, and non-decreasing time within
+    each (point, rep, series) series.
+
+Wired into ctest as the tier-2 `validate_metrics` test:
+
+  ctest --test-dir build -C perf -L tier2
+"""
+
+import argparse
+import csv
+import math
+import re
+import subprocess
+import sys
+import tempfile
+
+VALID_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+# `name{label="value",...} value` with the label block optional.
+SAMPLE_RE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?P<labels>\{.*\})?'
+    r' (?P<value>\S+)$')
+LABEL_RE = re.compile(r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"')
+
+
+def parse_args(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--binary", required=True,
+                        help="path to a bench binary taking --metrics")
+    parser.add_argument("--args", action="append", default=[],
+                        help="extra argument for the bench (repeatable)")
+    return parser.parse_args(argv)
+
+
+def fail(path, line_number, message):
+    raise SystemExit(f"{path}:{line_number}: {message}")
+
+
+def parse_value(text):
+    try:
+        value = float(text)
+    except ValueError:
+        return None
+    return value if math.isfinite(value) else None
+
+
+def family_of(name):
+    """The metric family a sample line belongs to (histogram children
+    `X_bucket`/`X_sum`/`X_count` belong to family `X`)."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)], suffix
+    return name, ""
+
+
+def validate_prometheus(path):
+    types = {}
+    # (family, point) -> list of (le, cumulative); le may be inf.
+    buckets = {}
+    counts = {}
+    samples = 0
+    with open(path, encoding="utf-8") as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            line = raw.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith("#"):
+                parts = line.split()
+                if len(parts) >= 2 and parts[1] == "TYPE":
+                    if len(parts) != 4:
+                        fail(path, line_number, f"malformed TYPE line: {line}")
+                    family, kind = parts[2], parts[3]
+                    if kind not in VALID_TYPES:
+                        fail(path, line_number, f"invalid type '{kind}'")
+                    if family in types:
+                        fail(path, line_number,
+                             f"duplicate TYPE for '{family}'")
+                    types[family] = kind
+                continue
+            match = SAMPLE_RE.match(line)
+            if not match:
+                fail(path, line_number, f"unparseable sample: {line}")
+            name = match.group("name")
+            value = parse_value(match.group("value"))
+            if value is None:
+                fail(path, line_number,
+                     f"non-numeric value '{match.group('value')}'")
+            family, suffix = family_of(name)
+            if family not in types and name in types:
+                # A scalar family whose name happens to end in _count etc.
+                family, suffix = name, ""
+            if family not in types:
+                fail(path, line_number,
+                     f"sample '{name}' has no preceding TYPE line")
+            kind = types[family]
+            if suffix and kind != "histogram" and kind != "summary":
+                fail(path, line_number,
+                     f"'{name}' is a {kind}, not a histogram child")
+            labels = {}
+            if match.group("labels"):
+                labels = {m.group("key"): m.group("value")
+                          for m in LABEL_RE.finditer(match.group("labels"))}
+            point = labels.get("point", "")
+            if kind == "histogram":
+                key = (family, point)
+                if suffix == "_bucket":
+                    if "le" not in labels:
+                        fail(path, line_number, f"bucket of '{family}' "
+                             "without an le label")
+                    le = (math.inf if labels["le"] == "+Inf"
+                          else parse_value(labels["le"]))
+                    if le is None and labels["le"] != "+Inf":
+                        fail(path, line_number,
+                             f"non-numeric le '{labels['le']}'")
+                    buckets.setdefault(key, []).append(
+                        (le, value, line_number))
+                elif suffix == "_count":
+                    counts[key] = (value, line_number)
+            samples += 1
+    if samples == 0:
+        raise SystemExit(f"{path}: no samples")
+    for (family, point), series in buckets.items():
+        previous_le = -math.inf
+        previous_cumulative = -1.0
+        for le, cumulative, line_number in series:
+            if le <= previous_le:
+                fail(path, line_number,
+                     f"{family}{{point={point!r}}}: le bounds not "
+                     f"strictly increasing at {le}")
+            if cumulative < previous_cumulative:
+                fail(path, line_number,
+                     f"{family}{{point={point!r}}}: cumulative count "
+                     f"decreases at le={le}")
+            previous_le, previous_cumulative = le, cumulative
+        if series[-1][0] != math.inf:
+            raise SystemExit(f"{path}: {family}{{point={point!r}}} has no "
+                             "+Inf bucket")
+        key = (family, point)
+        if key not in counts:
+            raise SystemExit(f"{path}: {family}{{point={point!r}}} has "
+                             "buckets but no _count")
+        if series[-1][1] != counts[key][0]:
+            raise SystemExit(
+                f"{path}: {family}{{point={point!r}}}: +Inf bucket "
+                f"{series[-1][1]} != _count {counts[key][0]}")
+    histogram_families = sum(1 for kind in types.values()
+                             if kind == "histogram")
+    print(f"{path}: OK ({samples} samples, {len(types)} families, "
+          f"{histogram_families} histogram families)")
+
+
+def validate_csv(path):
+    last_time = {}
+    rows = 0
+    with open(path, encoding="utf-8", newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header != ["point", "rep", "series", "time", "value"]:
+            raise SystemExit(f"{path}: bad header {header}")
+        for row in reader:
+            line_number = reader.line_num
+            if len(row) != 5:
+                fail(path, line_number, f"expected 5 fields, got {len(row)}")
+            point, rep, series, time, value = row
+            if not rep.isdigit():
+                fail(path, line_number, f"non-integer rep '{rep}'")
+            time_value = parse_value(time)
+            if time_value is None:
+                fail(path, line_number, f"non-numeric time '{time}'")
+            if parse_value(value) is None:
+                fail(path, line_number, f"non-numeric value '{value}'")
+            key = (point, rep, series)
+            if time_value < last_time.get(key, -math.inf):
+                fail(path, line_number,
+                     f"time goes backwards within series {key}")
+            last_time[key] = time_value
+            rows += 1
+    if rows == 0:
+        raise SystemExit(f"{path}: no data rows")
+    print(f"{path}: OK ({rows} rows, {len(last_time)} series)")
+
+
+def main(argv=None):
+    args = parse_args(argv)
+    with tempfile.TemporaryDirectory() as tmp:
+        metrics_path = f"{tmp}/metrics.prom"
+        command = [args.binary, *args.args, f"--metrics={metrics_path}"]
+        proc = subprocess.run(command, capture_output=True, text=True,
+                              check=False)
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stderr)
+            raise SystemExit(f"bench run failed (exit {proc.returncode})")
+        validate_prometheus(metrics_path)
+        validate_csv(f"{metrics_path}.timeseries.csv")
+    print("PASS: Prometheus exposition and time-series CSV well-formed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -41,6 +41,8 @@ Deployment::Deployment(sim::Simulator& simulator, const BoincConfig& config,
   SMARTRED_EXPECT(config.report_deadline > 0.0, "deadline must be positive");
   SMARTRED_EXPECT(config.idle_retry > 0.0, "idle retry must be positive");
   SMARTRED_EXPECT(config.max_jobs_per_task > 0, "job cap must be positive");
+  SMARTRED_EXPECT(config.timeseries == nullptr || config.sample_interval > 0.0,
+                  "health sampling needs a positive sample interval");
 }
 
 double Deployment::pool_effective_reliability() const {
@@ -73,6 +75,7 @@ const dca::RunMetrics& Deployment::run() {
     simulator_.schedule(boot,
                         [this, client] { client_request_work(client); });
   }
+  sample_health();  // the t=0 baseline; re-arms itself while tasks remain
   simulator_.run();
   // A drained pool (every client stuck unresponsive forever is impossible —
   // clients always come back) cannot happen, but a task can exceed its job
@@ -90,6 +93,7 @@ void Deployment::enqueue_wave(std::uint64_t task, int jobs) {
   state.outstanding += jobs;
   state.jobs_started += jobs;
   ++state.waves;
+  state.wave_started = simulator_.now();
   metrics_.jobs_dispatched += static_cast<std::uint64_t>(jobs);
   if (obs::Recorder* const rec = simulator_.recorder()) {
     rec->record(obs::TraceEvent{
@@ -210,7 +214,13 @@ void Deployment::server_handle_result(redundancy::NodeId client,
     });
   }
   --state.outstanding;
-  if (state.outstanding == 0) consult_strategy(task);
+  if (state.outstanding == 0) {
+    // The wave is complete: every job the strategy asked for has voted.
+    const double latency = simulator_.now() - state.wave_started;
+    metrics_.wave_latency.add(latency);
+    metrics_.wave_latency_hist.add(latency);
+    consult_strategy(task);
+  }
 }
 
 void Deployment::deadline_check(std::uint64_t task, std::uint64_t job_id) {
@@ -288,8 +298,11 @@ void Deployment::finish_task(std::uint64_t task,
   if (accepted == workload_.correct_value(task)) ++metrics_.tasks_correct;
   record_task_metrics(state);
   if (state.started) {
-    metrics_.response_time.add(simulator_.now() - state.first_dispatch);
+    const double response = simulator_.now() - state.first_dispatch;
+    metrics_.response_time.add(response);
+    metrics_.response_time_hist.add(response);
   }
+  if (undecided_ == 0) stop_sampling();
   state.strategy = nullptr;
   state.owned_strategy.reset();
 }
@@ -313,6 +326,7 @@ void Deployment::abort_task(std::uint64_t task) {
     });
   }
   record_task_metrics(state);
+  if (undecided_ == 0) stop_sampling();
   state.strategy = nullptr;
   state.owned_strategy.reset();
 }
@@ -321,7 +335,34 @@ void Deployment::record_task_metrics(const TaskState& state) {
   metrics_.max_jobs_single_task =
       std::max(metrics_.max_jobs_single_task, state.jobs_started);
   metrics_.jobs_per_task.add(static_cast<double>(state.jobs_started));
+  metrics_.jobs_per_task_hist.add(static_cast<double>(state.jobs_started));
   metrics_.waves_per_task.add(static_cast<double>(state.waves));
+}
+
+void Deployment::sample_health() {
+  obs::TimeSeriesRecorder* const recorder = config_.timeseries;
+  if (recorder == nullptr) return;
+  const double now = simulator_.now();
+  recorder->sample("queue_depth", now,
+                   static_cast<double>(job_queue_.size()));
+  recorder->sample("undecided_tasks", now, static_cast<double>(undecided_));
+  if (metrics_.jobs_completed > 0) {
+    recorder->sample("est_node_reliability", now,
+                     metrics_.empirical_node_reliability());
+  }
+  schedule_sampling();
+}
+
+void Deployment::schedule_sampling() {
+  if (config_.timeseries == nullptr || undecided_ == 0) return;
+  sample_event_ =
+      simulator_.schedule(config_.sample_interval, [this] { sample_health(); });
+}
+
+void Deployment::stop_sampling() {
+  if (config_.timeseries == nullptr) return;
+  simulator_.cancel(sample_event_);
+  sample_event_ = sim::EventId{};
 }
 
 }  // namespace smartred::boinc

@@ -28,6 +28,7 @@
 #include "common/rng.h"
 #include "dca/metrics.h"
 #include "dca/workload.h"
+#include "obs/timeseries.h"
 #include "redundancy/strategy.h"
 #include "sim/simulator.h"
 
@@ -47,6 +48,14 @@ struct BoincConfig {
   /// Safety cap per task (aborted and counted incorrect beyond it).
   int max_jobs_per_task = 10'000;
   std::uint64_t seed = 1;
+  /// Optional project-health sampler: every `sample_interval` simulated
+  /// time units the server records queue/progress series. Read-only
+  /// observations — a sampled run reproduces an unsampled run's aggregates
+  /// bit-for-bit. Not owned; null disables sampling at zero cost.
+  obs::TimeSeriesRecorder* timeseries = nullptr;
+  /// Simulated-time stride between health samples. Must be positive when
+  /// `timeseries` is set.
+  double sample_interval = 1.0;
 };
 
 /// One computation run on the simulated volunteer network. Single-use:
@@ -93,6 +102,7 @@ class Deployment {
     bool decided = false;
     bool aborted = false;
     sim::Time first_dispatch = 0.0;
+    sim::Time wave_started = 0.0;  ///< when the latest wave was enqueued
     redundancy::ResultValue accepted = 0;  ///< valid when decided && !aborted
     /// Clients that already received a job of this task (BOINC's
     /// one-result-per-user rule).
@@ -116,6 +126,14 @@ class Deployment {
   void finish_task(std::uint64_t task, redundancy::ResultValue accepted);
   void abort_task(std::uint64_t task);
   void record_task_metrics(const TaskState& state);
+  /// Records one project-health sample and re-arms the sampling timer
+  /// while tasks remain undecided. No-op without a configured recorder.
+  void sample_health();
+  void schedule_sampling();
+  /// Cancels the pending sampling timer when the last task settles —
+  /// makespan here is the simulator's final time, so a trailing sample
+  /// event must never extend it.
+  void stop_sampling();
 
   sim::Simulator& simulator_;
   BoincConfig config_;
@@ -130,6 +148,7 @@ class Deployment {
   std::vector<TaskState> tasks_;
   std::uint64_t undecided_ = 0;
   std::uint64_t next_job_id_ = 0;
+  sim::EventId sample_event_{};  ///< pending health-sample timer
 
   rng::Stream rng_network_;
   rng::Stream rng_compute_;

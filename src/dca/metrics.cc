@@ -28,7 +28,11 @@ void RunMetrics::merge(const RunMetrics& other) {
   waves_per_task.merge(other.waves_per_task);
   response_time.merge(other.response_time);
   deadline_estimate.merge(other.deadline_estimate);
+  wave_latency.merge(other.wave_latency);
   makespan = std::max(makespan, other.makespan);
+  response_time_hist.merge(other.response_time_hist);
+  wave_latency_hist.merge(other.wave_latency_hist);
+  jobs_per_task_hist.merge(other.jobs_per_task_hist);
 }
 
 double RunMetrics::cost_factor() const {

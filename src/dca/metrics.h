@@ -7,6 +7,7 @@
 #include <cstdint>
 
 #include "common/stats.h"
+#include "obs/histogram.h"
 #include "sim/simulator.h"
 
 namespace smartred::dca {
@@ -34,7 +35,15 @@ struct RunMetrics {
   stats::StreamingStats waves_per_task;
   stats::StreamingStats response_time;  ///< first dispatch -> acceptance
   stats::StreamingStats deadline_estimate;  ///< deadline armed per attempt
+  stats::StreamingStats wave_latency;   ///< wave dispatch -> last vote in
   sim::Time makespan = 0.0;             ///< simulated time to finish all tasks
+  /// Tail-resolving distributions of the same observations the streaming
+  /// stats summarize. Lazily allocated on first observation; integer-only
+  /// merge state, so the merged histograms are bit-identical at any thread
+  /// count (see obs/histogram.h).
+  obs::LogHistogram response_time_hist;
+  obs::LogHistogram wave_latency_hist;
+  obs::LogHistogram jobs_per_task_hist;
 
   /// Average jobs per task, counting re-issues — the measured cost factor.
   [[nodiscard]] double cost_factor() const;

@@ -58,6 +58,8 @@ TaskServer::TaskServer(sim::Simulator& simulator, const DcaConfig& config,
     deadline_.emplace(config.deadline.quantile, config.deadline.multiplier,
                       config.timeout, config.deadline.warmup);
   }
+  SMARTRED_EXPECT(config.timeseries == nullptr || config.sample_interval > 0.0,
+                  "health sampling needs a positive sample interval");
 }
 
 const RunMetrics& TaskServer::run() {
@@ -80,6 +82,7 @@ const RunMetrics& TaskServer::run() {
   assign_available();
   schedule_churn_join();
   schedule_churn_leave();
+  sample_health();  // the t=0 baseline; re-arms itself while tasks remain
   simulator_.run();
 
   // If churn drained the pool with no joins configured, the queue can
@@ -107,9 +110,11 @@ void TaskServer::enqueue_copy(std::uint64_t job, std::uint64_t task,
 }
 
 void TaskServer::enqueue_wave(std::uint64_t task, int jobs) {
+  const obs::ScopedPhase scope(config_.profile, obs::Phase::kDispatch);
   TaskState& state = tasks_[task];
   state.outstanding += jobs;
   ++state.waves;
+  state.wave_started = simulator_.now();
   if (obs::Recorder* const rec = simulator_.recorder()) {
     rec->record(obs::TraceEvent{
         .time = simulator_.now(),
@@ -150,6 +155,7 @@ double TaskServer::effective_deadline(std::uint64_t task) const {
 }
 
 void TaskServer::start_job(const QueuedJob& job, redundancy::NodeId node) {
+  const obs::ScopedPhase scope(config_.profile, obs::Phase::kDispatch);
   const std::uint64_t task = job.task;
   const std::uint64_t job_id = job.job;
   TaskState& state = tasks_[task];
@@ -294,6 +300,7 @@ void TaskServer::quarantine_node(redundancy::NodeId node) {
 }
 
 void TaskServer::complete_job(std::uint64_t job, redundancy::NodeId node) {
+  const obs::ScopedPhase scope(config_.profile, obs::Phase::kCollect);
   const auto flight_it = inflight_.find(node);
   SMARTRED_ENSURE(flight_it != inflight_.end(),
                   "completion without an in-flight record");
@@ -343,7 +350,14 @@ void TaskServer::complete_job(std::uint64_t job, redundancy::NodeId node) {
   }
   if (logical.copies == 0) jobs_.erase(job_it);
   --state.outstanding;
-  if (state.outstanding == 0) consult_strategy(task);
+  if (state.outstanding == 0) {
+    // The wave is complete: every logical job the strategy asked for has
+    // voted. Wave latency runs from the wave's enqueue to this last vote.
+    const double latency = simulator_.now() - state.wave_started;
+    metrics_.wave_latency.add(latency);
+    metrics_.wave_latency_hist.add(latency);
+    consult_strategy(task);
+  }
   assign_available();
 }
 
@@ -374,6 +388,7 @@ void TaskServer::copy_lost(std::uint64_t job, double carried_work) {
 }
 
 void TaskServer::consult_strategy(std::uint64_t task) {
+  const obs::ScopedPhase scope(config_.profile, obs::Phase::kDecide);
   TaskState& state = tasks_[task];
   const redundancy::Decision decision = state.strategy->decide(state.votes);
   if (decision.done()) {
@@ -415,11 +430,16 @@ void TaskServer::finish_task(std::uint64_t task,
   if (accepted == workload_.correct_value(task)) ++metrics_.tasks_correct;
   record_task_metrics(state);
   if (state.started) {
-    metrics_.response_time.add(simulator_.now() - state.first_dispatch);
+    const double response = simulator_.now() - state.first_dispatch;
+    metrics_.response_time.add(response);
+    metrics_.response_time_hist.add(response);
   }
   // The last decision marks the end of useful work; trailing events
   // (discarded stragglers, quarantine re-admissions) do not extend it.
-  if (undecided_ == 0) metrics_.makespan = simulator_.now();
+  if (undecided_ == 0) {
+    metrics_.makespan = simulator_.now();
+    stop_sampling();
+  }
   state.strategy = nullptr;
   state.owned_strategy.reset();
   state.votes.clear();
@@ -446,7 +466,10 @@ void TaskServer::abort_task(std::uint64_t task, bool budget_exhausted) {
     });
   }
   record_task_metrics(state);
-  if (undecided_ == 0) metrics_.makespan = simulator_.now();
+  if (undecided_ == 0) {
+    metrics_.makespan = simulator_.now();
+    stop_sampling();
+  }
   state.strategy = nullptr;
   state.owned_strategy.reset();
   state.votes.clear();
@@ -458,6 +481,50 @@ void TaskServer::record_task_metrics(const TaskState& state) {
       std::max(metrics_.max_jobs_single_task, state.jobs_started);
   metrics_.jobs_per_task.add(static_cast<double>(state.jobs_started));
   metrics_.waves_per_task.add(static_cast<double>(state.waves));
+  metrics_.jobs_per_task_hist.add(static_cast<double>(state.jobs_started));
+}
+
+void TaskServer::sample_health() {
+  obs::TimeSeriesRecorder* const recorder = config_.timeseries;
+  if (recorder == nullptr) return;
+  {
+    const obs::ScopedPhase scope(config_.profile, obs::Phase::kSample);
+    const double now = simulator_.now();
+    // Pure reads of pool/queue/metric state: sampling can never perturb
+    // the run (no RNG draws, no state writes), which is what lets a
+    // sampled run reproduce the pinned aggregates bit-for-bit.
+    recorder->sample("live_nodes", now,
+                     static_cast<double>(pool_.live_count()));
+    recorder->sample("idle_nodes", now,
+                     static_cast<double>(pool_.idle_count()));
+    recorder->sample("busy_nodes", now,
+                     static_cast<double>(pool_.busy_count()));
+    recorder->sample("quarantined_nodes", now,
+                     static_cast<double>(pool_.quarantined_count()));
+    recorder->sample("queue_depth", now,
+                     static_cast<double>(job_queue_.size()));
+    recorder->sample("inflight_jobs", now,
+                     static_cast<double>(inflight_.size()));
+    recorder->sample("undecided_tasks", now,
+                     static_cast<double>(undecided_));
+    if (metrics_.jobs_completed > 0) {
+      recorder->sample("est_node_reliability", now,
+                       metrics_.empirical_node_reliability());
+    }
+  }
+  schedule_sampling();
+}
+
+void TaskServer::schedule_sampling() {
+  if (config_.timeseries == nullptr || undecided_ == 0) return;
+  sample_event_ = simulator_.schedule(config_.sample_interval,
+                                      [this] { sample_health(); });
+}
+
+void TaskServer::stop_sampling() {
+  if (config_.timeseries == nullptr) return;
+  simulator_.cancel(sample_event_);
+  sample_event_ = sim::EventId{};
 }
 
 void TaskServer::schedule_churn_join() {

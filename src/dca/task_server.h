@@ -34,6 +34,8 @@
 #include "dca/workload.h"
 #include "fault/failure_model.h"
 #include "fault/latency_model.h"
+#include "obs/profile.h"
+#include "obs/timeseries.h"
 #include "redundancy/strategy.h"
 #include "sim/simulator.h"
 
@@ -127,6 +129,18 @@ struct DcaConfig {
   SpeculationConfig speculation;
   QuarantineConfig quarantine;
   std::uint64_t seed = 1;
+  /// Optional pool-health sampler: every `sample_interval` simulated time
+  /// units the server records node/queue/progress series (see the sampler
+  /// in task_server.cc for the list). Read-only observations — a sampled
+  /// run reproduces an unsampled run's aggregates bit-for-bit. Not owned;
+  /// null disables sampling at zero cost.
+  obs::TimeSeriesRecorder* timeseries = nullptr;
+  /// Simulated-time stride between health samples. Must be positive when
+  /// `timeseries` is set.
+  double sample_interval = 1.0;
+  /// Optional wall-clock phase profiler for the dispatch/collect/decide
+  /// stages (obs/profile.h). Not owned; null disables at zero cost.
+  obs::PhaseProfiler* profile = nullptr;
 };
 
 /// Runs one computation to completion. Construct, call run(), read
@@ -170,6 +184,7 @@ class TaskServer {
     bool decided = false;
     bool aborted = false;
     sim::Time first_dispatch = 0.0;
+    sim::Time wave_started = 0.0;  ///< when the latest wave was enqueued
     redundancy::ResultValue accepted = 0;  ///< valid when decided && !aborted
   };
 
@@ -222,6 +237,13 @@ class TaskServer {
   void schedule_churn_join();
   void schedule_churn_leave();
   void churn_leave();
+  /// Records one pool-health sample and re-arms the sampling timer while
+  /// tasks remain undecided. No-op without a configured recorder.
+  void sample_health();
+  void schedule_sampling();
+  /// Cancels the pending sampling timer (called when the last task
+  /// settles, so sampling never extends the simulation past the run).
+  void stop_sampling();
 
   /// The current re-issue/speculation deadline for a copy of `task`:
   /// adaptive estimate when enabled, else the fixed timeout (<= 0 = none).
@@ -255,6 +277,7 @@ class TaskServer {
   std::uint64_t next_job_id_ = 0;
   std::uint64_t undecided_ = 0;
   std::optional<DeadlineEstimator> deadline_;
+  sim::EventId sample_event_{};  ///< pending health-sample timer
 
   rng::Stream rng_assign_;
   rng::Stream rng_duration_;

@@ -1,6 +1,61 @@
 #include "exp/parallel_runner.h"
 
+#include <cinttypes>
+#include <cstdio>
+
 namespace smartred::exp {
+
+namespace {
+
+/// Minimum wall-clock gap between progress reprints.
+constexpr std::int64_t kPrintIntervalMs = 250;
+
+}  // namespace
+
+ProgressMeter::ProgressMeter(bool enabled, std::string_view label,
+                             std::uint64_t total)
+    : enabled_(enabled), label_(label), total_(total) {
+  if (enabled_) start_ = std::chrono::steady_clock::now();
+}
+
+void ProgressMeter::advance() {
+  if (!enabled_) return;
+  const std::uint64_t done = done_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const std::int64_t elapsed_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start_)
+          .count();
+  std::int64_t last = last_print_ms_.load(std::memory_order_relaxed);
+  if (elapsed_ms - last < kPrintIntervalMs) return;
+  // Claim this reprint window; losers simply skip (another worker is
+  // already printing a fresher state).
+  if (!last_print_ms_.compare_exchange_strong(last, elapsed_ms,
+                                              std::memory_order_relaxed)) {
+    return;
+  }
+  print(done, /*final_line=*/false);
+}
+
+void ProgressMeter::finish() {
+  if (!enabled_) return;
+  print(done_.load(std::memory_order_relaxed), /*final_line=*/true);
+}
+
+void ProgressMeter::print(std::uint64_t done, bool final_line) {
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  const double rate = elapsed > 0.0 ? static_cast<double>(done) / elapsed : 0.0;
+  const double eta =
+      rate > 0.0 ? static_cast<double>(total_ - done) / rate : 0.0;
+  // One fprintf call so concurrent reprints never interleave mid-line; the
+  // \r + trailing spaces overwrite any longer previous line.
+  std::fprintf(stderr,
+               "\r%s: %" PRIu64 "/%" PRIu64 " reps  %.1f rep/s  ETA %.1fs   %s",
+               label_.c_str(), done, total_, rate, eta,
+               final_line ? "\n" : "");
+  if (!final_line) std::fflush(stderr);
+}
 
 unsigned resolve_threads(unsigned requested) {
   if (requested != 0) return requested;

@@ -18,9 +18,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <exception>
 #include <mutex>
+#include <string>
+#include <string_view>
 #include <thread>
 #include <type_traits>
 #include <utility>
@@ -28,6 +31,8 @@
 
 #include "common/expect.h"
 #include "common/rng.h"
+#include "obs/profile.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 
 namespace smartred::exp {
@@ -46,6 +51,50 @@ struct RunnerConfig {
   /// need no locks, and merging follows replication order — so traces obey
   /// the same any-thread-count determinism contract as the results.
   obs::TraceCollector* trace = nullptr;
+  /// Optional time-series collector, sized exactly like `trace`: one
+  /// private recorder per replication (`timeseries->recorder(i)`), merged
+  /// later in replication order. Same any-thread-count determinism.
+  obs::TimeSeriesCollector* timeseries = nullptr;
+  /// Optional phase profiler: kSetup covers collector sizing, kRun the
+  /// worker region, kMerge the run_merged() fold. Wall-clock timings for
+  /// humans only — they never enter deterministic outputs.
+  obs::PhaseProfiler* profile = nullptr;
+  /// When true, run() keeps a throttled one-line progress display
+  /// (completed replications, throughput, ETA) on stderr. Wall-clock,
+  /// display only — never affects results or determinism.
+  bool progress = false;
+  /// Prefix for the progress line (typically the experiment/point name).
+  std::string progress_label = "run";
+};
+
+/// Live stderr progress line for a batch of replications. Thread-safe:
+/// workers call advance() concurrently; reprints are throttled (~4 Hz) and
+/// claimed by one thread at a time. Disabled instances cost one branch.
+class ProgressMeter {
+ public:
+  ProgressMeter(bool enabled, std::string_view label, std::uint64_t total);
+
+  ProgressMeter(const ProgressMeter&) = delete;
+  ProgressMeter& operator=(const ProgressMeter&) = delete;
+
+  /// Marks one replication finished and refreshes the line if the
+  /// throttle window has elapsed.
+  void advance();
+  /// Prints the final state and terminates the line. Idempotent no-op when
+  /// disabled.
+  void finish();
+
+ private:
+  void print(std::uint64_t done, bool final_line);
+
+  bool enabled_;
+  std::string label_;
+  std::uint64_t total_;
+  std::chrono::steady_clock::time_point start_{};
+  std::atomic<std::uint64_t> done_{0};
+  /// Milliseconds-since-start of the last reprint; advance() claims the
+  /// next window with a compare-exchange so only one worker prints.
+  std::atomic<std::int64_t> last_print_ms_{-1};
 };
 
 /// Resolves a requested thread count: 0 -> hardware concurrency (at least
@@ -86,7 +135,11 @@ class ParallelRunner {
     static_assert(std::is_default_constructible_v<Result>,
                   "replication results must be default-constructible slots");
     const std::uint64_t n = config_.replications;
-    if (config_.trace != nullptr) config_.trace->prepare(n);
+    {
+      const obs::ScopedPhase setup(config_.profile, obs::Phase::kSetup);
+      if (config_.trace != nullptr) config_.trace->prepare(n);
+      if (config_.timeseries != nullptr) config_.timeseries->prepare(n);
+    }
     std::vector<Result> results(n);
     const unsigned workers = static_cast<unsigned>(
         std::min<std::uint64_t>(resolve_threads(config_.threads), n));
@@ -95,6 +148,7 @@ class ParallelRunner {
     std::atomic<bool> failed{false};
     std::exception_ptr error;
     std::mutex error_mutex;
+    ProgressMeter progress(config_.progress, config_.progress_label, n);
 
     auto worker = [&] {
       while (!failed.load(std::memory_order_relaxed)) {
@@ -108,16 +162,21 @@ class ParallelRunner {
           failed.store(true, std::memory_order_relaxed);
           return;
         }
+        progress.advance();
       }
     };
 
-    if (workers <= 1) {
-      worker();
-    } else {
-      std::vector<std::thread> pool;
-      pool.reserve(workers);
-      for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
-      for (std::thread& thread : pool) thread.join();
+    {
+      const obs::ScopedPhase running(config_.profile, obs::Phase::kRun);
+      if (workers <= 1) {
+        worker();
+      } else {
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
+        for (std::thread& thread : pool) thread.join();
+      }
+      progress.finish();
     }
     if (error) std::rethrow_exception(error);
     return results;
@@ -131,6 +190,7 @@ class ParallelRunner {
   [[nodiscard]] auto run_merged(Fn&& fn, Merge&& merge)
       -> std::invoke_result_t<Fn&, std::uint64_t, std::uint64_t> {
     auto results = run(std::forward<Fn>(fn));
+    const obs::ScopedPhase merging(config_.profile, obs::Phase::kMerge);
     auto merged = std::move(results.front());
     for (std::size_t i = 1; i < results.size(); ++i) {
       merge(merged, results[i]);

@@ -1,5 +1,6 @@
 #include "obs/export.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <limits>
 #include <ostream>
@@ -141,6 +142,168 @@ void write_chrome_trace(std::ostream& out,
     }
   }
   out << "\n]}\n";
+  out.precision(previous);
+}
+
+namespace {
+
+/// Escapes a Prometheus label value (backslash, quote, newline).
+void write_label_value(std::ostream& out, const std::string& text) {
+  for (const char c : text) {
+    switch (c) {
+      case '\\': out << "\\\\"; break;
+      case '"': out << "\\\""; break;
+      case '\n': out << "\\n"; break;
+      default: out << c;
+    }
+  }
+}
+
+/// One scalar sample line: `name{point="label"} value`.
+void write_sample(std::ostream& out, const std::string& family,
+                  const std::string& label, const Metric& metric) {
+  out << family << "{point=\"";
+  write_label_value(out, label);
+  out << "\"} ";
+  if (metric.integral) {
+    out << static_cast<std::uint64_t>(metric.value);
+  } else {
+    out << metric.value;
+  }
+  out << '\n';
+}
+
+/// One RFC 4180 CSV field: quoted only when the text needs it.
+void write_csv_field(std::ostream& out, const std::string& text) {
+  if (text.find_first_of(",\"\n\r") == std::string::npos) {
+    out << text;
+    return;
+  }
+  out << '"';
+  for (const char c : text) {
+    if (c == '"') out << '"';
+    out << c;
+  }
+  out << '"';
+}
+
+}  // namespace
+
+std::string prometheus_name(const std::string& name) {
+  std::string result = "smartred_";
+  result.reserve(result.size() + name.size());
+  for (const char c : name) {
+    const bool valid = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9') || c == '_' || c == ':';
+    result.push_back(valid ? c : '_');
+  }
+  return result;
+}
+
+void write_prometheus(std::ostream& out,
+                      std::span<const MetricsPoint> points) {
+  const auto previous =
+      out.precision(std::numeric_limits<double>::max_digits10);
+
+  // Histogram families first (their first-seen order across points), so
+  // their implicit `_bucket`/`_sum`/`_count` children can shadow any
+  // scalar entry that would collide with them.
+  std::vector<std::string> hist_families;
+  for (const MetricsPoint& point : points) {
+    for (const HistogramMetric& hist : point.metrics.histograms()) {
+      const std::string family = prometheus_name(hist.name);
+      if (std::find(hist_families.begin(), hist_families.end(), family) ==
+          hist_families.end()) {
+        hist_families.push_back(family);
+      }
+    }
+  }
+  std::vector<std::string> reserved;
+  for (const std::string& family : hist_families) {
+    reserved.push_back(family + "_bucket");
+    reserved.push_back(family + "_sum");
+    reserved.push_back(family + "_count");
+    reserved.push_back(family);
+  }
+
+  // Scalar families in first-seen registry order. The type is taken from
+  // the first occurrence (registries are snapshots of one schema, so
+  // occurrences agree).
+  struct ScalarFamily {
+    std::string family;
+    std::string source;  ///< the registry name that maps to it
+    bool integral;
+  };
+  std::vector<ScalarFamily> scalars;
+  for (const MetricsPoint& point : points) {
+    for (const Metric& metric : point.metrics.entries()) {
+      const std::string family = prometheus_name(metric.name);
+      if (std::find(reserved.begin(), reserved.end(), family) !=
+          reserved.end()) {
+        continue;
+      }
+      const bool seen =
+          std::any_of(scalars.begin(), scalars.end(),
+                      [&](const ScalarFamily& s) { return s.family == family; });
+      if (!seen) scalars.push_back({family, metric.name, metric.integral});
+    }
+  }
+
+  for (const ScalarFamily& scalar : scalars) {
+    out << "# TYPE " << scalar.family
+        << (scalar.integral ? " counter\n" : " gauge\n");
+    for (const MetricsPoint& point : points) {
+      for (const Metric& metric : point.metrics.entries()) {
+        if (metric.name != scalar.source) continue;
+        write_sample(out, scalar.family, point.label, metric);
+        break;
+      }
+    }
+  }
+
+  for (const std::string& family : hist_families) {
+    out << "# TYPE " << family << " histogram\n";
+    for (const MetricsPoint& point : points) {
+      for (const HistogramMetric& hist : point.metrics.histograms()) {
+        if (prometheus_name(hist.name) != family) continue;
+        hist.histogram.for_each_bucket([&](double upper, std::uint64_t count,
+                                           std::uint64_t cumulative) {
+          static_cast<void>(count);
+          out << family << "_bucket{point=\"";
+          write_label_value(out, point.label);
+          out << "\",le=\"" << upper << "\"} " << cumulative << '\n';
+        });
+        out << family << "_bucket{point=\"";
+        write_label_value(out, point.label);
+        out << "\",le=\"+Inf\"} " << hist.histogram.count() << '\n';
+        out << family << "_sum{point=\"";
+        write_label_value(out, point.label);
+        out << "\"} " << hist.sum << '\n';
+        out << family << "_count{point=\"";
+        write_label_value(out, point.label);
+        out << "\"} " << hist.histogram.count() << '\n';
+        break;
+      }
+    }
+  }
+  out.precision(previous);
+}
+
+void write_timeseries_csv(std::ostream& out,
+                          std::span<const PointSeries> points) {
+  const auto previous =
+      out.precision(std::numeric_limits<double>::max_digits10);
+  out << "point,rep,series,time,value\n";
+  for (const PointSeries& point : points) {
+    for (const MergedSeries& series : point.series) {
+      for (const TimePoint& sample : series.samples) {
+        write_csv_field(out, point.label);
+        out << ',' << series.rep << ',';
+        write_csv_field(out, series.name);
+        out << ',' << sample.time << ',' << sample.value << '\n';
+      }
+    }
+  }
   out.precision(previous);
 }
 

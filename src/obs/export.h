@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 
 namespace smartred::obs {
@@ -48,5 +49,44 @@ void write_jsonl(std::ostream& out, std::span<const PointTrace> points);
 
 /// Writes `points` as a Chrome `about:tracing` JSON document.
 void write_chrome_trace(std::ostream& out, std::span<const PointTrace> points);
+
+/// One experiment point's metric snapshot, for the Prometheus exporter.
+struct MetricsPoint {
+  std::string label;
+  MetricRegistry metrics;
+};
+
+/// The Prometheus metric name a registry entry maps to: `smartred_` prefix
+/// and every charset-violating character (the registry's `.` separators)
+/// replaced with `_`. Exposed for the validation tooling's tests.
+[[nodiscard]] std::string prometheus_name(const std::string& name);
+
+/// Writes `points` in the Prometheus text exposition format (version
+/// 0.0.4): each distinct metric name becomes one family with a `# TYPE`
+/// header (counter, gauge, or histogram) and one sample per point, the
+/// point's label carried in a `point="..."` label. Histograms render their
+/// non-empty log buckets as cumulative `_bucket{le="..."}` samples plus
+/// the `+Inf` bucket, `_sum`, and `_count`. Scalar families appear in
+/// first-seen registry order, then histogram families; samples follow
+/// point order. The file is byte-stable for a given run — and, since the
+/// registries are snapshots of merged aggregates, bit-identical at any
+/// --threads value. Scalar entries whose mapped name would collide with a
+/// histogram family's `_bucket`/`_sum`/`_count` children (e.g. the
+/// summary's `response_time.count` next to the `response_time` histogram)
+/// are skipped — the histogram children carry the same information.
+void write_prometheus(std::ostream& out, std::span<const MetricsPoint> points);
+
+/// One experiment point's merged time-series, for the CSV exporter.
+struct PointSeries {
+  std::string label;
+  std::vector<MergedSeries> series;
+};
+
+/// Writes `points` as a flat CSV table `point,rep,series,time,value` —
+/// one row per sample, in point order, then replication-major merged order
+/// within a point. Labels containing commas/quotes/newlines are quoted per
+/// RFC 4180; values keep max_digits10 so the file round-trips exactly.
+void write_timeseries_csv(std::ostream& out,
+                          std::span<const PointSeries> points);
 
 }  // namespace smartred::obs

@@ -1,0 +1,204 @@
+// Log-bucketed latency histogram with an exact, order-independent merge.
+//
+// The paper's distributional claims (task response time under stragglers,
+// jobs-per-task spread) need more than StreamingStats' mean/min/max: the
+// interesting mass is in the tail, and the tail is what this histogram
+// resolves. HDR-style layout: values bucket by their binary exponent
+// (frexp) with kSubBuckets linear sub-buckets per octave, so relative
+// bucket width is a constant ~1/kSubBuckets (~3.1% at 32) across the whole
+// dynamic range — microsecond-scale wave latencies and thousand-unit
+// makespans share one fixed layout with no configuration.
+//
+// Design constraints, in the repo's usual order:
+//
+//  * Exact merge algebra. The state is integer bucket counts plus exact
+//    min/max — no floating accumulator — so merge() is associative and
+//    commutative in exact arithmetic, and the replication-index-ordered
+//    fold of exp::ParallelRunner yields bit-identical merged histograms at
+//    any --threads value (the same contract the metric aggregates and the
+//    flight recorder obey). operator== is exact, which is what the
+//    determinism tests pin.
+//  * No allocation until the first add(). A default-constructed histogram
+//    owns nothing; the bucket array (kBucketCount uint64s) is allocated
+//    lazily on first use. RunMetrics embeds three of these, and runs with
+//    telemetry disabled must not pay for them.
+//  * Fixed layout forever. The bucket boundaries are compile-time
+//    constants of (kSubBuckets, kMinExponent, kMaxExponent); two
+//    histograms are always merge-compatible, and exported bucket bounds
+//    are stable across runs and machines (ldexp on exact powers of two).
+//
+// Quantile queries return the *upper bound* of the bucket containing the
+// requested rank, clamped into [min, max] — a conservative (never
+// understating) estimate with bounded ~3% relative error, the HDR
+// convention. Non-positive values (and NaN) clamp into bucket 0; values
+// beyond the exponent range clamp into the first/last positive bucket, so
+// no observation is ever dropped and count() always equals the adds.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace smartred::obs {
+
+/// Fixed-layout log-bucketed histogram. See the file comment for the
+/// layout and merge contracts. Not thread-safe; like the flight-recorder
+/// rings, one histogram belongs to one replication until merged.
+class LogHistogram {
+ public:
+  /// Linear sub-buckets per binary octave: relative bucket width is
+  /// 2^(1/kSubBuckets)-ish ~ 1/kSubBuckets ≈ 3.1%.
+  static constexpr int kSubBuckets = 32;
+  /// Smallest distinguishable binary exponent (frexp convention: value =
+  /// mantissa * 2^exponent, mantissa in [0.5, 1)). 2^-21 ≈ 4.8e-7 — below
+  /// that, values clamp into the first positive bucket.
+  static constexpr int kMinExponent = -20;
+  /// Largest distinguishable exponent: values at or above 2^31 ≈ 2.1e9
+  /// clamp into the last bucket.
+  static constexpr int kMaxExponent = 31;
+  /// Bucket 0 holds non-positive values; the rest cover the octaves.
+  static constexpr std::size_t kBucketCount =
+      1 + static_cast<std::size_t>(kMaxExponent - kMinExponent + 1) *
+              static_cast<std::size_t>(kSubBuckets);
+
+  /// The bucket a value lands in. Pure layout arithmetic (one frexp, one
+  /// multiply); exposed for tests and exporters.
+  [[nodiscard]] static std::size_t bucket_index(double value) {
+    if (!(value > 0.0)) return 0;  // zero, negatives, NaN
+    if (std::isinf(value)) return kBucketCount - 1;  // frexp(inf) is UB-ish
+    int exponent = 0;
+    const double mantissa = std::frexp(value, &exponent);
+    if (exponent < kMinExponent) return 1;
+    if (exponent > kMaxExponent) return kBucketCount - 1;
+    // mantissa in [0.5, 1) maps linearly onto [0, kSubBuckets).
+    auto sub = static_cast<std::size_t>((mantissa - 0.5) *
+                                        (2 * kSubBuckets));
+    if (sub >= static_cast<std::size_t>(kSubBuckets)) {
+      sub = static_cast<std::size_t>(kSubBuckets) - 1;
+    }
+    return 1 +
+           static_cast<std::size_t>(exponent - kMinExponent) *
+               static_cast<std::size_t>(kSubBuckets) +
+           sub;
+  }
+
+  /// Exclusive upper bound of bucket `index` (inclusive for the clamping
+  /// last bucket). Bucket 0 (non-positive values) reports 0.0. Exact: the
+  /// bounds are dyadic rationals computed with ldexp.
+  [[nodiscard]] static double bucket_upper(std::size_t index) {
+    if (index == 0) return 0.0;
+    const std::size_t linear = index - 1;
+    const auto octave = static_cast<int>(
+        linear / static_cast<std::size_t>(kSubBuckets));
+    const auto sub = static_cast<int>(
+        linear % static_cast<std::size_t>(kSubBuckets));
+    const double mantissa =
+        0.5 + static_cast<double>(sub + 1) / (2.0 * kSubBuckets);
+    return std::ldexp(mantissa, kMinExponent + octave);
+  }
+
+  /// Inclusive lower bound of bucket `index`. Bucket 0 covers everything
+  /// non-positive (reported as -inf).
+  [[nodiscard]] static double bucket_lower(std::size_t index) {
+    if (index == 0) return -std::numeric_limits<double>::infinity();
+    if (index == 1) return 0.0;  // underflow clamp: (0, first bound)
+    return bucket_upper(index - 1);
+  }
+
+  /// Records one observation. First call allocates the bucket array; every
+  /// later call is one frexp plus two increments.
+  void add(double value) {
+    if (counts_.empty()) counts_.resize(kBucketCount, 0);
+    ++counts_[bucket_index(value)];
+    ++count_;
+    if (value < min_) min_ = value;
+    if (value > max_) max_ = value;
+  }
+
+  /// Total observations recorded (including merged-in ones).
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  /// Smallest observation. Requires count() > 0.
+  [[nodiscard]] double min() const { return min_; }
+  /// Largest observation. Requires count() > 0.
+  [[nodiscard]] double max() const { return max_; }
+  /// Whether the bucket array has been allocated (telemetry cost probe).
+  [[nodiscard]] bool allocated() const { return !counts_.empty(); }
+
+  /// Count of bucket `index` (0 when never allocated).
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t index) const {
+    return counts_.empty() ? 0 : counts_[index];
+  }
+
+  /// Accumulates another histogram into this one. Integer bucket counts
+  /// add and extrema take min/max — associative and commutative in exact
+  /// arithmetic, so the index-ordered parallel fold is bit-identical to a
+  /// serial loop.
+  void merge(const LogHistogram& other) {
+    if (other.count_ == 0) return;
+    if (counts_.empty()) counts_.resize(kBucketCount, 0);
+    if (!other.counts_.empty()) {
+      for (std::size_t i = 0; i < kBucketCount; ++i) {
+        counts_[i] += other.counts_[i];
+      }
+    }
+    count_ += other.count_;
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
+  /// Value at or below which a `q` fraction of observations fall: the
+  /// upper bound of the bucket holding rank ceil(q * count), clamped into
+  /// [min, max]. Requires count() > 0 and q in [0, 1].
+  [[nodiscard]] double quantile(double q) const {
+    if (!(q > 0.0)) return min_;  // the 0-quantile is the exact minimum
+    auto rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(count_)));
+    if (rank == 0) rank = 1;
+    if (rank > count_) rank = count_;
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      cumulative += counts_[i];
+      if (cumulative >= rank) {
+        const double bound = bucket_upper(i);
+        if (bound < min_) return min_;
+        if (bound > max_) return max_;
+        return bound;
+      }
+    }
+    return max_;  // unreachable when count_ > 0
+  }
+
+  /// Visits every non-empty bucket in layout order as
+  /// `fn(upper_bound, bucket_count, cumulative_count)` — the shape the
+  /// Prometheus exporter needs for its cumulative `le` buckets.
+  template <typename Fn>
+  void for_each_bucket(Fn&& fn) const {
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      if (counts_[i] == 0) continue;
+      cumulative += counts_[i];
+      fn(bucket_upper(i), counts_[i], cumulative);
+    }
+  }
+
+  /// Exact equality: same counts in every bucket and identical extrema.
+  /// An unallocated histogram equals an allocated all-zero one.
+  friend bool operator==(const LogHistogram& a, const LogHistogram& b) {
+    if (a.count_ != b.count_) return false;
+    if (a.count_ > 0 && (a.min_ != b.min_ || a.max_ != b.max_)) return false;
+    for (std::size_t i = 0; i < kBucketCount; ++i) {
+      if (a.bucket_count(i) != b.bucket_count(i)) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<std::uint64_t> counts_;  ///< empty until first add()
+  std::uint64_t count_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace smartred::obs

@@ -27,6 +27,16 @@ void MetricRegistry::summary(const std::string& name,
   gauge(name + ".max", stats.max());
 }
 
+void MetricRegistry::histogram(const std::string& name,
+                               const LogHistogram& histogram, double sum) {
+  if (histogram.count() == 0) return;
+  gauge(name + ".p50", histogram.quantile(0.50));
+  gauge(name + ".p90", histogram.quantile(0.90));
+  gauge(name + ".p99", histogram.quantile(0.99));
+  gauge(name + ".p999", histogram.quantile(0.999));
+  histograms_.push_back(HistogramMetric{name, histogram, sum});
+}
+
 void MetricRegistry::write_json(std::ostream& out) const {
   const auto previous = out.precision(
       std::numeric_limits<double>::max_digits10);
@@ -69,11 +79,18 @@ MetricRegistry snapshot(const dca::RunMetrics& metrics) {
   registry.summary("waves_per_task", metrics.waves_per_task);
   registry.summary("response_time", metrics.response_time);
   registry.summary("deadline_estimate", metrics.deadline_estimate);
+  registry.summary("wave_latency", metrics.wave_latency);
   registry.gauge("makespan", metrics.makespan);
   if (metrics.tasks_total > 0) {
     registry.gauge("cost_factor", metrics.cost_factor());
     registry.gauge("reliability", metrics.reliability());
   }
+  registry.histogram("response_time", metrics.response_time_hist,
+                     metrics.response_time.sum());
+  registry.histogram("wave_latency", metrics.wave_latency_hist,
+                     metrics.wave_latency.sum());
+  registry.histogram("jobs_per_task", metrics.jobs_per_task_hist,
+                     metrics.jobs_per_task.sum());
   return registry;
 }
 
@@ -91,6 +108,8 @@ MetricRegistry snapshot(const redundancy::MonteCarloResult& result) {
     registry.gauge("cost_factor", result.cost_factor());
     registry.gauge("reliability", result.reliability());
   }
+  registry.histogram("jobs_per_task", result.jobs_per_task_hist,
+                     result.jobs_per_task.sum());
   return registry;
 }
 

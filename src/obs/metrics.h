@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "obs/histogram.h"
 
 namespace smartred::dca {
 struct RunMetrics;
@@ -40,6 +41,20 @@ struct Metric {
   friend bool operator==(const Metric&, const Metric&) = default;
 };
 
+/// One named distribution: a log-bucketed histogram plus the exact sum of
+/// its observations (carried separately because LogHistogram keeps only
+/// integer state for its merge algebra; the sum comes from the paired
+/// StreamingStats). This is what the Prometheus exporter renders as a
+/// `histogram` family with cumulative `le` buckets.
+struct HistogramMetric {
+  std::string name;
+  LogHistogram histogram;
+  double sum = 0.0;
+
+  friend bool operator==(const HistogramMetric&,
+                         const HistogramMetric&) = default;
+};
+
 /// An ordered collection of named counters and gauges. Registration order
 /// is preserved — exporters emit metrics in the order the snapshot listed
 /// them, which keeps output diffs stable across runs.
@@ -52,11 +67,22 @@ class MetricRegistry {
   /// Registers a streaming-stats summary as `<name>.count/.mean/.min/.max`
   /// (mean/min/max only when at least one observation arrived).
   void summary(const std::string& name, const stats::StreamingStats& stats);
+  /// Registers a distribution: stores the histogram for the exporters and
+  /// derives `<name>.p50/.p90/.p99/.p999` quantile gauges so the scalar
+  /// consumers (JSON, tables) see the tail too. Empty histograms register
+  /// nothing.
+  void histogram(const std::string& name, const LogHistogram& histogram,
+                 double sum);
 
   [[nodiscard]] const std::vector<Metric>& entries() const {
     return entries_;
   }
-  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] const std::vector<HistogramMetric>& histograms() const {
+    return histograms_;
+  }
+  [[nodiscard]] bool empty() const {
+    return entries_.empty() && histograms_.empty();
+  }
 
   /// Writes the registry as one JSON object `{"name": value, ...}`.
   /// Gauges keep max_digits10 precision so snapshots round-trip exactly.
@@ -64,6 +90,7 @@ class MetricRegistry {
 
  private:
   std::vector<Metric> entries_;
+  std::vector<HistogramMetric> histograms_;
 };
 
 /// The canonical enumeration of a DCA run's aggregates.

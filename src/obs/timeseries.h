@@ -1,0 +1,146 @@
+// Periodic health/progress sampling: named time-series per replication,
+// merged deterministically.
+//
+// The flight recorder answers "what happened to task 17"; a time-series
+// answers "what did the pool look like over the run" — how many nodes were
+// quarantined at t=40, how deep the job queue got, how the observed job
+// success rate drifted. Substrates sample a handful of named series at a
+// fixed simulated-time (or task-index) interval; the samples are read-only
+// observations of existing state, so a sampled run reproduces an unsampled
+// run's aggregates bit-for-bit (the recorder's "tracing is read-only"
+// contract extended to sampling).
+//
+// Parallel determinism follows the TraceCollector scheme exactly: one
+// TimeSeriesRecorder per replication, sized by prepare(n) before workers
+// start, written without synchronization because replication slots are
+// disjoint, merged in replication-index order — bit-identical output for
+// any --threads value.
+//
+// Header-only and standard-library-only, like obs/trace.h, so the
+// substrates (dca, boinc, redundancy) can sample without linking the obs
+// library.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/expect.h"
+
+namespace smartred::obs {
+
+/// One observation: a (time, value) pair. `time` is simulated time in the
+/// DES substrates and the task index in Monte-Carlo runs.
+struct TimePoint {
+  double time = 0.0;
+  double value = 0.0;
+
+  friend bool operator==(const TimePoint&, const TimePoint&) = default;
+};
+
+/// One named series of observations in sampling order.
+struct TimeSeries {
+  std::string name;
+  std::vector<TimePoint> samples;
+
+  friend bool operator==(const TimeSeries&, const TimeSeries&) = default;
+};
+
+/// Collects the named series of one replication. Series are created on
+/// first sample and keep their creation order, so exported column order is
+/// a pure function of the substrate's sampling code, never of timing.
+class TimeSeriesRecorder {
+ public:
+  /// Appends one observation to the series called `name`, creating it on
+  /// first use. The per-sample cost is a short linear scan over the series
+  /// names (substrates sample fewer than a dozen series) plus a push_back.
+  void sample(std::string_view name, double time, double value) {
+    for (TimeSeries& series : series_) {
+      if (series.name == name) {
+        series.samples.push_back(TimePoint{time, value});
+        return;
+      }
+    }
+    series_.push_back(TimeSeries{std::string(name), {TimePoint{time, value}}});
+  }
+
+  [[nodiscard]] const std::vector<TimeSeries>& series() const {
+    return series_;
+  }
+  [[nodiscard]] bool empty() const { return series_.empty(); }
+
+  /// Total samples across all series.
+  [[nodiscard]] std::uint64_t samples() const {
+    std::uint64_t total = 0;
+    for (const TimeSeries& series : series_) total += series.samples.size();
+    return total;
+  }
+
+  void clear() { series_.clear(); }
+
+ private:
+  std::vector<TimeSeries> series_;
+};
+
+/// One replication's series tagged with its replication index — the unit
+/// of the merged, deterministic output.
+struct MergedSeries {
+  std::uint32_t rep = 0;
+  std::string name;
+  std::vector<TimePoint> samples;
+
+  friend bool operator==(const MergedSeries&, const MergedSeries&) = default;
+};
+
+/// Per-replication time-series recorders for one parallel experiment run,
+/// mirroring TraceCollector: prepare(n) before workers start, recorder(i)
+/// written only by replication i's worker, merged() walked in
+/// replication-index order.
+class TimeSeriesCollector {
+ public:
+  /// Sizes (and clears) one recorder per replication. Must not be called
+  /// while workers are sampling.
+  void prepare(std::uint64_t replications) {
+    recorders_.resize(static_cast<std::size_t>(replications));
+    for (TimeSeriesRecorder& recorder : recorders_) recorder.clear();
+  }
+
+  [[nodiscard]] std::size_t replications() const { return recorders_.size(); }
+
+  /// The recorder of replication `rep`. Only that replication's worker may
+  /// sample into it.
+  [[nodiscard]] TimeSeriesRecorder& recorder(std::uint64_t rep) {
+    SMARTRED_EXPECT(rep < recorders_.size(),
+                    "recorder() for an unprepared replication");
+    return recorders_[static_cast<std::size_t>(rep)];
+  }
+
+  /// All series in replication-major order (series keep their creation
+  /// order within a replication) — bit-identical for any worker count.
+  [[nodiscard]] std::vector<MergedSeries> merged() const {
+    std::vector<MergedSeries> merged;
+    for (std::size_t rep = 0; rep < recorders_.size(); ++rep) {
+      for (const TimeSeries& series : recorders_[rep].series()) {
+        merged.push_back(MergedSeries{static_cast<std::uint32_t>(rep),
+                                      series.name, series.samples});
+      }
+    }
+    return merged;
+  }
+
+  /// Total samples across all replications.
+  [[nodiscard]] std::uint64_t samples() const {
+    std::uint64_t total = 0;
+    for (const TimeSeriesRecorder& recorder : recorders_) {
+      total += recorder.samples();
+    }
+    return total;
+  }
+
+ private:
+  std::vector<TimeSeriesRecorder> recorders_;
+};
+
+}  // namespace smartred::obs

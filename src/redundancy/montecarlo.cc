@@ -30,6 +30,7 @@ void MonteCarloResult::merge(const MonteCarloResult& other) {
       std::max(max_jobs_single_task, other.max_jobs_single_task);
   jobs_per_task.merge(other.jobs_per_task);
   waves_per_task.merge(other.waves_per_task);
+  jobs_per_task_hist.merge(other.jobs_per_task_hist);
 }
 
 MonteCarloResult run_custom(const StrategyFactory& factory,
@@ -52,6 +53,8 @@ MonteCarloResult run_custom(const StrategyFactory& factory,
   std::vector<Vote> votes;
   votes.reserve(static_cast<std::size_t>(config.max_jobs_per_task));
   obs::Recorder* const recorder = config.recorder;
+  obs::TimeSeriesRecorder* const timeseries = config.timeseries;
+  const std::uint64_t stride = std::max<std::uint64_t>(config.sample_every, 1);
   for (std::uint64_t task = 0; task < config.tasks; ++task) {
     rng::Stream task_rng = master.fork(task);
     strategy->reset();
@@ -99,7 +102,9 @@ MonteCarloResult run_custom(const StrategyFactory& factory,
     result.max_jobs_single_task = std::max(result.max_jobs_single_task, jobs);
     result.jobs_per_task.add(static_cast<double>(jobs));
     result.waves_per_task.add(static_cast<double>(waves));
+    result.jobs_per_task_hist.add(static_cast<double>(jobs));
     if (aborted) {
+      // An aborted task never accepts, hence counts incorrect.
       ++result.tasks_aborted;
       if (recorder != nullptr) {
         recorder->record(obs::TraceEvent{
@@ -112,19 +117,33 @@ MonteCarloResult run_custom(const StrategyFactory& factory,
                 Decision::Reason::kBudgetExhausted),
         });
       }
-      continue;  // an aborted task never accepts, hence counts incorrect
+    } else {
+      if (recorder != nullptr) {
+        recorder->record(obs::TraceEvent{
+            .time = static_cast<double>(task),
+            .task = task,
+            .arg = decision.value,
+            .wave = static_cast<std::uint32_t>(waves),
+            .kind = obs::EventKind::kDecision,
+            .reason = static_cast<std::uint8_t>(decision.reason),
+        });
+      }
+      if (decision.value == correct_value) ++result.tasks_correct;
     }
-    if (recorder != nullptr) {
-      recorder->record(obs::TraceEvent{
-          .time = static_cast<double>(task),
-          .task = task,
-          .arg = decision.value,
-          .wave = static_cast<std::uint32_t>(waves),
-          .kind = obs::EventKind::kDecision,
-          .reason = static_cast<std::uint8_t>(decision.reason),
-      });
+    // Sweep-progress sampling: cumulative aggregates every `stride` tasks
+    // (and at the end). Pure reads of already-updated result fields, so
+    // sampling can never perturb the run.
+    if (timeseries != nullptr &&
+        ((task + 1) % stride == 0 || task + 1 == config.tasks)) {
+      const double done = static_cast<double>(task + 1);
+      timeseries->sample("cost_factor", done,
+                         static_cast<double>(result.jobs_total) / done);
+      timeseries->sample(
+          "reliability", done,
+          static_cast<double>(result.tasks_correct) / done);
+      timeseries->sample("tasks_aborted", done,
+                         static_cast<double>(result.tasks_aborted));
     }
-    if (decision.value == correct_value) ++result.tasks_correct;
   }
   return result;
 }

@@ -12,6 +12,8 @@
 
 #include "common/rng.h"
 #include "common/stats.h"
+#include "obs/histogram.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "redundancy/strategy.h"
 
@@ -36,6 +38,9 @@ struct MonteCarloResult {
   int max_jobs_single_task = 0;
   stats::StreamingStats jobs_per_task;
   stats::StreamingStats waves_per_task;
+  /// Tail-resolving distribution of jobs per task (lazily allocated;
+  /// integer merge state — bit-identical merged at any thread count).
+  obs::LogHistogram jobs_per_task_hist;
 
   /// Measured cost factor: average jobs per task.
   [[nodiscard]] double cost_factor() const;
@@ -64,6 +69,14 @@ struct MonteCarloConfig {
   /// events are stamped with the task index as their "time" — within a task
   /// they stay in decision order. Null disables tracing at zero cost.
   obs::Recorder* recorder = nullptr;
+  /// Optional sweep-progress sampler: every `sample_every` tasks the run
+  /// records cumulative cost factor, reliability-so-far, and abort count as
+  /// time-series (time = task index). Read-only observations — a sampled
+  /// run's aggregates are bit-identical to an unsampled run's. Null
+  /// disables sampling at zero cost.
+  obs::TimeSeriesRecorder* timeseries = nullptr;
+  /// Sampling stride in tasks; values < 1 are treated as 1.
+  std::uint64_t sample_every = 1024;
 };
 
 /// Runs `factory`'s strategy over binary worst-case votes: each job is

@@ -12,7 +12,9 @@
 
 #include "dca/task_server.h"
 #include "dca/workload.h"
+#include "exp/parallel_runner.h"
 #include "fault/failure_model.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "redundancy/iterative.h"
 #include "sim/simulator.h"
@@ -21,13 +23,15 @@ namespace smartred::dca {
 namespace {
 
 /// Runs the pinned fig5a-path scenario, optionally with a flight recorder
-/// attached, and returns the merged metrics.
-RunMetrics pinned_run(obs::Recorder* recorder) {
+/// and/or health sampler attached, and returns the merged metrics.
+RunMetrics pinned_run(obs::Recorder* recorder,
+                      obs::TimeSeriesRecorder* timeseries = nullptr) {
   sim::Simulator simulator;
   simulator.set_recorder(recorder);
   DcaConfig config;
   config.nodes = 200;
   config.seed = 7;
+  config.timeseries = timeseries;
   const redundancy::IterativeFactory factory(4);
   const SyntheticWorkload workload(400);
   fault::ByzantineCollusion failures(fault::ReliabilityAssigner(
@@ -84,6 +88,74 @@ TEST(DeterminismTest, TracedRunIsBitIdenticalToUntraced) {
   });
   EXPECT_GE(waves, 400u);
   EXPECT_EQ(decisions, 400u);
+}
+
+// Health sampling schedules real simulator events, but they are read-only
+// observations and their timer is cancelled when the last task settles —
+// so a sampled run reproduces every pinned aggregate bit-for-bit while
+// actually collecting series. This is the sampling extension of the
+// "tracing is read-only" contract.
+TEST(DeterminismTest, SampledRunIsBitIdenticalToUnsampled) {
+  const RunMetrics unsampled = pinned_run(nullptr);
+  obs::TimeSeriesRecorder recorder;
+  const RunMetrics sampled = pinned_run(nullptr, &recorder);
+
+  EXPECT_GT(recorder.samples(), 0u);
+  EXPECT_EQ(sampled.tasks_correct, unsampled.tasks_correct);
+  EXPECT_EQ(sampled.tasks_correct, 392u);
+  EXPECT_EQ(sampled.jobs_dispatched, unsampled.jobs_dispatched);
+  EXPECT_EQ(sampled.jobs_dispatched, 3576u);
+  EXPECT_DOUBLE_EQ(sampled.makespan, unsampled.makespan);
+  EXPECT_DOUBLE_EQ(sampled.makespan, 25.371052742587459);
+  EXPECT_DOUBLE_EQ(sampled.response_time.mean(),
+                   unsampled.response_time.mean());
+  EXPECT_DOUBLE_EQ(sampled.response_time.mean(), 8.2202844792206236);
+  EXPECT_EQ(sampled.response_time_hist, unsampled.response_time_hist);
+
+  // The t=0 baseline plus one sample per interval until the makespan.
+  const std::vector<obs::TimeSeries>& series = recorder.series();
+  ASSERT_FALSE(series.empty());
+  EXPECT_EQ(series.front().name, "live_nodes");
+  EXPECT_EQ(series.front().samples.size(), 26u);  // t = 0, 1, ..., 25
+}
+
+/// The pinned scenario split into `reps` replications of 100 tasks each,
+/// merged by ParallelRunner on `threads` workers.
+RunMetrics merged_run(unsigned threads) {
+  exp::RunnerConfig plan;
+  plan.replications = 4;
+  plan.threads = threads;
+  plan.master_seed = 7;
+  exp::ParallelRunner runner(plan);
+  return runner.run_merged([](std::uint64_t, std::uint64_t rep_seed) {
+    sim::Simulator simulator;
+    DcaConfig config;
+    config.nodes = 200;
+    config.seed = rep_seed;
+    const redundancy::IterativeFactory factory(4);
+    const SyntheticWorkload workload(100);
+    fault::ByzantineCollusion failures(fault::ReliabilityAssigner(
+        fault::ConstantReliability{0.7}, rng::Stream(rep_seed)));
+    TaskServer server(simulator, config, factory, workload, failures);
+    return RunMetrics(server.run());
+  });
+}
+
+// The merged latency histograms are integer-state aggregates folded in
+// replication order, so the whole distribution — not just scalar moments —
+// must be bit-identical for any worker count.
+TEST(DeterminismTest, MergedHistogramsAreThreadCountInvariant) {
+  const RunMetrics serial = merged_run(1);
+  const RunMetrics parallel = merged_run(16);
+
+  EXPECT_GT(serial.response_time_hist.count(), 0u);
+  EXPECT_GT(serial.wave_latency_hist.count(), 0u);
+  EXPECT_EQ(serial.response_time_hist, parallel.response_time_hist);
+  EXPECT_EQ(serial.wave_latency_hist, parallel.wave_latency_hist);
+  EXPECT_EQ(serial.jobs_per_task_hist, parallel.jobs_per_task_hist);
+  EXPECT_DOUBLE_EQ(serial.response_time_hist.quantile(0.99),
+                   parallel.response_time_hist.quantile(0.99));
+  EXPECT_DOUBLE_EQ(serial.wave_latency.mean(), parallel.wave_latency.mean());
 }
 
 }  // namespace

@@ -1,0 +1,179 @@
+// obs::LogHistogram: bucket layout, clamping, exact merge algebra, and
+// quantile accuracy against closed-form expectations.
+#include "obs/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace smartred::obs {
+namespace {
+
+TEST(LogHistogramTest, BucketLayoutIsMonotone) {
+  double previous = 0.0;  // bucket 0 (non-positives) reports upper 0.0
+  for (std::size_t i = 1; i < LogHistogram::kBucketCount; ++i) {
+    const double upper = LogHistogram::bucket_upper(i);
+    EXPECT_GT(upper, previous) << "bucket " << i;
+    if (i >= 2) {
+      EXPECT_DOUBLE_EQ(LogHistogram::bucket_lower(i), previous)
+          << "bucket " << i;
+    }
+    previous = upper;
+  }
+}
+
+TEST(LogHistogramTest, ValuesLandInTheirBucket) {
+  rng::Stream rng(11);
+  for (int trial = 0; trial < 10'000; ++trial) {
+    // Spread across the full tracked range, log-uniform.
+    const double value = std::exp(rng.uniform(-13.0, 21.0));
+    const std::size_t index = LogHistogram::bucket_index(value);
+    EXPECT_GE(value, LogHistogram::bucket_lower(index)) << value;
+    EXPECT_LE(value, LogHistogram::bucket_upper(index)) << value;
+  }
+}
+
+TEST(LogHistogramTest, RelativeBucketWidthIsBounded) {
+  // 32 sub-buckets per octave give ~3.2% worst-case relative width: a
+  // quantile read off a bucket upper bound is at most that far from any
+  // value inside the bucket. (Bucket 1's lower bound is the underflow
+  // clamp at 0, so the relative-width claim starts at bucket 2.)
+  for (std::size_t i = 2; i < LogHistogram::kBucketCount; ++i) {
+    const double lower = LogHistogram::bucket_lower(i);
+    const double upper = LogHistogram::bucket_upper(i);
+    EXPECT_LE((upper - lower) / lower, 1.0 / 31.0) << "bucket " << i;
+  }
+}
+
+TEST(LogHistogramTest, NonPositiveAndNonFiniteClampToBucketZero) {
+  EXPECT_EQ(LogHistogram::bucket_index(0.0), 0u);
+  EXPECT_EQ(LogHistogram::bucket_index(-1.0), 0u);
+  EXPECT_EQ(LogHistogram::bucket_index(
+                std::numeric_limits<double>::quiet_NaN()),
+            0u);
+  // Out-of-range magnitudes clamp to the first/last real bucket.
+  EXPECT_EQ(LogHistogram::bucket_index(1e-300), 1u);
+  EXPECT_EQ(LogHistogram::bucket_index(1e300),
+            LogHistogram::kBucketCount - 1);
+  EXPECT_EQ(LogHistogram::bucket_index(
+                std::numeric_limits<double>::infinity()),
+            LogHistogram::kBucketCount - 1);
+}
+
+TEST(LogHistogramTest, TracksCountMinMaxExactly) {
+  LogHistogram histogram;
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_FALSE(histogram.allocated());
+  histogram.add(2.5);
+  histogram.add(0.125);
+  histogram.add(40.0);
+  EXPECT_TRUE(histogram.allocated());
+  EXPECT_EQ(histogram.count(), 3u);
+  EXPECT_DOUBLE_EQ(histogram.min(), 0.125);
+  EXPECT_DOUBLE_EQ(histogram.max(), 40.0);
+}
+
+TEST(LogHistogramTest, MergeEqualsSequentialAdds) {
+  rng::Stream rng(5);
+  LogHistogram whole;
+  LogHistogram left;
+  LogHistogram right;
+  for (int i = 0; i < 5'000; ++i) {
+    const double value = std::exp(rng.uniform(-5.0, 8.0));
+    whole.add(value);
+    (i % 2 == 0 ? left : right).add(value);
+  }
+  LogHistogram merged = left;
+  merged.merge(right);
+  EXPECT_EQ(merged, whole);
+  EXPECT_EQ(merged.count(), whole.count());
+  EXPECT_DOUBLE_EQ(merged.min(), whole.min());
+  EXPECT_DOUBLE_EQ(merged.max(), whole.max());
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_DOUBLE_EQ(merged.quantile(q), whole.quantile(q)) << q;
+  }
+}
+
+TEST(LogHistogramTest, MergeIsCommutativeAndHandlesEmpty) {
+  LogHistogram a;
+  LogHistogram b;
+  for (int i = 1; i <= 100; ++i) a.add(static_cast<double>(i));
+  for (int i = 1; i <= 50; ++i) b.add(1000.0 + i);
+
+  LogHistogram ab = a;
+  ab.merge(b);
+  LogHistogram ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ab, ba);
+
+  LogHistogram with_empty = a;
+  with_empty.merge(LogHistogram{});
+  EXPECT_EQ(with_empty, a);
+
+  LogHistogram empty;
+  empty.merge(a);
+  EXPECT_EQ(empty, a);
+}
+
+TEST(LogHistogramTest, QuantilesMatchClosedFormWithinBucketWidth) {
+  // Uniform integers 1..10000: the q-quantile is ceil(q * 10000), known
+  // exactly. The histogram must agree within one bucket's relative width.
+  LogHistogram histogram;
+  const int n = 10'000;
+  for (int i = 1; i <= n; ++i) histogram.add(static_cast<double>(i));
+  for (double q : {0.01, 0.25, 0.5, 0.9, 0.99, 0.999}) {
+    const double exact = std::ceil(q * n);
+    const double estimate = histogram.quantile(q);
+    EXPECT_NEAR(estimate / exact, 1.0, 1.0 / 31.0) << "q=" << q;
+  }
+  // Extremes are exact: quantile clamps to the recorded min/max.
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(histogram.quantile(1.0), static_cast<double>(n));
+}
+
+TEST(LogHistogramTest, SingleValueQuantilesAreExact) {
+  LogHistogram histogram;
+  histogram.add(3.7);
+  for (double q : {0.0, 0.5, 1.0}) {
+    EXPECT_DOUBLE_EQ(histogram.quantile(q), 3.7) << q;
+  }
+}
+
+TEST(LogHistogramTest, ForEachBucketWalksCumulativeCounts) {
+  LogHistogram histogram;
+  histogram.add(1.0);
+  histogram.add(2.0);
+  histogram.add(2.0);
+  histogram.add(1024.0);
+  std::vector<std::uint64_t> cumulative;
+  double last_upper = 0.0;
+  histogram.for_each_bucket(
+      [&](double upper, std::uint64_t count, std::uint64_t running) {
+        EXPECT_GT(count, 0u);
+        EXPECT_GT(upper, last_upper);
+        last_upper = upper;
+        cumulative.push_back(running);
+      });
+  ASSERT_EQ(cumulative.size(), 3u);
+  EXPECT_EQ(cumulative.back(), 4u);
+  for (std::size_t i = 1; i < cumulative.size(); ++i) {
+    EXPECT_GT(cumulative[i], cumulative[i - 1]);
+  }
+}
+
+TEST(LogHistogramTest, UnallocatedEqualsAllZeroAllocated) {
+  LogHistogram never_touched;
+  LogHistogram touched_then_empty;
+  // Equality must not distinguish "no vector yet" from "vector of zeros"
+  // (merge of an empty histogram allocates nothing either way).
+  EXPECT_EQ(never_touched, touched_then_empty);
+  touched_then_empty.merge(never_touched);
+  EXPECT_EQ(never_touched, touched_then_empty);
+}
+
+}  // namespace
+}  // namespace smartred::obs

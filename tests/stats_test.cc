@@ -6,6 +6,7 @@
 
 #include "common/expect.h"
 #include "common/rng.h"
+#include "obs/histogram.h"
 
 namespace smartred::stats {
 namespace {
@@ -209,6 +210,26 @@ TEST(P2QuantileTest, ConstantStreamEstimatesTheConstant) {
   P2Quantile p90(0.9);
   for (int i = 0; i < 100; ++i) p90.add(7.25);
   EXPECT_DOUBLE_EQ(p90.estimate(), 7.25);
+}
+
+TEST(P2QuantileTest, AgreesWithLogHistogramOnSkewedStream) {
+  // Two independent quantile estimators, two independent error models: the
+  // streaming P² approximation and the histogram's bucketed exact ranks
+  // must land within a few percent of each other on the same stream, or
+  // one of them is broken.
+  rng::Stream rng(34);
+  for (const double q : {0.5, 0.9, 0.99}) {
+    P2Quantile streaming(q);
+    obs::LogHistogram histogram;
+    rng::Stream stream(rng.uniform_int(1, 1 << 30));
+    for (int i = 0; i < 100'000; ++i) {
+      const double x = stream.exponential(1.0) + 0.01;
+      streaming.add(x);
+      histogram.add(x);
+    }
+    EXPECT_NEAR(histogram.quantile(q) / streaming.estimate(), 1.0, 0.10)
+        << "q=" << q;
+  }
 }
 
 }  // namespace

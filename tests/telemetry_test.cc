@@ -1,0 +1,185 @@
+// The telemetry layer around the histograms: time-series recording and
+// deterministic merging, Prometheus/CSV exposition structure, and the
+// phase profiler's null-pointer zero-cost discipline.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/histogram.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/timeseries.h"
+
+namespace smartred::obs {
+namespace {
+
+TEST(TimeSeriesTest, RecorderKeepsCreationOrder) {
+  TimeSeriesRecorder recorder;
+  recorder.sample("queue", 0.0, 3.0);
+  recorder.sample("nodes", 0.0, 100.0);
+  recorder.sample("queue", 1.0, 5.0);
+  ASSERT_EQ(recorder.series().size(), 2u);
+  EXPECT_EQ(recorder.series()[0].name, "queue");
+  EXPECT_EQ(recorder.series()[1].name, "nodes");
+  ASSERT_EQ(recorder.series()[0].samples.size(), 2u);
+  EXPECT_DOUBLE_EQ(recorder.series()[0].samples[1].value, 5.0);
+  EXPECT_EQ(recorder.samples(), 3u);
+}
+
+TEST(TimeSeriesTest, CollectorMergesInReplicationOrder) {
+  TimeSeriesCollector collector;
+  collector.prepare(3);
+  // Fill out of replication order, as a thread pool would.
+  collector.recorder(2).sample("queue", 0.0, 30.0);
+  collector.recorder(0).sample("queue", 0.0, 10.0);
+  collector.recorder(1).sample("queue", 0.0, 20.0);
+  collector.recorder(1).sample("extra", 0.5, 1.0);
+
+  const std::vector<MergedSeries> merged = collector.merged();
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_EQ(merged[0].rep, 0u);
+  EXPECT_DOUBLE_EQ(merged[0].samples[0].value, 10.0);
+  EXPECT_EQ(merged[1].rep, 1u);
+  EXPECT_EQ(merged[1].name, "queue");
+  EXPECT_EQ(merged[2].rep, 1u);
+  EXPECT_EQ(merged[2].name, "extra");
+  EXPECT_EQ(merged[3].rep, 2u);
+  EXPECT_DOUBLE_EQ(merged[3].samples[0].value, 30.0);
+}
+
+TEST(TimeSeriesTest, PrepareClearsPreviousPoint) {
+  TimeSeriesCollector collector;
+  collector.prepare(2);
+  collector.recorder(0).sample("queue", 0.0, 1.0);
+  collector.prepare(2);
+  EXPECT_EQ(collector.samples(), 0u);
+  EXPECT_TRUE(collector.merged().empty());
+}
+
+TEST(ExportTest, PrometheusExposesTypedFamiliesBeforeSamples) {
+  MetricRegistry registry;
+  registry.counter("tasks_total", 400);
+  registry.gauge("make span", 25.5);  // name needs sanitizing
+  LogHistogram histogram;
+  histogram.add(1.0);
+  histogram.add(2.0);
+  registry.histogram("response_time", histogram, 3.0);
+
+  const std::vector<MetricsPoint> points = {{"iterative:d=4", registry}};
+  std::ostringstream out;
+  write_prometheus(out, points);
+  const std::string text = out.str();
+
+  // TYPE lines precede their samples.
+  EXPECT_LT(text.find("# TYPE smartred_tasks_total counter"),
+            text.find("smartred_tasks_total{"));
+  EXPECT_LT(text.find("# TYPE smartred_make_span gauge"),
+            text.find("smartred_make_span{"));
+  EXPECT_LT(text.find("# TYPE smartred_response_time histogram"),
+            text.find("smartred_response_time_bucket{"));
+  // The histogram family carries cumulative buckets, +Inf, sum, count.
+  EXPECT_NE(text.find("le=\"+Inf\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("smartred_response_time_sum{point=\"iterative:d=4\"} 3"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("smartred_response_time_count{point=\"iterative:d=4\"} 2"),
+      std::string::npos);
+  // Derived quantile gauges collide with nothing and are present.
+  EXPECT_NE(text.find("smartred_response_time_p99"), std::string::npos);
+}
+
+TEST(ExportTest, PrometheusHistogramChildrenShadowCollidingScalars) {
+  MetricRegistry registry;
+  // A scalar whose sanitized name collides with the histogram's implicit
+  // `_count` child must be skipped, not emitted as a second family.
+  registry.counter("response_time.count", 2);
+  LogHistogram histogram;
+  histogram.add(1.0);
+  histogram.add(4.0);
+  registry.histogram("response_time", histogram, 5.0);
+
+  const std::vector<MetricsPoint> points = {{"p", registry}};
+  std::ostringstream out;
+  write_prometheus(out, points);
+  const std::string text = out.str();
+  EXPECT_EQ(text.find("# TYPE smartred_response_time_count"),
+            std::string::npos);
+  // The histogram's own _count sample is still there, exactly once.
+  const auto first = text.find("smartred_response_time_count{");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(text.find("smartred_response_time_count{", first + 1),
+            std::string::npos);
+}
+
+TEST(ExportTest, PrometheusEscapesLabelValues) {
+  MetricRegistry registry;
+  registry.counter("tasks_total", 1);
+  const std::vector<MetricsPoint> points = {{"quo\"te\\slash\nline",
+                                             registry}};
+  std::ostringstream out;
+  write_prometheus(out, points);
+  EXPECT_NE(out.str().find("point=\"quo\\\"te\\\\slash\\nline\""),
+            std::string::npos);
+}
+
+TEST(ExportTest, TimeSeriesCsvQuotesOnlyWhenNeeded) {
+  std::vector<PointSeries> points(1);
+  points[0].label = "plain";
+  points[0].series.push_back(
+      MergedSeries{0, "queue", {TimePoint{0.0, 1.0}, TimePoint{1.0, 2.0}}});
+  points.push_back(PointSeries{
+      "with,comma", {MergedSeries{3, "a\"b", {TimePoint{2.5, -1.0}}}}});
+
+  std::ostringstream out;
+  write_timeseries_csv(out, points);
+  const std::string text = out.str();
+  EXPECT_EQ(text.find("point,rep,series,time,value\n"), 0u);
+  EXPECT_NE(text.find("plain,0,queue,0,1\n"), std::string::npos);
+  EXPECT_NE(text.find("plain,0,queue,1,2\n"), std::string::npos);
+  EXPECT_NE(text.find("\"with,comma\",3,\"a\"\"b\",2.5,-1\n"),
+            std::string::npos);
+}
+
+TEST(ProfileTest, ScopedPhaseAccumulatesIntoProfiler) {
+  PhaseProfiler profiler;
+  EXPECT_EQ(profiler.calls(Phase::kRun), 0u);
+  {
+    const ScopedPhase scope(&profiler, Phase::kRun);
+  }
+  {
+    const ScopedPhase scope(&profiler, Phase::kRun);
+  }
+  EXPECT_EQ(profiler.calls(Phase::kRun), 2u);
+  EXPECT_EQ(profiler.calls(Phase::kMerge), 0u);
+}
+
+TEST(ProfileTest, NullProfilerIsANoOp) {
+  // The disabled path must be safe (and is one never-taken branch; the
+  // clock is never read).
+  const ScopedPhase scope(nullptr, Phase::kDispatch);
+}
+
+TEST(ProfileTest, ReportListsOnlyTouchedPhases) {
+  PhaseProfiler profiler;
+  profiler.add(Phase::kDecide, 1'500'000);  // 1.5 ms
+  std::ostringstream out;
+  profiler.report(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find(phase_name(Phase::kDecide)), std::string::npos);
+  EXPECT_EQ(text.find(phase_name(Phase::kSample)), std::string::npos);
+}
+
+TEST(ProfileTest, PhaseNamesAreDistinct) {
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    for (std::size_t j = i + 1; j < kPhaseCount; ++j) {
+      EXPECT_STRNE(phase_name(static_cast<Phase>(i)),
+                   phase_name(static_cast<Phase>(j)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace smartred::obs
