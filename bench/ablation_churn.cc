@@ -12,7 +12,9 @@
 #include "redundancy/analysis.h"
 #include "redundancy/registry.h"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run_bench(int argc, char** argv) {
   smartred::flags::Parser parser(
       "ablation_churn",
       "A7 — node churn: joins/leaves during the computation (Figure 1)");
@@ -60,4 +62,14 @@ int main(int argc, char** argv) {
   std::cout << "\nReading: reliability stays pinned to Equation (6) at every "
                "churn rate; churn costs only re-issued jobs and time.\n";
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Graceful shutdown: SIGINT/SIGTERM stop the sweep cooperatively, save a
+  // final checkpoint when --checkpoint-dir is set, flush telemetry, and
+  // name the exact resume command on stderr.
+  return smartred::bench::guarded_main(
+      argc, argv, [&] { return run_bench(argc, argv); });
 }

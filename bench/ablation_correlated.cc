@@ -13,7 +13,9 @@
 #include "redundancy/analysis.h"
 #include "redundancy/registry.h"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run_bench(int argc, char** argv) {
   smartred::flags::Parser parser(
       "ablation_correlated",
       "A4 — correlated (cluster) failures vs. the independent-failure "
@@ -78,4 +80,14 @@ int main(int argc, char** argv) {
          "redundancy can fix (paper §2.2: perfectly correlated failures "
          "defeat all redundancy techniques).\n";
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Graceful shutdown: SIGINT/SIGTERM stop the sweep cooperatively, save a
+  // final checkpoint when --checkpoint-dir is set, flush telemetry, and
+  // name the exact resume command on stderr.
+  return smartred::bench::guarded_main(
+      argc, argv, [&] { return run_bench(argc, argv); });
 }

@@ -34,7 +34,9 @@ smartred::dca::RunMetrics run_pool(
 
 }  // namespace
 
-int main(int argc, char** argv) {
+namespace {
+
+int run_bench(int argc, char** argv) {
   smartred::flags::Parser parser(
       "ablation_heterogeneous",
       "A3 — heterogeneous node reliabilities with equal mean (relaxed "
@@ -140,4 +142,14 @@ int main(int argc, char** argv) {
                "knowing anything; per-node knowledge (when it exists) buys a "
                "further cost reduction via the §5.3 complex form.\n";
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Graceful shutdown: SIGINT/SIGTERM stop the sweep cooperatively, save a
+  // final checkpoint when --checkpoint-dir is set, flush telemetry, and
+  // name the exact resume command on stderr.
+  return smartred::bench::guarded_main(
+      argc, argv, [&] { return run_bench(argc, argv); });
 }

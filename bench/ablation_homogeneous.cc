@@ -64,7 +64,9 @@ redundancy::MonteCarloResult run_mode(const exp::RunnerConfig& plan,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+namespace {
+
+int run_bench(int argc, char** argv) {
   flags::Parser parser(
       "ablation_homogeneous",
       "A11 — result equivalence classes (BOINC homogeneous redundancy, "
@@ -119,4 +121,14 @@ int main(int argc, char** argv) {
                "the §5.3 problem disappears and the binary-model numbers "
                "return.\n";
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Graceful shutdown: SIGINT/SIGTERM stop the sweep cooperatively, save a
+  // final checkpoint when --checkpoint-dir is set, flush telemetry, and
+  // name the exact resume command on stderr.
+  return smartred::bench::guarded_main(
+      argc, argv, [&] { return run_bench(argc, argv); });
 }

@@ -12,7 +12,9 @@
 #include "redundancy/analysis.h"
 #include "redundancy/registry.h"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run_bench(int argc, char** argv) {
   smartred::flags::Parser parser(
       "ablation_nonbinary",
       "A5 — binary collusion is the worst case: reliability and cost vs. "
@@ -68,4 +70,14 @@ int main(int argc, char** argv) {
          "is the worst case\" claim, and why its analysis gives upper "
          "bounds for non-binary systems.\n";
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Graceful shutdown: SIGINT/SIGTERM stop the sweep cooperatively, save a
+  // final checkpoint when --checkpoint-dir is set, flush telemetry, and
+  // name the exact resume command on stderr.
+  return smartred::bench::guarded_main(
+      argc, argv, [&] { return run_bench(argc, argv); });
 }

@@ -16,7 +16,9 @@
 #include "harness.h"
 #include "redundancy/registry.h"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run_bench(int argc, char** argv) {
   using namespace smartred;  // NOLINT(build/namespaces) — bench main
   flags::Parser parser(
       "ablation_scheduling",
@@ -87,4 +89,14 @@ int main(int argc, char** argv) {
                "response penalty at zero cost; finer checkpoints recover "
                "most of the work lost to departing volunteers.\n";
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Graceful shutdown: SIGINT/SIGTERM stop the sweep cooperatively, save a
+  // final checkpoint when --checkpoint-dir is set, flush telemetry, and
+  // name the exact resume command on stderr.
+  return smartred::bench::guarded_main(
+      argc, argv, [&] { return run_bench(argc, argv); });
 }

@@ -74,7 +74,9 @@ smartred::dca::RunMetrics run_one(
 
 }  // namespace
 
-int main(int argc, char** argv) {
+namespace {
+
+int run_bench(int argc, char** argv) {
   smartred::flags::Parser parser(
       "ablation_stragglers",
       "A12 — heavy-tailed latency: fixed timeout vs. adaptive deadlines + "
@@ -161,4 +163,14 @@ int main(int argc, char** argv) {
                "quarantine keeps a poisoned pool's response flat instead of "
                "degrading with the slow-host fraction.\n";
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Graceful shutdown: SIGINT/SIGTERM stop the sweep cooperatively, save a
+  // final checkpoint when --checkpoint-dir is set, flush telemetry, and
+  // name the exact resume command on stderr.
+  return smartred::bench::guarded_main(
+      argc, argv, [&] { return run_bench(argc, argv); });
 }

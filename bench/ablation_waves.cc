@@ -15,7 +15,9 @@ namespace {
 namespace analysis = smartred::redundancy::analysis;
 }  // namespace
 
-int main(int argc, char** argv) {
+namespace {
+
+int run_bench(int argc, char** argv) {
   smartred::flags::Parser parser(
       "ablation_waves",
       "A2 — wave-count distributions: PR bounded, IR unbounded tail");
@@ -71,4 +73,14 @@ int main(int argc, char** argv) {
   smartred::bench::emit(meas, *flags.csv, "measured");
   trace.finish();
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Graceful shutdown: SIGINT/SIGTERM stop the sweep cooperatively, save a
+  // final checkpoint when --checkpoint-dir is set, flush telemetry, and
+  // name the exact resume command on stderr.
+  return smartred::bench::guarded_main(
+      argc, argv, [&] { return run_bench(argc, argv); });
 }

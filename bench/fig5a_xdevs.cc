@@ -32,7 +32,9 @@ void add_row(smartred::table::Table& out, const std::string& technique,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+namespace {
+
+int run_bench(int argc, char** argv) {
   smartred::flags::Parser parser(
       "fig5a_xdevs",
       "Figure 5(a) — measured reliability vs. cost factor on the DES DCA "
@@ -96,4 +98,14 @@ int main(int argc, char** argv) {
   std::cout << "\nReading: at equal measured cost, IR achieves the highest "
                "reliability, PR second, TR last (paper Figure 5(a)).\n";
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Graceful shutdown: SIGINT/SIGTERM stop the sweep cooperatively, save a
+  // final checkpoint when --checkpoint-dir is set, flush telemetry, and
+  // name the exact resume command on stderr.
+  return smartred::bench::guarded_main(
+      argc, argv, [&] { return run_bench(argc, argv); });
 }

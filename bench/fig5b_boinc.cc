@@ -34,8 +34,8 @@ smartred::dca::RunMetrics run_point(
     const smartred::sat::SatWorkload& workload,
     const std::vector<smartred::boinc::ClientProfile>& profiles) {
   smartred::exp::ParallelRunner runner(plan);
-  return runner.run_merged(
-      [&](std::uint64_t rep, std::uint64_t rep_seed) {
+  return smartred::ckpt::run_resumable(
+      runner, [&](std::uint64_t rep, std::uint64_t rep_seed) {
         const auto telemetry = smartred::bench::rep_telemetry(plan, rep);
         smartred::sim::Simulator simulator;
         simulator.set_recorder(telemetry.trace);
@@ -50,7 +50,9 @@ smartred::dca::RunMetrics run_point(
 
 }  // namespace
 
-int main(int argc, char** argv) {
+namespace {
+
+int run_bench(int argc, char** argv) {
   smartred::flags::Parser parser(
       "fig5b_boinc",
       "Figure 5(b) — reliability vs. cost factor on the simulated "
@@ -124,4 +126,14 @@ int main(int argc, char** argv) {
          "deployment effects; est_r recovers the paper's 0.64 < r < 0.67 "
          "band from vote agreement alone.\n";
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Graceful shutdown: SIGINT/SIGTERM stop the sweep cooperatively, save a
+  // final checkpoint when --checkpoint-dir is set, flush telemetry, and
+  // name the exact resume command on stderr.
+  return smartred::bench::guarded_main(
+      argc, argv, [&] { return run_bench(argc, argv); });
 }

@@ -25,7 +25,9 @@ namespace analysis = smartred::redundancy::analysis;
 
 }  // namespace
 
-int main(int argc, char** argv) {
+namespace {
+
+int run_bench(int argc, char** argv) {
   smartred::flags::Parser parser(
       "fig5c_improvement",
       "Figure 5(c) — cost improvement of PR and IR over TR vs. node "
@@ -88,4 +90,14 @@ int main(int argc, char** argv) {
                "from ~1.5x, peaks ~2.7x in the high-0.8s/low-0.9s, and "
                "settles near 2.3x as r -> 1 (paper Figure 5(c)).\n";
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Graceful shutdown: SIGINT/SIGTERM stop the sweep cooperatively, save a
+  // final checkpoint when --checkpoint-dir is set, flush telemetry, and
+  // name the exact resume command on stderr.
+  return smartred::bench::guarded_main(
+      argc, argv, [&] { return run_bench(argc, argv); });
 }

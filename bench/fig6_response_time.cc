@@ -21,7 +21,9 @@ namespace analysis = smartred::redundancy::analysis;
 
 }  // namespace
 
-int main(int argc, char** argv) {
+namespace {
+
+int run_bench(int argc, char** argv) {
   smartred::flags::Parser parser(
       "fig6_response_time",
       "Figure 6 — average task response time vs. cost factor (DES runs + "
@@ -94,4 +96,14 @@ int main(int argc, char** argv) {
             << analysis::expected_response_iterative(d, *r) / tr_resp
             << "  (paper: PR 1.4-2.5x, IR 1.4-2.8x)\n";
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Graceful shutdown: SIGINT/SIGTERM stop the sweep cooperatively, save a
+  // final checkpoint when --checkpoint-dir is set, flush telemetry, and
+  // name the exact resume command on stderr.
+  return smartred::bench::guarded_main(
+      argc, argv, [&] { return run_bench(argc, argv); });
 }

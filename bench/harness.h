@@ -13,14 +13,19 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "ckpt/store.h"
+#include "ckpt/sweep.h"
 #include "common/flags.h"
 #include "common/rng.h"
 #include "common/table.h"
@@ -70,10 +75,15 @@ struct ExperimentFlags {
   std::shared_ptr<std::string> metrics;
   std::shared_ptr<bool> progress;
   std::shared_ptr<bool> profile;
+  std::shared_ptr<std::string> checkpoint_dir;
+  std::shared_ptr<std::int64_t> checkpoint_every;
+  std::shared_ptr<bool> resume;
 };
 
-/// Registers --reps, --threads, --seed, --csv, and the telemetry flags
-/// (--trace, --trace-ring, --metrics, --progress, --profile) on `parser`.
+/// Registers --reps, --threads, --seed, --csv, the telemetry flags
+/// (--trace, --trace-ring, --metrics, --progress, --profile), and the
+/// crash-safety flags (--checkpoint-dir, --checkpoint-every, --resume) on
+/// `parser`.
 inline ExperimentFlags add_experiment_flags(flags::Parser& parser,
                                             std::int64_t default_reps = 8,
                                             std::int64_t default_seed = 1) {
@@ -101,6 +111,18 @@ inline ExperimentFlags add_experiment_flags(flags::Parser& parser,
       "live stderr progress line per data point (reps done, rep/s, ETA)");
   handles.profile = parser.add_bool(
       "profile", false, "print a wall-clock phase profile to stderr at exit");
+  handles.checkpoint_dir = parser.add_string(
+      "checkpoint-dir", "",
+      "directory for crash-safe sweep checkpoints; enables checkpointing "
+      "(optional)");
+  handles.checkpoint_every = parser.add_int(
+      "checkpoint-every", 1,
+      "completed replications between checkpoint saves per data point "
+      "(0 = save only at point completion or interruption)");
+  handles.resume = parser.add_bool(
+      "resume", false,
+      "resume an interrupted sweep from --checkpoint-dir instead of "
+      "starting it over");
   return handles;
 }
 
@@ -132,7 +154,23 @@ class TelemetrySession {
                            : obs::TraceCollector::kDefaultRingCapacity),
         collector_(ring_capacity_),
         progress_(*flags.progress),
-        profile_enabled_(*flags.profile) {}
+        profile_enabled_(*flags.profile) {
+    if (!flags.checkpoint_dir->empty()) {
+      ckpt::StoreConfig store;
+      store.dir = *flags.checkpoint_dir;
+      // Shard count tracks the worker-pool size (the "workers" of the
+      // redundancy scheme), capped so tiny records aren't shredded into
+      // dozens of files. It only shapes storage, never results.
+      store.shards = std::clamp(
+          exp::resolve_threads(static_cast<unsigned>(*flags.threads)), 1u, 8u);
+      checkpointer_.emplace(
+          std::move(store),
+          *flags.checkpoint_every > 0
+              ? static_cast<std::uint64_t>(*flags.checkpoint_every)
+              : 0,
+          *flags.resume);
+    }
+  }
 
   TelemetrySession(const TelemetrySession&) = delete;
   TelemetrySession& operator=(const TelemetrySession&) = delete;
@@ -143,10 +181,16 @@ class TelemetrySession {
   [[nodiscard]] bool metrics_enabled() const { return !metrics_path_.empty(); }
 
   /// Seals the previous point (if any), attaches the enabled collectors to
-  /// `plan`, and names the point `label`. Returns `plan` unchanged when all
-  /// telemetry is off.
+  /// `plan`, and names the point `label`. With --checkpoint-dir set, also
+  /// attaches the point's crash-safe checkpoint handle — points are
+  /// numbered in plan() call order, which therefore must be deterministic
+  /// across runs (it is: every bench enumerates its sweep the same way).
+  /// Returns `plan` unchanged when all telemetry is off.
   [[nodiscard]] exp::RunnerConfig plan(exp::RunnerConfig plan,
                                        std::string label) {
+    if (checkpointer_.has_value()) {
+      plan.checkpoint = &checkpointer_->plan_point(label);
+    }
     if (progress_) {
       plan.progress = true;
       plan.progress_label = label;
@@ -253,6 +297,7 @@ class TelemetrySession {
   obs::TraceCollector collector_;
   obs::TimeSeriesCollector timeseries_;
   obs::PhaseProfiler profiler_;
+  std::optional<ckpt::SweepCheckpointer> checkpointer_;
   bool progress_;
   bool profile_enabled_;
   std::vector<obs::PointTrace> points_;
@@ -331,11 +376,12 @@ template <typename RunRep>
     RunRep&& run_rep) {
   const exp::RunnerConfig effective = clamp_to_tasks(plan, total_tasks);
   exp::ParallelRunner runner(effective);
-  return runner.run_merged([&](std::uint64_t rep, std::uint64_t rep_seed) {
-    return run_rep(
-        exp::partition_size(total_tasks, effective.replications, rep),
-        rep_seed, rep_telemetry(effective, rep));
-  });
+  return ckpt::run_resumable(
+      runner, [&](std::uint64_t rep, std::uint64_t rep_seed) {
+        return run_rep(
+            exp::partition_size(total_tasks, effective.replications, rep),
+            rep_seed, rep_telemetry(effective, rep));
+      });
 }
 
 /// One replicated DCA data point with a caller-built failure model:
@@ -390,17 +436,66 @@ template <typename MakeFailures>
     std::uint64_t total_tasks, int max_jobs_per_task = 100'000) {
   const exp::RunnerConfig effective = clamp_to_tasks(plan, total_tasks);
   exp::ParallelRunner runner(effective);
-  return runner.run_merged([&](std::uint64_t rep, std::uint64_t rep_seed) {
-    redundancy::MonteCarloConfig config;
-    config.tasks =
-        exp::partition_size(total_tasks, effective.replications, rep);
-    config.seed = rep_seed;
-    config.max_jobs_per_task = max_jobs_per_task;
-    const RepTelemetry telemetry = rep_telemetry(effective, rep);
-    config.recorder = telemetry.trace;
-    config.timeseries = telemetry.timeseries;
-    return run_custom(factory, source, correct, config);
-  });
+  return ckpt::run_resumable(
+      runner, [&](std::uint64_t rep, std::uint64_t rep_seed) {
+        redundancy::MonteCarloConfig config;
+        config.tasks =
+            exp::partition_size(total_tasks, effective.replications, rep);
+        config.seed = rep_seed;
+        config.max_jobs_per_task = max_jobs_per_task;
+        const RepTelemetry telemetry = rep_telemetry(effective, rep);
+        config.recorder = telemetry.trace;
+        config.timeseries = telemetry.timeseries;
+        return run_custom(factory, source, correct, config);
+      });
+}
+
+/// Last shutdown signal delivered to this process (0 when none).
+inline std::atomic<int> g_last_signal{0};
+
+/// SIGINT/SIGTERM handler: records the signal, requests a cooperative stop
+/// (workers finish their current replication, the in-flight point saves a
+/// final checkpoint, pending telemetry exports flush during unwinding),
+/// and re-arms the default disposition so a second signal kills
+/// immediately. Async-signal-safe: two relaxed atomic stores + signal().
+inline void shutdown_signal_handler(int sig) {
+  g_last_signal.store(sig, std::memory_order_relaxed);
+  exp::request_stop();
+  std::signal(sig, SIG_DFL);
+}
+
+/// Wraps an experiment main: installs the graceful-shutdown handler, runs
+/// `body()`, and turns an interrupted or unresumable sweep into a clean
+/// nonzero exit. On interruption the stderr report names the exact resume
+/// command. TelemetrySession destructors run during the unwinding, so
+/// --trace/--metrics outputs of completed points are still written.
+template <typename Body>
+int guarded_main(int argc, char** argv, Body&& body) {
+  std::signal(SIGINT, &shutdown_signal_handler);
+  std::signal(SIGTERM, &shutdown_signal_handler);
+  try {
+    return body();
+  } catch (const exp::StoppedError& stopped) {
+    std::cerr << "\ninterrupted: " << stopped.what() << "\n";
+    if (stopped.checkpointed()) {
+      bool has_resume = false;
+      std::cerr << "resume with:";
+      for (int i = 0; i < argc; ++i) {
+        std::cerr << " " << argv[i];
+        if (std::string(argv[i]) == "--resume") has_resume = true;
+      }
+      if (!has_resume) std::cerr << " --resume";
+      std::cerr << "\n";
+    } else {
+      std::cerr << "no checkpoint saved; rerun with --checkpoint-dir=<dir> "
+                   "to make this sweep resumable\n";
+    }
+    const int sig = g_last_signal.load(std::memory_order_relaxed);
+    return sig > 0 ? 128 + sig : 1;
+  } catch (const ckpt::Error& error) {
+    std::cerr << "checkpoint error: " << error.what() << "\n";
+    return 1;
+  }
 }
 
 /// run_custom_mc() for the binary worst case at constant reliability.
@@ -410,17 +505,18 @@ template <typename MakeFailures>
     int max_jobs_per_task = 100'000) {
   const exp::RunnerConfig effective = clamp_to_tasks(plan, total_tasks);
   exp::ParallelRunner runner(effective);
-  return runner.run_merged([&](std::uint64_t rep, std::uint64_t rep_seed) {
-    redundancy::MonteCarloConfig config;
-    config.tasks =
-        exp::partition_size(total_tasks, effective.replications, rep);
-    config.seed = rep_seed;
-    config.max_jobs_per_task = max_jobs_per_task;
-    const RepTelemetry telemetry = rep_telemetry(effective, rep);
-    config.recorder = telemetry.trace;
-    config.timeseries = telemetry.timeseries;
-    return run_binary(factory, reliability, config);
-  });
+  return ckpt::run_resumable(
+      runner, [&](std::uint64_t rep, std::uint64_t rep_seed) {
+        redundancy::MonteCarloConfig config;
+        config.tasks =
+            exp::partition_size(total_tasks, effective.replications, rep);
+        config.seed = rep_seed;
+        config.max_jobs_per_task = max_jobs_per_task;
+        const RepTelemetry telemetry = rep_telemetry(effective, rep);
+        config.recorder = telemetry.trace;
+        config.timeseries = telemetry.timeseries;
+        return run_binary(factory, reliability, config);
+      });
 }
 
 }  // namespace smartred::bench

@@ -1,0 +1,169 @@
+#include "ckpt/codec.h"
+
+#include <utility>
+#include <vector>
+
+#include "ckpt/record.h"
+
+namespace smartred::ckpt {
+
+void Codec<stats::StreamingStats>::encode(common::ByteWriter& writer,
+                                          const stats::StreamingStats& stats) {
+  const stats::StreamingStats::Raw raw = stats.raw();
+  writer.u64(raw.count);
+  writer.f64(raw.mean);
+  writer.f64(raw.m2);
+  writer.f64(raw.min);
+  writer.f64(raw.max);
+}
+
+stats::StreamingStats Codec<stats::StreamingStats>::decode(
+    common::ByteReader& reader) {
+  stats::StreamingStats::Raw raw;
+  raw.count = reader.u64();
+  raw.mean = reader.f64();
+  raw.m2 = reader.f64();
+  raw.min = reader.f64();
+  raw.max = reader.f64();
+  return stats::StreamingStats::from_raw(raw);
+}
+
+void Codec<obs::LogHistogram>::encode(common::ByteWriter& writer,
+                                      const obs::LogHistogram& histogram) {
+  writer.u64(histogram.count());
+  if (histogram.count() == 0) return;
+  writer.f64(histogram.min());
+  writer.f64(histogram.max());
+  // Sparse non-empty buckets: a histogram's mass typically spans a few
+  // octaves of the fixed ~1700-bucket layout.
+  std::uint64_t non_empty = 0;
+  for (std::size_t i = 0; i < obs::LogHistogram::kBucketCount; ++i) {
+    if (histogram.bucket_count(i) > 0) ++non_empty;
+  }
+  writer.u64(non_empty);
+  for (std::size_t i = 0; i < obs::LogHistogram::kBucketCount; ++i) {
+    const std::uint64_t count = histogram.bucket_count(i);
+    if (count == 0) continue;
+    writer.u64(i);
+    writer.u64(count);
+  }
+}
+
+obs::LogHistogram Codec<obs::LogHistogram>::decode(
+    common::ByteReader& reader) {
+  const std::uint64_t total = reader.u64();
+  if (total == 0) return obs::LogHistogram{};
+  const double min = reader.f64();
+  const double max = reader.f64();
+  const std::uint64_t non_empty = reader.u64();
+  if (non_empty > obs::LogHistogram::kBucketCount) {
+    throw Error("histogram record claims " + std::to_string(non_empty) +
+                " non-empty buckets, layout has " +
+                std::to_string(obs::LogHistogram::kBucketCount));
+  }
+  std::vector<std::pair<std::size_t, std::uint64_t>> buckets;
+  buckets.reserve(static_cast<std::size_t>(non_empty));
+  std::uint64_t sum = 0;
+  for (std::uint64_t b = 0; b < non_empty; ++b) {
+    const std::uint64_t index = reader.u64();
+    const std::uint64_t count = reader.u64();
+    if (index >= obs::LogHistogram::kBucketCount) {
+      throw Error("histogram bucket index " + std::to_string(index) +
+                  " out of range");
+    }
+    buckets.emplace_back(static_cast<std::size_t>(index), count);
+    sum += count;
+  }
+  if (sum != total) {
+    throw Error("histogram bucket counts sum to " + std::to_string(sum) +
+                ", record claims " + std::to_string(total));
+  }
+  return obs::LogHistogram::restore(total, min, max, buckets);
+}
+
+void Codec<dca::RunMetrics>::encode(common::ByteWriter& writer,
+                                    const dca::RunMetrics& metrics) {
+  writer.u64(metrics.tasks_total);
+  writer.u64(metrics.tasks_correct);
+  writer.u64(metrics.tasks_aborted);
+  writer.u64(metrics.jobs_dispatched);
+  writer.u64(metrics.jobs_completed);
+  writer.u64(metrics.jobs_correct);
+  writer.u64(metrics.jobs_lost);
+  writer.u64(metrics.jobs_discarded);
+  writer.u64(metrics.jobs_unrun);
+  writer.u64(metrics.jobs_speculative);
+  writer.u64(metrics.jobs_timed_out);
+  writer.u64(metrics.nodes_joined);
+  writer.u64(metrics.nodes_left);
+  writer.u64(metrics.nodes_quarantined);
+  writer.u64(metrics.nodes_readmitted);
+  writer.i64(metrics.max_jobs_single_task);
+  Codec<stats::StreamingStats>::encode(writer, metrics.jobs_per_task);
+  Codec<stats::StreamingStats>::encode(writer, metrics.waves_per_task);
+  Codec<stats::StreamingStats>::encode(writer, metrics.response_time);
+  Codec<stats::StreamingStats>::encode(writer, metrics.deadline_estimate);
+  Codec<stats::StreamingStats>::encode(writer, metrics.wave_latency);
+  writer.f64(metrics.makespan);
+  Codec<obs::LogHistogram>::encode(writer, metrics.response_time_hist);
+  Codec<obs::LogHistogram>::encode(writer, metrics.wave_latency_hist);
+  Codec<obs::LogHistogram>::encode(writer, metrics.jobs_per_task_hist);
+}
+
+dca::RunMetrics Codec<dca::RunMetrics>::decode(common::ByteReader& reader) {
+  dca::RunMetrics metrics;
+  metrics.tasks_total = reader.u64();
+  metrics.tasks_correct = reader.u64();
+  metrics.tasks_aborted = reader.u64();
+  metrics.jobs_dispatched = reader.u64();
+  metrics.jobs_completed = reader.u64();
+  metrics.jobs_correct = reader.u64();
+  metrics.jobs_lost = reader.u64();
+  metrics.jobs_discarded = reader.u64();
+  metrics.jobs_unrun = reader.u64();
+  metrics.jobs_speculative = reader.u64();
+  metrics.jobs_timed_out = reader.u64();
+  metrics.nodes_joined = reader.u64();
+  metrics.nodes_left = reader.u64();
+  metrics.nodes_quarantined = reader.u64();
+  metrics.nodes_readmitted = reader.u64();
+  metrics.max_jobs_single_task = static_cast<int>(reader.i64());
+  metrics.jobs_per_task = Codec<stats::StreamingStats>::decode(reader);
+  metrics.waves_per_task = Codec<stats::StreamingStats>::decode(reader);
+  metrics.response_time = Codec<stats::StreamingStats>::decode(reader);
+  metrics.deadline_estimate = Codec<stats::StreamingStats>::decode(reader);
+  metrics.wave_latency = Codec<stats::StreamingStats>::decode(reader);
+  metrics.makespan = reader.f64();
+  metrics.response_time_hist = Codec<obs::LogHistogram>::decode(reader);
+  metrics.wave_latency_hist = Codec<obs::LogHistogram>::decode(reader);
+  metrics.jobs_per_task_hist = Codec<obs::LogHistogram>::decode(reader);
+  return metrics;
+}
+
+void Codec<redundancy::MonteCarloResult>::encode(
+    common::ByteWriter& writer, const redundancy::MonteCarloResult& result) {
+  writer.u64(result.tasks);
+  writer.u64(result.tasks_correct);
+  writer.u64(result.tasks_aborted);
+  writer.u64(result.jobs_total);
+  writer.i64(result.max_jobs_single_task);
+  Codec<stats::StreamingStats>::encode(writer, result.jobs_per_task);
+  Codec<stats::StreamingStats>::encode(writer, result.waves_per_task);
+  Codec<obs::LogHistogram>::encode(writer, result.jobs_per_task_hist);
+}
+
+redundancy::MonteCarloResult Codec<redundancy::MonteCarloResult>::decode(
+    common::ByteReader& reader) {
+  redundancy::MonteCarloResult result;
+  result.tasks = reader.u64();
+  result.tasks_correct = reader.u64();
+  result.tasks_aborted = reader.u64();
+  result.jobs_total = reader.u64();
+  result.max_jobs_single_task = static_cast<int>(reader.i64());
+  result.jobs_per_task = Codec<stats::StreamingStats>::decode(reader);
+  result.waves_per_task = Codec<stats::StreamingStats>::decode(reader);
+  result.jobs_per_task_hist = Codec<obs::LogHistogram>::decode(reader);
+  return result;
+}
+
+}  // namespace smartred::ckpt

@@ -1,0 +1,65 @@
+// Exact binary codecs for checkpointable aggregate types.
+//
+// Codec<T> is the bridge between the byte-level checkpoint store and the
+// typed sweep state: encode() serializes every bit of T's merge-relevant
+// state (doubles as raw IEEE-754 bit patterns, histograms as sparse
+// integer buckets), and decode() rebuilds an instance whose every future
+// merge() proceeds bit-identically to the original's. That exactness is
+// the whole point — a resumed sweep folds checkpointed partial aggregates
+// with freshly computed ones, and the final result must match an
+// uninterrupted run byte for byte.
+//
+// kName tags each record with its payload type, so resuming a DCA sweep
+// from a Monte-Carlo checkpoint (or vice versa) is refused cleanly instead
+// of misinterpreted. decode() validates structural invariants (bucket
+// indices in range) and throws ckpt::Error on violation; outer truncation
+// and bit corruption are already caught by the record/store CRCs.
+#pragma once
+
+#include "common/binio.h"
+#include "common/stats.h"
+#include "dca/metrics.h"
+#include "obs/histogram.h"
+#include "redundancy/montecarlo.h"
+
+namespace smartred::ckpt {
+
+/// Specialized for every checkpointable result type; the primary template
+/// is intentionally undefined so that attaching checkpointing to a type
+/// without a codec is a compile-time error.
+template <typename T>
+struct Codec;
+
+template <>
+struct Codec<stats::StreamingStats> {
+  static constexpr const char* kName = "stats.StreamingStats";
+  static void encode(common::ByteWriter& writer,
+                     const stats::StreamingStats& stats);
+  static stats::StreamingStats decode(common::ByteReader& reader);
+};
+
+template <>
+struct Codec<obs::LogHistogram> {
+  static constexpr const char* kName = "obs.LogHistogram";
+  static void encode(common::ByteWriter& writer,
+                     const obs::LogHistogram& histogram);
+  static obs::LogHistogram decode(common::ByteReader& reader);
+};
+
+template <>
+struct Codec<dca::RunMetrics> {
+  static constexpr const char* kName = "dca.RunMetrics";
+  static void encode(common::ByteWriter& writer,
+                     const dca::RunMetrics& metrics);
+  static dca::RunMetrics decode(common::ByteReader& reader);
+};
+
+template <>
+struct Codec<redundancy::MonteCarloResult> {
+  static constexpr const char* kName = "redundancy.MonteCarloResult";
+  static void encode(common::ByteWriter& writer,
+                     const redundancy::MonteCarloResult& result);
+  static redundancy::MonteCarloResult decode(common::ByteReader& reader);
+};
+
+}  // namespace smartred::ckpt

@@ -1,0 +1,61 @@
+// Checkpoint record framing: versioned, CRC-checksummed byte envelopes.
+//
+// A checkpoint record is an opaque payload (the typed sweep state encoded
+// by ckpt/codec.h) wrapped in a fixed frame:
+//
+//   magic  u32   "SRK1" — a smartred checkpoint record
+//   version u32  kFormatVersion; readers reject any other value
+//   fingerprint u64  hash of the run configuration the record belongs to
+//   payload_len u64
+//   payload  bytes
+//   crc  u32   CRC-32C of everything above
+//
+// The frame is what makes recovery *refuse cleanly* instead of
+// mis-resuming: a truncated file fails the length check, a flipped byte
+// fails the CRC, a record written by a future format fails the version
+// check, and a record from a different run configuration fails the
+// fingerprint comparison in the typed layer. parse_record never throws on
+// hostile input — it returns nullopt with a reason, so the recovery scan
+// can fall through to older checkpoints or redundant copies.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace smartred::ckpt {
+
+/// Thrown for unrecoverable checkpoint problems: a record that matches no
+/// known layout, a configuration mismatch on resume, or a failed save.
+/// (Recoverable damage — a corrupt shard with an intact partner — is
+/// handled inside the store and never surfaces as an exception.)
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// "SRK1" little-endian.
+inline constexpr std::uint32_t kRecordMagic = 0x314B5253u;
+/// Bumped on any layout change; readers reject records from other versions
+/// rather than guessing at their contents.
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// Wraps `payload` in the framed envelope described above.
+[[nodiscard]] std::vector<std::uint8_t> frame_record(
+    std::uint64_t fingerprint, const std::vector<std::uint8_t>& payload);
+
+/// A successfully unframed record.
+struct FramedRecord {
+  std::uint64_t fingerprint = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Validates and strips the frame. Returns nullopt (and, when `why` is
+/// non-null, a one-line reason) on bad magic, version skew, truncation, or
+/// CRC mismatch. Never throws on malformed input.
+[[nodiscard]] std::optional<FramedRecord> parse_record(
+    const std::vector<std::uint8_t>& bytes, std::string* why = nullptr);
+
+}  // namespace smartred::ckpt

@@ -1,0 +1,42 @@
+#include "ckpt/sweep.h"
+
+#include <cstdint>
+#include <string>
+
+namespace smartred::ckpt {
+namespace {
+
+// splitmix64 finalizer — the same mixer rng.h builds streams from, used
+// here purely as a hash combiner.
+std::uint64_t mix(std::uint64_t hash, std::uint64_t value) {
+  std::uint64_t z = hash ^ (value + 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t mix_bytes(std::uint64_t hash, const std::string& text) {
+  hash = mix(hash, text.size());
+  for (const char c : text) {
+    hash = mix(hash, static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
+  }
+  return hash;
+}
+
+}  // namespace
+
+std::uint64_t point_fingerprint(const char* codec_name,
+                                std::uint64_t replications,
+                                std::uint64_t master_seed, std::uint64_t point,
+                                const std::string& label) {
+  std::uint64_t hash = mix(0x5352434B50543031ULL,  // "SRCKPT01"
+                           kFormatVersion);
+  hash = mix_bytes(hash, codec_name);
+  hash = mix(hash, replications);
+  hash = mix(hash, master_seed);
+  hash = mix(hash, point);
+  hash = mix_bytes(hash, label);
+  return hash;
+}
+
+}  // namespace smartred::ckpt

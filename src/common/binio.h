@@ -1,0 +1,142 @@
+// Bounds-checked binary encoding for checkpoint records.
+//
+// Fixed-width little-endian primitives only — no varints, no padding — so
+// the byte layout is trivially stable across machines and releases, and a
+// record's size is a pure function of its contents. Doubles are encoded as
+// their IEEE-754 bit pattern (std::bit_cast through uint64), which is what
+// makes checkpointed aggregates resume *bit-identical*: no decimal
+// round-trip ever touches a value.
+//
+// ByteReader treats its input as hostile (it may be a truncated or
+// corrupted checkpoint that slipped past the CRC of an older format):
+// every read is bounds-checked and overruns throw DecodeError rather than
+// reading out of bounds.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace smartred::common {
+
+/// Thrown by ByteReader when the input is shorter than the requested read
+/// (truncated or structurally corrupt record).
+class DecodeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Append-only little-endian encoder.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t value) { buffer_.push_back(value); }
+
+  void u32(std::uint32_t value) {
+    for (int shift = 0; shift < 32; shift += 8) {
+      buffer_.push_back(static_cast<std::uint8_t>(value >> shift));
+    }
+  }
+
+  void u64(std::uint64_t value) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      buffer_.push_back(static_cast<std::uint8_t>(value >> shift));
+    }
+  }
+
+  void i64(std::int64_t value) { u64(static_cast<std::uint64_t>(value)); }
+
+  /// IEEE-754 bit pattern — exact, including NaN payloads and ±inf.
+  void f64(double value) { u64(std::bit_cast<std::uint64_t>(value)); }
+
+  void bytes(const void* data, std::size_t size) {
+    const auto* begin = static_cast<const std::uint8_t*>(data);
+    buffer_.insert(buffer_.end(), begin, begin + size);
+  }
+
+  /// Length-prefixed (u64) string.
+  void str(std::string_view value) {
+    u64(value.size());
+    bytes(value.data(), value.size());
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& data() const {
+    return buffer_;
+  }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buffer_); }
+  [[nodiscard]] std::size_t size() const { return buffer_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+/// Bounds-checked little-endian decoder over a borrowed buffer.
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<std::uint8_t>& buffer)
+      : ByteReader(buffer.data(), buffer.size()) {}
+
+  [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
+  [[nodiscard]] bool done() const { return pos_ == size_; }
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t value = 0;
+    for (int shift = 0; shift < 32; shift += 8) {
+      value |= static_cast<std::uint32_t>(data_[pos_++]) << shift;
+    }
+    return value;
+  }
+
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t value = 0;
+    for (int shift = 0; shift < 64; shift += 8) {
+      value |= static_cast<std::uint64_t>(data_[pos_++]) << shift;
+    }
+    return value;
+  }
+
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+  double f64() { return std::bit_cast<double>(u64()); }
+
+  /// Length-prefixed string; the length is validated against the remaining
+  /// bytes before any allocation, so a corrupt length cannot demand memory.
+  std::string str() {
+    const std::uint64_t length = u64();
+    if (length > remaining()) {
+      throw DecodeError("string length " + std::to_string(length) +
+                        " exceeds remaining " + std::to_string(remaining()) +
+                        " bytes");
+    }
+    std::string value(reinterpret_cast<const char*>(data_ + pos_),
+                      static_cast<std::size_t>(length));
+    pos_ += static_cast<std::size_t>(length);
+    return value;
+  }
+
+ private:
+  void need(std::size_t count) const {
+    if (count > remaining()) {
+      throw DecodeError("truncated record: need " + std::to_string(count) +
+                        " bytes, have " + std::to_string(remaining()));
+    }
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace smartred::common

@@ -1,0 +1,90 @@
+#include "common/fileio.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <system_error>
+
+namespace smartred::common {
+
+namespace {
+
+[[noreturn]] void fail(const std::filesystem::path& path, const char* step) {
+  throw std::runtime_error("atomic_write_file(" + path.string() + "): " +
+                           step + " failed: " + std::strerror(errno));
+}
+
+/// fsync a directory so a just-committed rename survives power loss. Some
+/// filesystems refuse O_RDONLY|O_DIRECTORY fsync; that is not a torn
+/// write, so failures here are ignored.
+void sync_directory(const std::filesystem::path& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+std::optional<std::vector<std::uint8_t>> read_file(
+    const std::filesystem::path& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return std::nullopt;
+  std::vector<std::uint8_t> contents;
+  std::uint8_t chunk[1 << 16];
+  for (;;) {
+    const ssize_t got = ::read(fd, chunk, sizeof chunk);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return std::nullopt;
+    }
+    if (got == 0) break;
+    contents.insert(contents.end(), chunk,
+                    chunk + static_cast<std::size_t>(got));
+  }
+  ::close(fd);
+  return contents;
+}
+
+void atomic_write_file(const std::filesystem::path& path, const void* data,
+                       std::size_t size) {
+  const std::filesystem::path parent = path.parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+    if (ec) {
+      throw std::runtime_error("atomic_write_file(" + path.string() +
+                               "): cannot create parent directory: " +
+                               ec.message());
+    }
+  }
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) fail(path, "open(tmp)");
+  const auto* cursor = static_cast<const std::uint8_t*>(data);
+  std::size_t left = size;
+  while (left > 0) {
+    const ssize_t wrote = ::write(fd, cursor, left);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      fail(path, "write");
+    }
+    cursor += wrote;
+    left -= static_cast<std::size_t>(wrote);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    fail(path, "fsync");
+  }
+  if (::close(fd) != 0) fail(path, "close");
+  if (::rename(tmp.c_str(), path.c_str()) != 0) fail(path, "rename");
+  sync_directory(parent.empty() ? std::filesystem::path(".") : parent);
+}
+
+}  // namespace smartred::common

@@ -1,0 +1,35 @@
+// Durable file I/O for the checkpoint store.
+//
+// atomic_write_file implements the classic crash-consistent replace:
+// write to a temporary sibling, fsync the file, rename over the target,
+// fsync the directory. A reader (or a post-crash recovery scan) therefore
+// sees either the complete old contents or the complete new contents —
+// never a torn mixture — and a SIGKILL at any instruction leaves at most a
+// stale *.tmp sibling behind, which the next write simply overwrites.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <vector>
+
+namespace smartred::common {
+
+/// Whole contents of `path`, or nullopt when the file cannot be opened or
+/// read (missing, unreadable, or shrinking underneath us).
+[[nodiscard]] std::optional<std::vector<std::uint8_t>> read_file(
+    const std::filesystem::path& path);
+
+/// Atomically replaces `path` with `size` bytes from `data` (tmp sibling +
+/// fsync + rename + directory fsync). Parent directories are created as
+/// needed. Throws std::runtime_error when any step fails.
+void atomic_write_file(const std::filesystem::path& path, const void* data,
+                       std::size_t size);
+
+inline void atomic_write_file(const std::filesystem::path& path,
+                              const std::vector<std::uint8_t>& data) {
+  atomic_write_file(path, data.data(), data.size());
+}
+
+}  // namespace smartred::common

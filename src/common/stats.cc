@@ -64,6 +64,20 @@ double StreamingStats::ci_halfwidth(double z) const {
   return z * stddev() / std::sqrt(static_cast<double>(count_));
 }
 
+StreamingStats::Raw StreamingStats::raw() const {
+  return Raw{static_cast<std::uint64_t>(count_), mean_, m2_, min_, max_};
+}
+
+StreamingStats StreamingStats::from_raw(const Raw& raw) {
+  StreamingStats stats;
+  stats.count_ = static_cast<std::size_t>(raw.count);
+  stats.mean_ = raw.mean;
+  stats.m2_ = raw.m2;
+  stats.min_ = raw.min;
+  stats.max_ = raw.max;
+  return stats;
+}
+
 P2Quantile::P2Quantile(double quantile) : quantile_(quantile) {
   SMARTRED_EXPECT(quantile > 0.0 && quantile < 1.0,
                   "tracked quantile must be strictly inside (0, 1)");

@@ -35,6 +35,21 @@ class StreamingStats {
   /// i.e. z * stddev / sqrt(n). Requires count() > 1.
   [[nodiscard]] double ci_halfwidth(double z = 1.96) const;
 
+  /// Raw Welford accumulator state, exposed for exact serialization
+  /// (checkpoint/restart). The moments are implementation state — only
+  /// meaningful for rebuilding a bit-identical accumulator via from_raw().
+  struct Raw {
+    std::uint64_t count = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  [[nodiscard]] Raw raw() const;
+  /// The accumulator whose raw() equals `raw` — every future add()/merge()
+  /// then proceeds bit-identically to the original instance's.
+  [[nodiscard]] static StreamingStats from_raw(const Raw& raw);
+
  private:
   std::size_t count_ = 0;
   double mean_ = 0.0;

@@ -22,6 +22,8 @@
 #include <cstdint>
 #include <exception>
 #include <mutex>
+#include <numeric>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -35,7 +37,51 @@
 #include "obs/timeseries.h"
 #include "obs/trace.h"
 
+namespace smartred::ckpt {
+// Typed checkpoint handle defined in ckpt/sweep.h. exp/ stays below ckpt/
+// in the layering: the runner only carries the pointer; all checkpoint
+// logic lives in ckpt::run_resumable(), which drives run_subset().
+struct PointCheckpoint;
+}  // namespace smartred::ckpt
+
 namespace smartred::exp {
+
+/// Requests a cooperative stop of all in-flight runs: workers finish the
+/// replication they are on and stop claiming new ones. Async-signal-safe
+/// (one relaxed atomic store) — designed to be called from SIGINT/SIGTERM
+/// handlers.
+void request_stop() noexcept;
+
+/// Whether a cooperative stop has been requested.
+[[nodiscard]] bool stop_requested() noexcept;
+
+/// Clears the stop flag (tests; accepting a new batch after a handled
+/// stop).
+void reset_stop() noexcept;
+
+/// Thrown when a run was cut short by request_stop(). The run's partial
+/// merge is deliberately NOT returned — a partial aggregate must never be
+/// mistaken for a complete one. `checkpointed()` says whether the partial
+/// state was saved for --resume before throwing.
+class StoppedError : public std::runtime_error {
+ public:
+  StoppedError(const std::string& what, std::uint64_t completed,
+               std::uint64_t total, bool checkpointed)
+      : std::runtime_error(what),
+        completed_(completed),
+        total_(total),
+        checkpointed_(checkpointed) {}
+
+  /// Replications finished before the stop took effect.
+  [[nodiscard]] std::uint64_t completed() const { return completed_; }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] bool checkpointed() const { return checkpointed_; }
+
+ private:
+  std::uint64_t completed_;
+  std::uint64_t total_;
+  bool checkpointed_;
+};
 
 /// How a batch of replications is executed.
 struct RunnerConfig {
@@ -65,6 +111,12 @@ struct RunnerConfig {
   bool progress = false;
   /// Prefix for the progress line (typically the experiment/point name).
   std::string progress_label = "run";
+  /// Optional crash-safe checkpoint handle (ckpt/sweep.h), consumed by
+  /// ckpt::run_resumable(). The runner itself never dereferences it;
+  /// checkpoint timing is wall-clock-dependent, so keeping the logic out
+  /// of run() preserves the determinism contract of everything run()
+  /// produces.
+  ckpt::PointCheckpoint* checkpoint = nullptr;
 };
 
 /// Live stderr progress line for a batch of replications. Thread-safe:
@@ -72,7 +124,11 @@ struct RunnerConfig {
 /// claimed by one thread at a time. Disabled instances cost one branch.
 class ProgressMeter {
  public:
-  ProgressMeter(bool enabled, std::string_view label, std::uint64_t total);
+  /// `already_done` seeds the completed count (resumed runs report true
+  /// sweep position, not just this session's work); throughput and ETA are
+  /// computed from this session's completions only.
+  ProgressMeter(bool enabled, std::string_view label, std::uint64_t total,
+                std::uint64_t already_done = 0);
 
   ProgressMeter(const ProgressMeter&) = delete;
   ProgressMeter& operator=(const ProgressMeter&) = delete;
@@ -80,16 +136,18 @@ class ProgressMeter {
   /// Marks one replication finished and refreshes the line if the
   /// throttle window has elapsed.
   void advance();
-  /// Prints the final state and terminates the line. Idempotent no-op when
-  /// disabled.
-  void finish();
+  /// Prints the final state and terminates the line; an interrupted batch
+  /// is labeled as such so a partial count is never read as completion.
+  /// Idempotent no-op when disabled.
+  void finish(bool interrupted = false);
 
  private:
-  void print(std::uint64_t done, bool final_line);
+  void print(std::uint64_t done, bool final_line, bool interrupted);
 
   bool enabled_;
   std::string label_;
   std::uint64_t total_;
+  std::uint64_t already_done_;
   std::chrono::steady_clock::time_point start_{};
   std::atomic<std::uint64_t> done_{0};
   /// Milliseconds-since-start of the last reprint; advance() claims the
@@ -113,6 +171,15 @@ class ProgressMeter {
                                              std::uint64_t parts,
                                              std::uint64_t index);
 
+/// What a run_subset() call accomplished.
+struct SubsetOutcome {
+  /// Replications completed by this call (not counting already_done).
+  std::uint64_t completed = 0;
+  /// True when a cooperative stop cut the batch short of the full
+  /// replication count — the caller must not report its merge as complete.
+  bool stopped = false;
+};
+
 /// Runs experiment replications across a worker-thread pool.
 class ParallelRunner {
  public:
@@ -123,49 +190,68 @@ class ParallelRunner {
 
   [[nodiscard]] const RunnerConfig& config() const { return config_; }
 
-  /// Runs `fn(replication_index, replication_seed)` for every replication
-  /// and returns the results ordered by replication index (independent of
-  /// which worker computed which). Workers claim indices from an atomic
-  /// counter, so stragglers never idle the pool. The first exception thrown
-  /// by any replication is rethrown here after all workers have stopped.
-  template <typename Fn>
-  [[nodiscard]] auto run(Fn&& fn)
-      -> std::vector<std::invoke_result_t<Fn&, std::uint64_t, std::uint64_t>> {
-    using Result = std::invoke_result_t<Fn&, std::uint64_t, std::uint64_t>;
-    static_assert(std::is_default_constructible_v<Result>,
-                  "replication results must be default-constructible slots");
+  /// Runs `fn(replication_index, replication_seed)` for exactly the
+  /// replication indices in `todo` (any subset of [0, replications)),
+  /// delivering each result to `on_result(index, std::move(result))` under
+  /// a sink mutex — on_result bodies never race, so checkpoint saves and
+  /// result deposits need no locking of their own. Delivery is in
+  /// completion order; deterministic reduction is the caller's job (fold by
+  /// index, as run() and ckpt::run_resumable() do).
+  ///
+  /// `already_done` is how many replications a previous session finished
+  /// (resume); it only offsets the progress display and the stop
+  /// accounting. Collectors are prepared for the FULL replication count so
+  /// per-replication recorder indices stay stable across sessions.
+  ///
+  /// Honors request_stop(): workers finish their current replication and
+  /// claim no more. The first exception thrown by any replication is
+  /// rethrown after all workers stop.
+  template <typename Fn, typename OnResult>
+  SubsetOutcome run_subset(const std::vector<std::uint64_t>& todo,
+                           std::uint64_t already_done, Fn&& fn,
+                           OnResult&& on_result) {
     const std::uint64_t n = config_.replications;
+    SMARTRED_EXPECT(already_done + todo.size() == n,
+                    "todo plus already-done must cover every replication");
     {
       const obs::ScopedPhase setup(config_.profile, obs::Phase::kSetup);
       if (config_.trace != nullptr) config_.trace->prepare(n);
       if (config_.timeseries != nullptr) config_.timeseries->prepare(n);
     }
-    std::vector<Result> results(n);
-    const unsigned workers = static_cast<unsigned>(
-        std::min<std::uint64_t>(resolve_threads(config_.threads), n));
+    const unsigned workers = static_cast<unsigned>(std::min<std::uint64_t>(
+        resolve_threads(config_.threads), std::max<std::uint64_t>(
+                                              todo.size(), 1)));
 
     std::atomic<std::uint64_t> next{0};
+    std::atomic<std::uint64_t> completed{0};
     std::atomic<bool> failed{false};
     std::exception_ptr error;
     std::mutex error_mutex;
-    ProgressMeter progress(config_.progress, config_.progress_label, n);
+    std::mutex sink_mutex;
+    ProgressMeter progress(config_.progress, config_.progress_label, n,
+                           already_done);
 
     auto worker = [&] {
-      while (!failed.load(std::memory_order_relaxed)) {
-        const std::uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= n) return;
+      while (!failed.load(std::memory_order_relaxed) && !stop_requested()) {
+        const std::uint64_t slot = next.fetch_add(1, std::memory_order_relaxed);
+        if (slot >= todo.size()) return;
+        const std::uint64_t i = todo[static_cast<std::size_t>(slot)];
         try {
-          results[i] = fn(i, rng::derive_seed(config_.master_seed, i));
+          auto result = fn(i, rng::derive_seed(config_.master_seed, i));
+          const std::lock_guard<std::mutex> lock(sink_mutex);
+          on_result(i, std::move(result));
         } catch (...) {
           const std::lock_guard<std::mutex> lock(error_mutex);
           if (!error) error = std::current_exception();
           failed.store(true, std::memory_order_relaxed);
           return;
         }
+        completed.fetch_add(1, std::memory_order_relaxed);
         progress.advance();
       }
     };
 
+    SubsetOutcome outcome;
     {
       const obs::ScopedPhase running(config_.profile, obs::Phase::kRun);
       if (workers <= 1) {
@@ -176,9 +262,43 @@ class ParallelRunner {
         for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
         for (std::thread& thread : pool) thread.join();
       }
-      progress.finish();
+      outcome.completed = completed.load(std::memory_order_relaxed);
+      outcome.stopped =
+          stop_requested() && already_done + outcome.completed < n;
+      progress.finish(outcome.stopped);
     }
     if (error) std::rethrow_exception(error);
+    return outcome;
+  }
+
+  /// Runs `fn(replication_index, replication_seed)` for every replication
+  /// and returns the results ordered by replication index (independent of
+  /// which worker computed which). Workers claim indices from an atomic
+  /// counter, so stragglers never idle the pool. The first exception thrown
+  /// by any replication is rethrown here after all workers have stopped.
+  /// Throws StoppedError when request_stop() cut the batch short — partial
+  /// results are never returned as if complete.
+  template <typename Fn>
+  [[nodiscard]] auto run(Fn&& fn)
+      -> std::vector<std::invoke_result_t<Fn&, std::uint64_t, std::uint64_t>> {
+    using Result = std::invoke_result_t<Fn&, std::uint64_t, std::uint64_t>;
+    static_assert(std::is_default_constructible_v<Result>,
+                  "replication results must be default-constructible slots");
+    const std::uint64_t n = config_.replications;
+    std::vector<Result> results(n);
+    std::vector<std::uint64_t> todo(n);
+    std::iota(todo.begin(), todo.end(), std::uint64_t{0});
+    const SubsetOutcome outcome =
+        run_subset(todo, 0, std::forward<Fn>(fn),
+                   [&results](std::uint64_t i, Result&& result) {
+                     results[static_cast<std::size_t>(i)] = std::move(result);
+                   });
+    if (outcome.stopped) {
+      throw StoppedError("run '" + config_.progress_label + "' stopped after " +
+                             std::to_string(outcome.completed) + " of " +
+                             std::to_string(n) + " replications",
+                         outcome.completed, n, /*checkpointed=*/false);
+    }
     return results;
   }
 

@@ -39,6 +39,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <utility>
 #include <vector>
 
 namespace smartred::obs {
@@ -181,6 +182,28 @@ class LogHistogram {
       cumulative += counts_[i];
       fn(bucket_upper(i), counts_[i], cumulative);
     }
+  }
+
+  /// Rebuilds a histogram from serialized state: `total` observations whose
+  /// non-empty buckets are the (index, count) pairs, with exact recorded
+  /// extrema — the inverse of walking bucket_count() over the layout
+  /// (checkpoint/restart). A zero-total histogram restores unallocated,
+  /// which operator== and merge() treat identically to all-zero. Requires
+  /// every index < kBucketCount, the counts to sum to `total`, and min/max
+  /// to be the original extrema bit patterns.
+  [[nodiscard]] static LogHistogram restore(
+      std::uint64_t total, double min, double max,
+      const std::vector<std::pair<std::size_t, std::uint64_t>>& buckets) {
+    LogHistogram histogram;
+    if (total == 0) return histogram;
+    histogram.counts_.resize(kBucketCount, 0);
+    for (const auto& [index, count] : buckets) {
+      histogram.counts_[index] += count;
+    }
+    histogram.count_ = total;
+    histogram.min_ = min;
+    histogram.max_ = max;
+    return histogram;
   }
 
   /// Exact equality: same counts in every bucket and identical extrema.

@@ -38,8 +38,10 @@ enum class Phase : std::size_t {
   kDecide,      ///< task server: consulting the redundancy strategy
   kSample,      ///< telemetry: periodic time-series sampling
   kExport,      ///< writing metric/trace files
+  kCheckpointLoad,  ///< checkpoint recovery scan + record decode on resume
+  kCheckpointSave,  ///< checkpoint encode + multi-level write-out
 };
-inline constexpr std::size_t kPhaseCount = 8;
+inline constexpr std::size_t kPhaseCount = 10;
 
 /// Stable lowercase name of a phase ("setup", "run", ...).
 [[nodiscard]] inline const char* phase_name(Phase phase) {
@@ -52,6 +54,8 @@ inline constexpr std::size_t kPhaseCount = 8;
     case Phase::kDecide: return "decide";
     case Phase::kSample: return "sample";
     case Phase::kExport: return "export";
+    case Phase::kCheckpointLoad: return "ckpt_load";
+    case Phase::kCheckpointSave: return "ckpt_save";
   }
   return "unknown";
 }

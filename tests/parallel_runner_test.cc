@@ -7,10 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <numeric>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -255,6 +257,89 @@ TEST(ParallelRunnerTest, CustomMergeFoldsInIndexOrder) {
   std::vector<std::uint64_t> expected(10);
   std::iota(expected.begin(), expected.end(), 0u);
   EXPECT_EQ(folded, expected);
+}
+
+
+TEST(ParallelRunnerTest, StopNeverReportsPartialRunAsComplete) {
+  reset_stop();
+  RunnerConfig config;
+  config.replications = 12;
+  config.threads = 1;
+  config.progress_label = "stop-test";
+  ParallelRunner runner(config);
+  std::uint64_t calls = 0;
+  try {
+    (void)runner.run([&](std::uint64_t index, std::uint64_t) {
+      if (++calls == 4) request_stop();
+      return index;
+    });
+    FAIL() << "a stopped run must throw, not return partial results";
+  } catch (const StoppedError& stopped) {
+    // Bookkeeping reconciles: exactly the replications that finished are
+    // counted, and the partial batch is flagged as incomplete.
+    EXPECT_EQ(stopped.completed(), 4u);
+    EXPECT_EQ(stopped.total(), 12u);
+    EXPECT_FALSE(stopped.checkpointed());
+  }
+  reset_stop();
+}
+
+TEST(ParallelRunnerTest, RunSubsetExecutesExactlyTheRequestedIndices) {
+  reset_stop();
+  RunnerConfig config;
+  config.replications = 10;
+  config.threads = 3;
+  config.master_seed = 5;
+  ParallelRunner runner(config);
+  const std::vector<std::uint64_t> todo = {1, 4, 7, 9};
+  std::vector<std::uint64_t> seen;
+  std::vector<std::uint64_t> seeds;
+  const SubsetOutcome outcome = runner.run_subset(
+      todo, /*already_done=*/6,
+      [](std::uint64_t index, std::uint64_t seed) {
+        return std::pair<std::uint64_t, std::uint64_t>{index, seed};
+      },
+      [&](std::uint64_t index,
+          std::pair<std::uint64_t, std::uint64_t>&& result) {
+        // on_result runs under the sink mutex: plain vectors are safe.
+        EXPECT_EQ(index, result.first);
+        seen.push_back(index);
+        seeds.push_back(result.second);
+      });
+  EXPECT_EQ(outcome.completed, 4u);
+  EXPECT_FALSE(outcome.stopped);
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(seen, todo);
+  // Seeds are counter-derived from the replication index, so a resumed
+  // subset sees the exact seeds the original full run would have used.
+  std::sort(seeds.begin(), seeds.end());
+  std::vector<std::uint64_t> expected;
+  for (const std::uint64_t i : todo) {
+    expected.push_back(rng::derive_seed(config.master_seed, i));
+  }
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(seeds, expected);
+}
+
+TEST(ParallelRunnerTest, StoppedRunSubsetReconcilesItsCounters) {
+  reset_stop();
+  RunnerConfig config;
+  config.replications = 10;
+  config.threads = 1;
+  ParallelRunner runner(config);
+  const std::vector<std::uint64_t> todo = {2, 3, 5, 8};
+  std::uint64_t delivered = 0;
+  const SubsetOutcome outcome = runner.run_subset(
+      todo, /*already_done=*/6,
+      [](std::uint64_t index, std::uint64_t) {
+        if (index == 3) request_stop();
+        return index;
+      },
+      [&](std::uint64_t, std::uint64_t&&) { ++delivered; });
+  EXPECT_TRUE(outcome.stopped);
+  EXPECT_EQ(outcome.completed, 2u);  // indices 2 and 3 ran, then the stop
+  EXPECT_EQ(outcome.completed, delivered);
+  reset_stop();
 }
 
 }  // namespace
