@@ -25,6 +25,7 @@
 #pragma GCC diagnostic ignored "-Wmismatched-new-delete"
 #endif
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
@@ -38,6 +39,7 @@
 
 #include "common/rng.h"
 #include "redundancy/analysis.h"
+#include "redundancy/coded.h"
 #include "redundancy/iterative.h"
 #include "redundancy/iterative_naive.h"
 #include "redundancy/montecarlo.h"
@@ -255,6 +257,57 @@ void BM_RunBinaryMonteCarlo(benchmark::State& state) {
       static_cast<double>(tasks), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_RunBinaryMonteCarlo);
+
+/// The coded hot path: encode a task into an (8, 4) codeword, then decode
+/// from the four parity shares (the worst case — no systematic shortcut)
+/// including the mix32 self-check. Reported per encode+decode round trip;
+/// allocs_per_op must read 0.00 — the codec works entirely on stack
+/// scratch.
+void BM_CodedEncodeDecode(benchmark::State& state) {
+  const redundancy::Codec codec(8, 4);
+  std::array<ResultValue, 8> pieces{};
+  std::array<redundancy::Codec::Share, 4> shares{};
+  ResultValue value = 0x5EED;
+  std::uint64_t allocations = 0;
+  for (auto _ : state) {
+    const std::uint64_t before =
+        g_allocations.load(std::memory_order_relaxed);
+    codec.encode(value, pieces);
+    for (int i = 0; i < 4; ++i) {
+      shares[static_cast<std::size_t>(i)] =
+          redundancy::Codec::Share{4 + i,
+                                   pieces[static_cast<std::size_t>(4 + i)]};
+    }
+    const auto decoded = codec.decode(shares);
+    benchmark::DoNotOptimize(decoded);
+    value = static_cast<ResultValue>(
+        static_cast<std::uint32_t>(value) * 2654435761u + 1u);
+    allocations +=
+        g_allocations.load(std::memory_order_relaxed) - before;
+  }
+  state.counters["allocs_per_op"] =
+      static_cast<double>(allocations) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_CodedEncodeDecode);
+
+/// One full decide() consultation of the coded engine at the accept point:
+/// six votes in (five settled pieces), decode-verify, accept.
+void BM_CodedDecide(benchmark::State& state) {
+  redundancy::CodedConfig config;  // n=6, k=4, g=6, d=1, v=1
+  redundancy::CodedRedundancy strategy(config);
+  const redundancy::Codec codec(6, 4);
+  std::vector<Vote> votes;
+  for (int piece = 0; piece < 6; ++piece) {
+    votes.push_back(Vote{static_cast<NodeId>(piece),
+                         codec.piece(12345, piece),
+                         piece});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(strategy.decide(votes));
+  }
+}
+BENCHMARK(BM_CodedDecide);
 
 void BM_RngUniform(benchmark::State& state) {
   rng::Stream stream(1);

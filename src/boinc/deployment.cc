@@ -14,7 +14,10 @@ namespace {
 redundancy::ResultValue wrong_answer(redundancy::ResultValue correct) {
   if (correct == 0) return 1;
   if (correct == 1) return 0;
-  return correct + 1;
+  // Coded-piece values span the full 32-bit range; wrap instead of
+  // overflowing signed arithmetic.
+  return static_cast<redundancy::ResultValue>(
+      static_cast<std::uint32_t>(correct) + 1U);
 }
 
 }  // namespace
@@ -43,6 +46,8 @@ Deployment::Deployment(sim::Simulator& simulator, const BoincConfig& config,
   SMARTRED_EXPECT(config.max_jobs_per_task > 0, "job cap must be positive");
   SMARTRED_EXPECT(config.timeseries == nullptr || config.sample_interval > 0.0,
                   "health sampling needs a positive sample interval");
+  encoder_ = factory.encoder();
+  eager_ = factory.eager();
 }
 
 double Deployment::pool_effective_reliability() const {
@@ -150,17 +155,18 @@ void Deployment::assign(redundancy::NodeId client, std::uint64_t task) {
     state.first_dispatch = simulator_.now();
   }
   const std::uint64_t job_id = next_job_id_++;
+  const int ordinal = state.ordinals++;
   state.live_jobs.insert(job_id);
   state.served.insert(client);
   simulator_.schedule(config_.report_deadline,
                       [this, task, job_id] { deadline_check(task, job_id); });
-  simulator_.schedule(latency(), [this, client, task, job_id] {
-    client_compute(client, task, job_id);
+  simulator_.schedule(latency(), [this, client, task, job_id, ordinal] {
+    client_compute(client, task, job_id, ordinal);
   });
 }
 
 void Deployment::client_compute(redundancy::NodeId client, std::uint64_t task,
-                                std::uint64_t job_id) {
+                                std::uint64_t job_id, int ordinal) {
   const ClientProfile& profile = profiles_[client];
   if (rng_fault_.bernoulli(profile.unresponsive_prob)) {
     // The volunteer goes dark: no report. It resurfaces after a while and
@@ -172,14 +178,18 @@ void Deployment::client_compute(redundancy::NodeId client, std::uint64_t task,
   const double duration =
       rng_compute_.uniform(config_.duration_lo, config_.duration_hi) *
       workload_.job_work(task) / profile.speed;
-  const redundancy::ResultValue correct = workload_.correct_value(task);
+  // Under an encoding strategy the client computes one piece of the task;
+  // the correct report is that piece's value.
+  redundancy::ResultValue correct = workload_.correct_value(task);
+  if (encoder_ != nullptr) correct = encoder_->job_value(correct, ordinal);
   const redundancy::ResultValue value =
       rng_fault_.bernoulli(profile.effective_reliability())
           ? correct
           : wrong_answer(correct);
-  simulator_.schedule(duration, [this, client, task, job_id, value] {
-    simulator_.schedule(latency(), [this, client, task, job_id, value] {
-      server_handle_result(client, task, job_id, value);
+  simulator_.schedule(duration, [this, client, task, job_id, ordinal, value] {
+    simulator_.schedule(latency(), [this, client, task, job_id, ordinal,
+                                    value] {
+      server_handle_result(client, task, job_id, ordinal, value);
     });
     client_request_work(client);  // fetch more work as soon as we finish
   });
@@ -187,7 +197,7 @@ void Deployment::client_compute(redundancy::NodeId client, std::uint64_t task,
 
 void Deployment::server_handle_result(redundancy::NodeId client,
                                       std::uint64_t task,
-                                      std::uint64_t job_id,
+                                      std::uint64_t job_id, int ordinal,
                                       redundancy::ResultValue value) {
   TaskState& state = tasks_[task];
   if (state.decided) {
@@ -201,8 +211,14 @@ void Deployment::server_handle_result(redundancy::NodeId client,
   if (live == state.live_jobs.end()) return;  // stale: counted lost already
   state.live_jobs.erase(live);
   ++metrics_.jobs_completed;
-  if (value == workload_.correct_value(task)) ++metrics_.jobs_correct;
-  state.votes.push_back(redundancy::Vote{client, value});
+  std::int32_t piece = 0;
+  redundancy::ResultValue correct = workload_.correct_value(task);
+  if (encoder_ != nullptr) {
+    piece = encoder_->piece_of(ordinal);
+    correct = encoder_->job_value(correct, ordinal);
+  }
+  if (value == correct) ++metrics_.jobs_correct;
+  state.votes.push_back(redundancy::Vote{client, value, piece});
   if (obs::Recorder* const rec = simulator_.recorder()) {
     rec->record(obs::TraceEvent{
         .time = simulator_.now(),
@@ -220,6 +236,25 @@ void Deployment::server_handle_result(redundancy::NodeId client,
     metrics_.wave_latency.add(latency);
     metrics_.wave_latency_hist.add(latency);
     consult_strategy(task);
+  } else if (eager_) {
+    // Mid-wave peek (coded): an accept settles the task on the fastest
+    // k+v pieces; a dispatch answer waits for the wave to drain. Leftover
+    // reports land in the state.decided branch above as discarded.
+    const redundancy::Decision decision = state.strategy->decide(state.votes);
+    record_decode_rejects(task, decision);
+    if (decision.done()) {
+      if (obs::Recorder* const rec = simulator_.recorder()) {
+        rec->record(obs::TraceEvent{
+            .time = simulator_.now(),
+            .task = task,
+            .arg = decision.value,
+            .wave = static_cast<std::uint32_t>(state.waves),
+            .kind = obs::EventKind::kDecision,
+            .reason = static_cast<std::uint8_t>(decision.reason),
+        });
+      }
+      finish_task(task, decision.value);
+    }
   }
 }
 
@@ -256,9 +291,26 @@ void Deployment::deadline_check(std::uint64_t task, std::uint64_t job_id) {
   job_queue_.push_back(task);
 }
 
+void Deployment::record_decode_rejects(std::uint64_t task,
+                                       const redundancy::Decision& decision) {
+  if (decision.decode_rejects <= 0) return;
+  metrics_.decodes_rejected +=
+      static_cast<std::uint64_t>(decision.decode_rejects);
+  if (obs::Recorder* const rec = simulator_.recorder()) {
+    rec->record(obs::TraceEvent{
+        .time = simulator_.now(),
+        .task = task,
+        .arg = decision.decode_rejects,
+        .wave = static_cast<std::uint32_t>(tasks_[task].waves),
+        .kind = obs::EventKind::kDecodeRejected,
+    });
+  }
+}
+
 void Deployment::consult_strategy(std::uint64_t task) {
   TaskState& state = tasks_[task];
   const redundancy::Decision decision = state.strategy->decide(state.votes);
+  record_decode_rejects(task, decision);
   if (decision.done()) {
     if (obs::Recorder* const rec = simulator_.recorder()) {
       rec->record(obs::TraceEvent{

@@ -96,6 +96,7 @@ class Deployment {
     std::unique_ptr<redundancy::RedundancyStrategy> owned_strategy;
     std::vector<redundancy::Vote> votes;
     int outstanding = 0;
+    int ordinals = 0;  ///< assignments ever made (encoder dispatch ordinals)
     int waves = 0;
     int jobs_started = 0;
     bool started = false;
@@ -116,11 +117,18 @@ class Deployment {
   void client_request_work(redundancy::NodeId client);
   void server_handle_request(redundancy::NodeId client);
   void assign(redundancy::NodeId client, std::uint64_t task);
+  /// `ordinal` is the assignment's dispatch ordinal within its task: under
+  /// an encoding strategy it fixes which piece the client computes and
+  /// which piece index the resulting vote carries.
   void client_compute(redundancy::NodeId client, std::uint64_t task,
-                      std::uint64_t job_id);
+                      std::uint64_t job_id, int ordinal);
   void server_handle_result(redundancy::NodeId client, std::uint64_t task,
-                            std::uint64_t job_id,
+                            std::uint64_t job_id, int ordinal,
                             redundancy::ResultValue value);
+  /// Surfaces a decision's decode-verify rejections (coded strategies)
+  /// through the metrics counter and the trace. No-op when zero.
+  void record_decode_rejects(std::uint64_t task,
+                             const redundancy::Decision& decision);
   void deadline_check(std::uint64_t task, std::uint64_t job_id);
   void consult_strategy(std::uint64_t task);
   void finish_task(std::uint64_t task, redundancy::ResultValue accepted);
@@ -139,6 +147,11 @@ class Deployment {
   BoincConfig config_;
   std::vector<ClientProfile> profiles_;
   const redundancy::StrategyFactory& factory_;
+  /// Cached from the factory: the task encoder (null for plain
+  /// replication) and whether decide() wants a peek after every report
+  /// instead of only at wave boundaries.
+  const redundancy::TaskEncoder* encoder_ = nullptr;
+  bool eager_ = false;
   /// One decision engine for all tasks when the factory is stateless
   /// (avoids a per-task allocation); null for stateful factories.
   std::unique_ptr<redundancy::RedundancyStrategy> shared_strategy_;

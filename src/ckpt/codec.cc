@@ -86,6 +86,8 @@ void Codec<dca::RunMetrics>::encode(common::ByteWriter& writer,
   writer.u64(metrics.tasks_total);
   writer.u64(metrics.tasks_correct);
   writer.u64(metrics.tasks_aborted);
+  writer.u64(metrics.tasks_abandoned);
+  writer.u64(metrics.decodes_rejected);
   writer.u64(metrics.jobs_dispatched);
   writer.u64(metrics.jobs_completed);
   writer.u64(metrics.jobs_correct);
@@ -115,6 +117,8 @@ dca::RunMetrics Codec<dca::RunMetrics>::decode(common::ByteReader& reader) {
   metrics.tasks_total = reader.u64();
   metrics.tasks_correct = reader.u64();
   metrics.tasks_aborted = reader.u64();
+  metrics.tasks_abandoned = reader.u64();
+  metrics.decodes_rejected = reader.u64();
   metrics.jobs_dispatched = reader.u64();
   metrics.jobs_completed = reader.u64();
   metrics.jobs_correct = reader.u64();

@@ -40,7 +40,7 @@ class Error : public std::runtime_error {
 inline constexpr std::uint32_t kRecordMagic = 0x314B5253u;
 /// Bumped on any layout change; readers reject records from other versions
 /// rather than guessing at their contents.
-inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::uint32_t kFormatVersion = 2;
 
 /// Wraps `payload` in the framed envelope described above.
 [[nodiscard]] std::vector<std::uint8_t> frame_record(

@@ -10,6 +10,8 @@ void RunMetrics::merge(const RunMetrics& other) {
   tasks_total += other.tasks_total;
   tasks_correct += other.tasks_correct;
   tasks_aborted += other.tasks_aborted;
+  tasks_abandoned += other.tasks_abandoned;
+  decodes_rejected += other.decodes_rejected;
   jobs_dispatched += other.jobs_dispatched;
   jobs_completed += other.jobs_completed;
   jobs_correct += other.jobs_correct;

@@ -15,7 +15,13 @@ namespace smartred::dca {
 struct RunMetrics {
   std::uint64_t tasks_total = 0;
   std::uint64_t tasks_correct = 0;
-  std::uint64_t tasks_aborted = 0;   ///< hit the per-task job cap
+  std::uint64_t tasks_aborted = 0;   ///< hit the per-task job cap, or starved
+  std::uint64_t tasks_abandoned = 0; ///< subset of tasks_aborted: the run
+                                     ///< ended (pool starved) before a
+                                     ///< decision, not a budget exhaustion
+  std::uint64_t decodes_rejected = 0; ///< coded candidate codewords rejected
+                                      ///< by decode-verify (Byzantine results
+                                      ///< caught before reconstruction)
   std::uint64_t jobs_dispatched = 0; ///< includes re-issued (lost) jobs
   std::uint64_t jobs_completed = 0;  ///< produced a counted vote
   std::uint64_t jobs_correct = 0;    ///< completed jobs whose vote was right

@@ -60,6 +60,8 @@ TaskServer::TaskServer(sim::Simulator& simulator, const DcaConfig& config,
   }
   SMARTRED_EXPECT(config.timeseries == nullptr || config.sample_interval > 0.0,
                   "health sampling needs a positive sample interval");
+  encoder_ = factory.encoder();
+  eager_ = factory.eager();
 }
 
 const RunMetrics& TaskServer::run() {
@@ -131,6 +133,7 @@ void TaskServer::enqueue_wave(std::uint64_t task, int jobs) {
     const std::uint64_t job = next_job_id_++;
     LogicalJob logical;
     logical.task = task;
+    logical.ordinal = state.ordinals++;
     logical.copies = 1;
     jobs_.emplace(job, logical);
     enqueue_copy(job, task, /*carried_work=*/-1.0, prioritized);
@@ -328,11 +331,20 @@ void TaskServer::complete_job(std::uint64_t job, redundancy::NodeId node) {
     return;
   }
   ++metrics_.jobs_completed;
-  const redundancy::ResultValue correct = workload_.correct_value(task);
+  // Under an encoding strategy the node computed one piece, not the whole
+  // task: the correct report is the ordinal's piece value, and the vote is
+  // stamped with the piece index (assigned at dispatch, so a Byzantine
+  // value cannot migrate between pieces).
+  redundancy::ResultValue correct = workload_.correct_value(task);
+  std::int32_t piece = 0;
+  if (encoder_ != nullptr) {
+    piece = encoder_->piece_of(logical.ordinal);
+    correct = encoder_->job_value(correct, logical.ordinal);
+  }
   const redundancy::ResultValue value =
       failures_.report(node, task, correct, rng_fault_);
   if (value == correct) ++metrics_.jobs_correct;
-  state.votes.push_back(redundancy::Vote{node, value});
+  state.votes.push_back(redundancy::Vote{node, value, piece});
   if (obs::Recorder* const rec = simulator_.recorder()) {
     rec->record(obs::TraceEvent{
         .time = simulator_.now(),
@@ -357,6 +369,26 @@ void TaskServer::complete_job(std::uint64_t job, redundancy::NodeId node) {
     metrics_.wave_latency.add(latency);
     metrics_.wave_latency_hist.add(latency);
     consult_strategy(task);
+  } else if (eager_) {
+    // Mid-wave peek: an accept settles the task on the k-th fastest vote
+    // instead of the wave's slowest (the coded straggler win); a dispatch
+    // answer is ignored until the wave drains. Leftover copies complete as
+    // discarded through the state.decided path above.
+    const redundancy::Decision decision = state.strategy->decide(state.votes);
+    record_decode_rejects(task, decision);
+    if (decision.done()) {
+      if (obs::Recorder* const rec = simulator_.recorder()) {
+        rec->record(obs::TraceEvent{
+            .time = simulator_.now(),
+            .task = task,
+            .arg = decision.value,
+            .wave = static_cast<std::uint32_t>(state.waves),
+            .kind = obs::EventKind::kDecision,
+            .reason = static_cast<std::uint8_t>(decision.reason),
+        });
+      }
+      finish_task(task, decision.value);
+    }
   }
   assign_available();
 }
@@ -387,10 +419,27 @@ void TaskServer::copy_lost(std::uint64_t job, double carried_work) {
   assign_available();
 }
 
+void TaskServer::record_decode_rejects(std::uint64_t task,
+                                       const redundancy::Decision& decision) {
+  if (decision.decode_rejects <= 0) return;
+  metrics_.decodes_rejected +=
+      static_cast<std::uint64_t>(decision.decode_rejects);
+  if (obs::Recorder* const rec = simulator_.recorder()) {
+    rec->record(obs::TraceEvent{
+        .time = simulator_.now(),
+        .task = task,
+        .arg = decision.decode_rejects,
+        .wave = static_cast<std::uint32_t>(tasks_[task].waves),
+        .kind = obs::EventKind::kDecodeRejected,
+    });
+  }
+}
+
 void TaskServer::consult_strategy(std::uint64_t task) {
   const obs::ScopedPhase scope(config_.profile, obs::Phase::kDecide);
   TaskState& state = tasks_[task];
   const redundancy::Decision decision = state.strategy->decide(state.votes);
+  record_decode_rejects(task, decision);
   if (decision.done()) {
     if (obs::Recorder* const rec = simulator_.recorder()) {
       rec->record(obs::TraceEvent{
@@ -453,6 +502,7 @@ void TaskServer::abort_task(std::uint64_t task, bool budget_exhausted) {
   state.aborted = true;
   --undecided_;
   ++metrics_.tasks_aborted;
+  if (!budget_exhausted) ++metrics_.tasks_abandoned;
   if (obs::Recorder* const rec = simulator_.recorder()) {
     rec->record(obs::TraceEvent{
         .time = simulator_.now(),
@@ -462,7 +512,7 @@ void TaskServer::abort_task(std::uint64_t task, bool budget_exhausted) {
         .kind = obs::EventKind::kTaskAborted,
         .reason = static_cast<std::uint8_t>(
             budget_exhausted ? redundancy::Decision::Reason::kBudgetExhausted
-                             : redundancy::Decision::Reason::kNone),
+                             : redundancy::Decision::Reason::kAbandoned),
     });
   }
   record_task_metrics(state);

@@ -178,6 +178,7 @@ class TaskServer {
     std::unique_ptr<redundancy::RedundancyStrategy> owned_strategy;
     std::vector<redundancy::Vote> votes;
     int outstanding = 0;  ///< logical jobs dispatched but not yet voted
+    int ordinals = 0;     ///< logical jobs ever created (encoder ordinals)
     int waves = 0;
     int jobs_started = 0;  ///< physical dispatches incl. re-issues + copies
     bool started = false;
@@ -194,6 +195,9 @@ class TaskServer {
   /// and speculative re-executions.
   struct LogicalJob {
     std::uint64_t task = 0;
+    int ordinal = 0;      ///< dispatch ordinal within the task: under an
+                          ///< encoding strategy this fixes which piece every
+                          ///< copy computes (encoder->piece_of(ordinal))
     int copies = 0;       ///< physical copies queued, running, or silent
     int speculative = 0;  ///< speculative copies launched so far
     bool resolved = false;          ///< a copy completed and cast the vote
@@ -228,6 +232,10 @@ class TaskServer {
   void start_job(const QueuedJob& job, redundancy::NodeId node);
   void complete_job(std::uint64_t job, redundancy::NodeId node);
   void copy_lost(std::uint64_t job, double carried_work);
+  /// Surfaces a decision's decode-verify rejections (coded strategies)
+  /// through the metrics counter and the trace. No-op when zero.
+  void record_decode_rejects(std::uint64_t task,
+                             const redundancy::Decision& decision);
   void consult_strategy(std::uint64_t task);
   void finish_task(std::uint64_t task, redundancy::ResultValue accepted);
   /// `budget_exhausted` distinguishes job-cap aborts (the normal in-run
@@ -264,6 +272,14 @@ class TaskServer {
   const redundancy::StrategyFactory& factory_;
   const Workload& workload_;
   fault::FailureModel& failures_;
+
+  /// Cached from the factory: non-null when the strategy encodes tasks
+  /// into pieces (votes are then stamped with their piece index), and
+  /// whether it wants a decide() peek after every vote instead of only at
+  /// wave boundaries (an accept mid-wave settles the task early; its
+  /// leftover copies complete as discarded).
+  const redundancy::TaskEncoder* encoder_ = nullptr;
+  bool eager_ = false;
 
   /// One decision engine for all tasks when the factory is stateless
   /// (avoids a per-task allocation); null for stateful factories.

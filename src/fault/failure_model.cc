@@ -8,7 +8,10 @@ namespace {
 /// The colluding wrong answer for a task: one fixed value distinct from the
 /// correct one, shared by all colluders (the paper's worst case).
 redundancy::ResultValue colluding_wrong(redundancy::ResultValue correct) {
-  return correct + 1;
+  // Coded-piece values span the full 32-bit range; wrap instead of
+  // overflowing signed arithmetic.
+  return static_cast<redundancy::ResultValue>(
+      static_cast<std::uint32_t>(correct) + 1U);
 }
 
 }  // namespace
@@ -33,10 +36,10 @@ redundancy::ResultValue ScatteredWrong::report(redundancy::NodeId node,
                                                redundancy::ResultValue correct,
                                                rng::Stream& rng) {
   if (rng.bernoulli(assigner_.reliability(node))) return correct;
-  const auto offset =
-      static_cast<redundancy::ResultValue>(rng.uniform_int(
-          1, static_cast<std::uint64_t>(spread_)));
-  return correct + offset;
+  const auto offset = static_cast<std::uint32_t>(
+      rng.uniform_int(1, static_cast<std::uint64_t>(spread_)));
+  return static_cast<redundancy::ResultValue>(
+      static_cast<std::uint32_t>(correct) + offset);
 }
 
 CorrelatedClusters::CorrelatedClusters(ReliabilityAssigner assigner,

@@ -43,6 +43,7 @@ const char* arg_name(EventKind kind) {
     case EventKind::kNodeQuarantined: return "round";
     case EventKind::kNodeReadmitted: return "round";
     case EventKind::kTaskAborted: return "jobs";
+    case EventKind::kDecodeRejected: return "rejects";
   }
   return "arg";
 }
@@ -70,6 +71,7 @@ const char* kind_name(EventKind kind) {
     case EventKind::kNodeQuarantined: return "node_quarantined";
     case EventKind::kNodeReadmitted: return "node_readmitted";
     case EventKind::kTaskAborted: return "task_aborted";
+    case EventKind::kDecodeRejected: return "decode_rejected";
   }
   return "unknown";
 }

@@ -61,6 +61,8 @@ MetricRegistry snapshot(const dca::RunMetrics& metrics) {
   registry.counter("tasks_total", metrics.tasks_total);
   registry.counter("tasks_correct", metrics.tasks_correct);
   registry.counter("tasks_aborted", metrics.tasks_aborted);
+  registry.counter("tasks_abandoned", metrics.tasks_abandoned);
+  registry.counter("decodes_rejected", metrics.decodes_rejected);
   registry.counter("jobs_dispatched", metrics.jobs_dispatched);
   registry.counter("jobs_completed", metrics.jobs_completed);
   registry.counter("jobs_correct", metrics.jobs_correct);

@@ -49,6 +49,8 @@ enum class EventKind : std::uint8_t {
   kNodeQuarantined,       ///< node `node` sidelined (quarantine round `arg`)
   kNodeReadmitted,        ///< node `node` back in the assignment rotation
   kTaskAborted,           ///< task gave up; `reason` says why
+  kDecodeRejected,        ///< coded decode-verify rejected `arg` candidate
+                          ///< codewords before this consultation returned
 };
 
 /// One fixed-size trace record. No owned memory: every field is a scalar,

@@ -152,6 +152,23 @@ MonteCarloResult run_binary(const StrategyFactory& factory, double reliability,
                             const MonteCarloConfig& config) {
   SMARTRED_EXPECT(reliability >= 0.0 && reliability <= 1.0,
                   "reliability must be in [0, 1]");
+  // An encoding factory splits the task into pieces: job_index is the
+  // dispatch ordinal, the correct report is the ordinal's piece value, and
+  // the colluding wrong value flips that piece's low bit (per-piece
+  // collusion — the coded analogue of the binary worst case, since a
+  // wrong-but-consistent *codeword* is what the decode-verify step exists
+  // to catch).
+  if (const TaskEncoder* const encoder = factory.encoder()) {
+    const VoteSource source = [reliability, encoder](std::uint64_t /*task*/,
+                                                     int job_index,
+                                                     rng::Stream& rng) {
+      const ResultValue correct = encoder->job_value(kCorrectValue, job_index);
+      return Vote{static_cast<NodeId>(job_index),
+                  rng.bernoulli(reliability) ? correct : correct ^ 1,
+                  encoder->piece_of(job_index)};
+    };
+    return run_custom(factory, source, kCorrectValue, config);
+  }
   const VoteSource source = [reliability](std::uint64_t /*task*/,
                                           int job_index, rng::Stream& rng) {
     // Node ids are synthetic: the pool is assumed large enough that a task

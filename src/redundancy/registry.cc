@@ -1,10 +1,14 @@
 #include "redundancy/registry.h"
 
+#include <algorithm>
 #include <charconv>
+#include <span>
 #include <sstream>
 #include <utility>
+#include <vector>
 
 #include "redundancy/adaptive.h"
+#include "redundancy/coded.h"
 #include "redundancy/credibility.h"
 #include "redundancy/iterative.h"
 #include "redundancy/iterative_naive.h"
@@ -15,6 +19,43 @@
 
 namespace smartred::redundancy {
 namespace {
+
+/// Plain dynamic-programming edit distance, for did-you-mean suggestions.
+/// Spec vocabularies are tiny (a dozen names, single-char keys), so the
+/// O(len^2) table is irrelevant.
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diagonal = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t above = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1,
+                         diagonal + (a[i - 1] == b[j - 1] ? 0 : 1)});
+      diagonal = above;
+    }
+  }
+  return row[b.size()];
+}
+
+/// " — did you mean 'X'?" when some candidate is within edit distance 2 of
+/// `input` (ties break toward the earlier candidate); empty otherwise.
+std::string did_you_mean(std::string_view input,
+                         std::span<const std::string_view> candidates) {
+  std::string_view best;
+  std::size_t best_distance = 3;  // suggestions past distance 2 mislead
+  for (const std::string_view candidate : candidates) {
+    if (candidate == input) continue;
+    const std::size_t distance = edit_distance(input, candidate);
+    if (distance < best_distance) {
+      best_distance = distance;
+      best = candidate;
+    }
+  }
+  if (best.empty()) return {};
+  return " — did you mean '" + std::string(best) + "'?";
+}
 
 /// Parsed `key=value` pairs of a spec, tracking which keys the technique
 /// consumed so leftovers can be reported as unknown.
@@ -61,12 +102,24 @@ class Params {
   }
 
   /// Call after consuming everything the technique understands: any key
-  /// never looked up is unknown, and that is an error.
+  /// never looked up is unknown, and that is an error (with a did-you-mean
+  /// nudge when the key is a near-miss of a valid one).
   void finish(std::string_view valid_keys) const {
     for (const Entry& entry : entries_) {
       if (!entry.consumed) {
+        std::vector<std::string_view> candidates;
+        std::string_view rest = valid_keys;
+        while (!rest.empty()) {
+          const std::size_t comma = rest.find(',');
+          std::string_view key = rest.substr(0, comma);
+          rest = comma == std::string_view::npos ? std::string_view{}
+                                                 : rest.substr(comma + 1);
+          while (!key.empty() && key.front() == ' ') key.remove_prefix(1);
+          if (!key.empty()) candidates.push_back(key);
+        }
         fail("unknown key '" + entry.key + "' (valid keys: " +
-             std::string(valid_keys) + ")");
+             std::string(valid_keys) + ")" +
+             did_you_mean(entry.key, candidates));
       }
     }
   }
@@ -130,7 +183,13 @@ class Params {
 
 const char* const kTechniqueList =
     "traditional (tr), progressive (pr), iterative (ir), naive, weighted, "
-    "selftuning, adaptive, credibility";
+    "selftuning, adaptive, credibility, coded";
+
+constexpr std::string_view kTechniqueNames[] = {
+    "traditional", "tr",         "progressive", "pr",       "iterative",
+    "ir",          "naive",      "weighted",    "selftuning",
+    "adaptive",    "credibility", "coded",
+};
 
 }  // namespace
 
@@ -198,8 +257,41 @@ std::shared_ptr<StrategyFactory> Registry::make(std::string_view spec) {
     return std::make_shared<CredibilityFactory>(
         std::make_shared<ReputationBook>(fault), threshold);
   }
+  if (technique == "coded") {
+    CodedConfig config;
+    config.n = params.get_int("n");
+    config.k = params.get_int("k");
+    config.g = params.get_int("g", config.n);
+    config.d = params.get_int("d", 1);
+    config.v = params.get_int("v", -1);
+    params.finish("n, k, g, d, v");
+    if (config.n < 1 || config.n > kMaxCodedPieces) {
+      params.fail("n must be in [1, " + std::to_string(kMaxCodedPieces) +
+                  "], got " + std::to_string(config.n));
+    }
+    if (config.k < 1 || config.k > config.n) {
+      params.fail("k must satisfy 1 <= k <= n, got k=" +
+                  std::to_string(config.k) + " with n=" +
+                  std::to_string(config.n));
+    }
+    if (config.g < 1 || config.n % config.g != 0) {
+      params.fail("wave size g must divide n, got g=" +
+                  std::to_string(config.g) + " with n=" +
+                  std::to_string(config.n));
+    }
+    if (config.d < 1) {
+      params.fail("per-piece margin d must be >= 1, got " +
+                  std::to_string(config.d));
+    }
+    if (config.v < -1 || (config.v >= 0 && config.k + config.v > config.n)) {
+      params.fail("verify overhead v must satisfy 0 <= v and k+v <= n, got "
+                  "v=" + std::to_string(config.v));
+    }
+    return std::make_shared<CodedFactory>(config);
+  }
   throw SpecError("unknown redundancy technique '" + std::string(technique) +
-                  "' (known: " + kTechniqueList + ")");
+                  "' (known: " + kTechniqueList + ")" +
+                  did_you_mean(technique, kTechniqueNames));
 }
 
 std::vector<std::string> Registry::describe() {
@@ -213,6 +305,8 @@ std::vector<std::string> Registry::describe() {
       "forgetting=]",
       "adaptive:         quorum=<int>,trust=<int>",
       "credibility:      threshold=<p>[,f=<p>]",
+      "coded:            n=<int>,k=<int>[,g=n,d=1,v=min(1,n-k)]  any k of n "
+      "pieces reconstruct; waves of g",
   };
 }
 

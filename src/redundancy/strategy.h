@@ -41,12 +41,19 @@ struct Decision {
     kQuorum,              ///< some value reached the consensus quorum
     kTrustedNode,         ///< a trusted node's single result was accepted
     kBudgetExhausted,     ///< per-task job cap reached; task aborted
+    kDecodeVerified,      ///< coded: a decoded codeword survived verification
+    kAbandoned,           ///< run ended (pool starved) before a decision
   };
 
   Kind kind = Kind::kDispatch;
   int jobs = 0;             ///< valid when kind == kDispatch; always > 0
   ResultValue value = 0;    ///< valid when kind == kAccept
   Reason reason = Reason::kNone;  ///< why `value` was accepted
+  /// Candidate codewords a coded strategy decoded and rejected during this
+  /// decide() call (self-check or agreement failure — a Byzantine result
+  /// caught before reconstruction). Zero for every non-coded strategy.
+  /// Substrates surface it through metrics and the trace.
+  std::int32_t decode_rejects = 0;
 
   static Decision dispatch(int jobs) {
     SMARTRED_EXPECT(jobs > 0, "a dispatch decision must request jobs");
@@ -68,9 +75,38 @@ struct Decision {
     case Decision::Reason::kQuorum: return "quorum";
     case Decision::Reason::kTrustedNode: return "trusted_node";
     case Decision::Reason::kBudgetExhausted: return "budget_exhausted";
+    case Decision::Reason::kDecodeVerified: return "decode_verified";
+    case Decision::Reason::kAbandoned: return "abandoned";
   }
   return "unknown";
 }
+
+/// Maps a task's scalar result onto per-piece job values for strategies
+/// that split a task into encoded pieces instead of replicating it whole.
+/// Substrates consult the factory's encoder() (when non-null) at dispatch
+/// and completion time: the j-th logical job a strategy ever requested for
+/// a task (its *ordinal*, counted from 0 across waves) computes piece
+/// piece_of(j), and a correct node reports job_value(task_value, j).
+/// Implementations are immutable and shared across tasks and threads.
+class TaskEncoder {
+ public:
+  virtual ~TaskEncoder() = default;
+
+  /// Number of distinct pieces n; piece indices are [0, n).
+  [[nodiscard]] virtual int pieces() const = 0;
+  /// The piece the `ordinal`-th dispatched job computes. Requires
+  /// ordinal >= 0.
+  [[nodiscard]] virtual int piece_of(int ordinal) const = 0;
+  /// What a correct node reports for the `ordinal`-th job of a task whose
+  /// true result is `task_value`.
+  [[nodiscard]] virtual ResultValue job_value(ResultValue task_value,
+                                              int ordinal) const = 0;
+
+ protected:
+  TaskEncoder() = default;
+  TaskEncoder(const TaskEncoder&) = default;
+  TaskEncoder& operator=(const TaskEncoder&) = default;
+};
 
 /// Per-task decision engine. Instances are created per task by a
 /// StrategyFactory and consulted once per completed wave.
@@ -116,6 +152,22 @@ class StrategyFactory {
   /// size, margin floor) must keep the default `false`; sequential drivers
   /// can still reuse a single instance via RedundancyStrategy::reset().
   [[nodiscard]] virtual bool stateless() const { return false; }
+
+  /// Non-null when this technique splits tasks into encoded pieces: the
+  /// substrate must assign each logical job its dispatch ordinal, have a
+  /// correct node report job_value(task_value, ordinal), and stamp the
+  /// resulting Vote with piece_of(ordinal). Null (the default) keeps the
+  /// replicate-whole-tasks contract unchanged. The encoder is owned by the
+  /// factory and immutable, so one pointer serves all tasks and threads.
+  [[nodiscard]] virtual const TaskEncoder* encoder() const { return nullptr; }
+
+  /// True when the strategy wants decide() consulted after *every* vote
+  /// rather than only at wave boundaries. An accept mid-wave settles the
+  /// task immediately (outstanding copies are discarded on completion); a
+  /// dispatch answer while jobs are still outstanding is ignored. Coded
+  /// strategies opt in — accepting on the k-th fastest of n pieces, not
+  /// the slowest, is where their straggler win comes from.
+  [[nodiscard]] virtual bool eager() const { return false; }
 
   /// Technique name, e.g. "traditional(k=19)".
   [[nodiscard]] virtual std::string name() const = 0;

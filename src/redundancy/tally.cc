@@ -10,17 +10,26 @@ VoteTally::VoteTally(std::span<const Vote> votes) {
 
 void VoteTally::add(ResultValue value) {
   ++total_;
-  for (Entry& entry : counts_) {
-    if (entry.value == value) {
-      ++entry.count;
+  Entry* const data = spilled() ? spill_.data() : inline_.data();
+  for (std::size_t i = 0; i < distinct_; ++i) {
+    if (data[i].value == value) {
+      ++data[i].count;
       return;
     }
   }
-  counts_.push_back(Entry{value, 1});
+  if (!spilled() && distinct_ == kInlineEntries) {
+    spill_.assign(inline_.begin(), inline_.end());
+  }
+  if (spilled()) {
+    spill_.push_back(Entry{value, 1});
+  } else {
+    inline_[distinct_] = Entry{value, 1};
+  }
+  ++distinct_;
 }
 
 int VoteTally::count(ResultValue value) const {
-  for (const Entry& entry : counts_) {
+  for (const Entry& entry : entries()) {
     if (entry.value == value) return entry.count;
   }
   return 0;
@@ -28,9 +37,10 @@ int VoteTally::count(ResultValue value) const {
 
 const VoteTally::Entry& VoteTally::leader_entry() const {
   SMARTRED_EXPECT(total_ > 0, "tally is empty");
+  const std::span<const Entry> all = entries();
   // First-seen wins ties: strict > keeps the earliest maximal entry.
-  const Entry* best = &counts_.front();
-  for (const Entry& entry : counts_) {
+  const Entry* best = &all.front();
+  for (const Entry& entry : all) {
     if (entry.count > best->count) best = &entry;
   }
   return *best;
@@ -43,7 +53,7 @@ int VoteTally::leader_count() const { return leader_entry().count; }
 int VoteTally::runner_up_count() const {
   const Entry& lead = leader_entry();
   int best = 0;
-  for (const Entry& entry : counts_) {
+  for (const Entry& entry : entries()) {
     if (&entry != &lead) best = std::max(best, entry.count);
   }
   return best;

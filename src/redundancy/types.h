@@ -8,6 +8,7 @@
 // enough jobs agree.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -32,6 +33,12 @@ using NodeId = std::uint32_t;
 struct Vote {
   NodeId node = 0;
   ResultValue value = 0;
+  /// Which encoded piece of the task this vote answers. Plain replication
+  /// strategies leave it 0 (every job computes the whole task); coded
+  /// strategies read it to tally per-piece. Assigned by the substrate from
+  /// the job's dispatch ordinal — a Byzantine node can corrupt `value` but
+  /// never lie about which piece it was asked for.
+  std::int32_t piece = 0;
 
   friend bool operator==(const Vote&, const Vote&) = default;
 };
@@ -40,9 +47,10 @@ struct Vote {
 ///
 /// Under the binary worst case there are at most two distinct values, but
 /// the tally supports arbitrarily many so the non-binary relaxation of §5.3
-/// (plurality voting) runs through the same code path. Counts are kept in a
-/// small flat vector: real tallies hold a handful of distinct values, where
-/// a flat scan beats any map.
+/// (plurality voting) runs through the same code path. Counts live in a
+/// small inline buffer with a heap spill only past kInlineEntries distinct
+/// values: real tallies hold a handful of distinct values, where a flat
+/// scan beats any map and the inline common case never allocates.
 class VoteTally {
  public:
   VoteTally() = default;
@@ -57,7 +65,7 @@ class VoteTally {
   [[nodiscard]] int total() const { return total_; }
 
   /// Number of distinct values seen.
-  [[nodiscard]] std::size_t distinct() const { return counts_.size(); }
+  [[nodiscard]] std::size_t distinct() const { return distinct_; }
 
   /// Votes recorded for `value` (0 if never seen).
   [[nodiscard]] int count(ResultValue value) const;
@@ -86,9 +94,22 @@ class VoteTally {
     int count;
   };
 
+  /// Inline capacity sized for the binary worst case (2 distinct values)
+  /// with headroom; tallies only touch the heap past this, which in
+  /// practice means never outside the §5.3 non-binary relaxation. The
+  /// decide() hot path builds a tally per consult, so this matters.
+  static constexpr std::size_t kInlineEntries = 4;
+
+  [[nodiscard]] bool spilled() const { return !spill_.empty(); }
+  [[nodiscard]] std::span<const Entry> entries() const {
+    return spilled() ? std::span<const Entry>(spill_)
+                     : std::span<const Entry>(inline_.data(), distinct_);
+  }
   [[nodiscard]] const Entry& leader_entry() const;
 
-  std::vector<Entry> counts_;
+  std::array<Entry, kInlineEntries> inline_{};
+  std::vector<Entry> spill_;
+  std::size_t distinct_ = 0;
   int total_ = 0;
 };
 

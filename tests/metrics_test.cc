@@ -17,6 +17,8 @@ RunMetrics sample_a() {
   m.tasks_total = 100;
   m.tasks_correct = 90;
   m.tasks_aborted = 2;
+  m.tasks_abandoned = 1;
+  m.decodes_rejected = 6;
   m.jobs_dispatched = 500;
   m.jobs_completed = 450;
   m.jobs_correct = 400;
@@ -45,6 +47,8 @@ RunMetrics sample_b() {
   m.tasks_total = 50;
   m.tasks_correct = 44;
   m.tasks_aborted = 1;
+  m.tasks_abandoned = 1;
+  m.decodes_rejected = 4;
   m.jobs_dispatched = 300;
   m.jobs_completed = 260;
   m.jobs_correct = 220;
@@ -74,6 +78,8 @@ TEST(RunMetricsMergeTest, CountersAdd) {
   EXPECT_EQ(merged.tasks_total, 150u);
   EXPECT_EQ(merged.tasks_correct, 134u);
   EXPECT_EQ(merged.tasks_aborted, 3u);
+  EXPECT_EQ(merged.tasks_abandoned, 2u);
+  EXPECT_EQ(merged.decodes_rejected, 10u);
   EXPECT_EQ(merged.jobs_dispatched, 800u);
   EXPECT_EQ(merged.jobs_completed, 710u);
   EXPECT_EQ(merged.jobs_correct, 620u);

@@ -167,6 +167,8 @@ void expect_identical(const dca::RunMetrics& a, const dca::RunMetrics& b) {
   EXPECT_EQ(a.tasks_total, b.tasks_total);
   EXPECT_EQ(a.tasks_correct, b.tasks_correct);
   EXPECT_EQ(a.tasks_aborted, b.tasks_aborted);
+  EXPECT_EQ(a.tasks_abandoned, b.tasks_abandoned);
+  EXPECT_EQ(a.decodes_rejected, b.decodes_rejected);
   EXPECT_EQ(a.jobs_dispatched, b.jobs_dispatched);
   EXPECT_EQ(a.jobs_completed, b.jobs_completed);
   EXPECT_EQ(a.jobs_correct, b.jobs_correct);

@@ -30,6 +30,8 @@ TEST(RegistryTest, BuildsEveryTechnique) {
   EXPECT_NE(Registry::make("selftuning:R=0.999"), nullptr);
   EXPECT_NE(Registry::make("adaptive:quorum=3,trust=5"), nullptr);
   EXPECT_NE(Registry::make("credibility:threshold=0.99"), nullptr);
+  EXPECT_EQ(Registry::make("coded:n=6,k=4,g=2")->name(),
+            "coded(n=6,k=4,g=2,d=1,v=1)");
 }
 
 TEST(RegistryTest, AliasesNameTheSameFactory) {
@@ -91,7 +93,71 @@ TEST(RegistryTest, FreeFunctionForwardsToRegistry) {
 
 TEST(RegistryTest, DescribeCoversEveryTechnique) {
   const auto lines = Registry::describe();
-  EXPECT_EQ(lines.size(), 8u);
+  EXPECT_EQ(lines.size(), 9u);
+}
+
+TEST(RegistryTest, CodedDefaultsResolveFromNAndK) {
+  // g defaults to n (one full wave), d to 1, v to min(1, n - k).
+  EXPECT_EQ(Registry::make("coded:n=6,k=4")->name(),
+            "coded(n=6,k=4,g=6,d=1,v=1)");
+  // n == k leaves no verification headroom: v resolves to 0.
+  EXPECT_EQ(Registry::make("coded:n=4,k=4")->name(),
+            "coded(n=4,k=4,g=4,d=1,v=0)");
+}
+
+TEST(RegistryTest, CodedRejectsMalformedSpecsWithPreciseErrors) {
+  EXPECT_NE(error_for("coded:n=4,k=6").find("k"), std::string::npos);
+  EXPECT_NE(error_for("coded:n=6,k=4,g=4").find("divide"),
+            std::string::npos);
+  EXPECT_NE(error_for("coded:k=4").find("missing required key 'n'"),
+            std::string::npos);
+  EXPECT_NE(error_for("coded:n=6").find("missing required key 'k'"),
+            std::string::npos);
+  EXPECT_NE(error_for("coded:n=0,k=0").find("n"), std::string::npos);
+  EXPECT_NE(error_for("coded:n=65,k=4").find("64"), std::string::npos);
+  EXPECT_NE(error_for("coded:n=6,k=4,d=0").find("d"), std::string::npos);
+  EXPECT_NE(error_for("coded:n=6,k=4,v=5").find("v"), std::string::npos);
+  EXPECT_NE(error_for("coded:n=abc,k=4").find("not an integer"),
+            std::string::npos);
+  EXPECT_NE(error_for("coded:garbage").find("expected key=value"),
+            std::string::npos);
+}
+
+TEST(RegistryTest, MisspelledKeysAndTechniquesSuggestCorrections) {
+  // Unknown key within edit distance 2 of a valid one gets a suggestion.
+  const std::string key_message = error_for("coded:n=6,k=4,gg=2");
+  EXPECT_NE(key_message.find("unknown key 'gg'"), std::string::npos);
+  EXPECT_NE(key_message.find("did you mean 'g'"), std::string::npos);
+  // Misspelled technique likewise.
+  const std::string tech_message = error_for("codde:n=6,k=4");
+  EXPECT_NE(tech_message.find("unknown redundancy technique 'codde'"),
+            std::string::npos);
+  EXPECT_NE(tech_message.find("did you mean 'coded'"), std::string::npos);
+  // Way-off names get the list but no bogus suggestion.
+  EXPECT_EQ(error_for("zzzzzzzz:k=1").find("did you mean"),
+            std::string::npos);
+}
+
+TEST(RegistryTest, EveryRegisteredKeyRoundTripsThroughMakeStrategy) {
+  // Every spelling the registry accepts must build a live factory whose
+  // make() yields a strategy that answers the empty-votes consultation.
+  const char* specs[] = {
+      "traditional:k=3",  "tr:k=3",         "progressive:k=3",
+      "pr:k=3",           "iterative:d=2",  "ir:d=2",
+      "naive:r=0.7,R=0.99", "weighted:r=0.7,R=0.99",
+      "selftuning:R=0.999", "adaptive:quorum=3,trust=5",
+      "credibility:threshold=0.99", "coded:n=6,k=4,g=2",
+      "coded:n=1,k=1",    "coded:n=8,k=4,g=4,d=2,v=2",
+  };
+  for (const char* spec : specs) {
+    const auto factory = make_strategy(spec);
+    ASSERT_NE(factory, nullptr) << spec;
+    const auto strategy = factory->make();
+    ASSERT_NE(strategy, nullptr) << spec;
+    const Decision first = strategy->decide({});
+    EXPECT_EQ(first.kind, Decision::Kind::kDispatch) << spec;
+    EXPECT_GE(first.jobs, 1) << spec;
+  }
 }
 
 TEST(RegistryTest, BuiltStrategiesDecideWithReasons) {

@@ -7,6 +7,7 @@
 #include "dca/workload.h"
 #include "fault/failure_model.h"
 #include "fault/latency_model.h"
+#include "obs/trace.h"
 #include "redundancy/analysis.h"
 #include "redundancy/iterative.h"
 #include "redundancy/progressive.h"
@@ -182,6 +183,38 @@ TEST(TaskServerTest, JobCapAbortsPathologicalTasks) {
   const RunMetrics& metrics = server.run();
   EXPECT_GT(metrics.tasks_aborted, 0u);
   EXPECT_LE(metrics.max_jobs_single_task, 4);
+  // Budget-exhausted aborts are not abandonments — the distinction the
+  // trace reason carries.
+  EXPECT_EQ(metrics.tasks_abandoned, 0u);
+}
+
+TEST(TaskServerTest, StarvedTasksAreAbandonedWithDistinctReason) {
+  // Regression: a task the run gives up on because churn drained the pool
+  // used to trace Reason::kNone, indistinguishable from a legacy dispatch.
+  // It must count as abandoned and trace kAbandoned — never
+  // kBudgetExhausted, which is reserved for the job cap.
+  sim::Simulator simulator;
+  obs::Recorder recorder(1u << 14);
+  simulator.set_recorder(&recorder);
+  const redundancy::TraditionalFactory factory(3);
+  const SyntheticWorkload workload(50);
+  auto failures = collusion_model(1.0);
+  DcaConfig config = small_config(3, 17);
+  config.churn.leave_rate = 2.0;  // no joins: the pool only shrinks
+  config.timeout = 5.0;
+  TaskServer server(simulator, config, factory, workload, failures);
+  const RunMetrics& metrics = server.run();
+  ASSERT_GT(metrics.tasks_aborted, 0u);
+  EXPECT_EQ(metrics.tasks_abandoned, metrics.tasks_aborted);
+  EXPECT_TRUE(metrics.jobs_conserved());
+  std::uint64_t abandoned_events = 0;
+  recorder.for_each([&](const obs::TraceEvent& event) {
+    if (event.kind != obs::EventKind::kTaskAborted) return;
+    EXPECT_EQ(static_cast<redundancy::Decision::Reason>(event.reason),
+              redundancy::Decision::Reason::kAbandoned);
+    ++abandoned_events;
+  });
+  EXPECT_EQ(abandoned_events, metrics.tasks_abandoned);
 }
 
 TEST(TaskServerTest, WavesMatchStrategyShape) {
