@@ -21,6 +21,7 @@ Wired into ctest as the tier-2 `perf_kernel_churn` test:
 
 import argparse
 import json
+import re
 import os
 import subprocess
 import sys
@@ -42,9 +43,9 @@ def parse_args(argv):
                              "(default: ^BM_Kernel and "
                              "^BM_RunBinaryMonteCarlo$)")
     parser.add_argument("--repetitions", type=int, default=5,
-                        help="benchmark repetitions; the median is compared "
-                             "so scheduler noise doesn't fail the gate "
-                             "(default: 5)")
+                        help="benchmark repetitions; the minimum is "
+                             "compared, so co-tenant load spikes don't "
+                             "fail the gate (default: 5)")
     return parser.parse_args(argv)
 
 
@@ -74,10 +75,13 @@ def ns_per_op(bench):
 def run_benchmarks(binary, pattern, repetitions):
     """Gated benchmark results as {name: (ns_per_op, allocs_per_event)}.
 
-    ns/op is the median across repetitions (single benchmark runs on a
-    shared machine are far too noisy to gate on); allocs_per_event is the
-    max across repetitions — an allocating hot path must not hide behind
-    one quiet run.
+    ns/op is the *minimum* across repetitions: on a shared machine
+    co-tenant bursts only ever slow a run down, so the fastest repetition
+    is the closest estimate of unperturbed cost (medians still carry
+    whatever load the majority of repetitions saw; micro_overhead --json
+    records the same statistic, keeping baseline and gate comparable).
+    allocs_per_event is the max across repetitions — an allocating hot
+    path must not hide behind one quiet run.
     """
     # micro_overhead installs its own console reporter, so JSON must go
     # through the (independent) file reporter, not --benchmark_format.
@@ -101,21 +105,20 @@ def run_benchmarks(binary, pattern, repetitions):
             report = json.load(handle)
     finally:
         os.unlink(out_path)
-    medians = {}
+    best = {}
     allocs = {}
     for bench in report.get("benchmarks", []):
         if bench.get("run_type") == "aggregate":
-            if bench.get("aggregate_name") == "median":
-                medians[bench["run_name"]] = ns_per_op(bench)
-        else:
-            name = bench["name"]
-            allocs[name] = max(allocs.get(name, 0.0),
-                               bench.get("allocs_per_event", 0.0))
-            medians.setdefault(name, ns_per_op(bench))
-    if not medians:
+            continue  # display-only; the gate statistic is the min below
+        name = bench["name"]
+        allocs[name] = max(allocs.get(name, 0.0),
+                           bench.get("allocs_per_event", 0.0))
+        ns = ns_per_op(bench)
+        best[name] = min(best.get(name, ns), ns)
+    if not best:
         raise SystemExit(f"no benchmarks matched filter '{pattern}'")
-    return {name: (medians[name], allocs.get(name, 0.0))
-            for name in medians}
+    return {name: (best[name], allocs.get(name, 0.0))
+            for name in best}
 
 
 def main(argv=None):
@@ -127,12 +130,32 @@ def main(argv=None):
     rev, baseline = load_baseline(args.baseline)
     measured = run_benchmarks(args.binary, pattern, args.repetitions)
 
+    # Confirm-before-fail: a suspected regression is re-measured once in a
+    # fresh time window (exact-name filter, same repetition count) and the
+    # two mins merged. A genuine regression reproduces in both windows; a
+    # co-tenant load burst has to span both to slip through.
+    suspects = []
+    for name, (best_ns, _) in measured.items():
+        base = baseline.get(name)
+        if base and best_ns / base["ns_per_op"] > 1.0 + args.tolerance:
+            suspects.append(name)
+    if suspects:
+        retry_pattern = "|".join(
+            f"(^{re.escape(name)}$)" for name in suspects)
+        print(f"re-measuring {len(suspects)} suspected regression(s) "
+              "in a fresh window...")
+        for name, (best_ns, allocs) in run_benchmarks(
+                args.binary, retry_pattern, args.repetitions).items():
+            prev_ns, prev_allocs = measured[name]
+            measured[name] = (min(prev_ns, best_ns),
+                              max(prev_allocs, allocs))
+
     failures = []
     print(f"perf gate vs baseline {rev} "
-          f"(tolerance {args.tolerance:.0%}, median of "
+          f"(tolerance {args.tolerance:.0%}, min of "
           f"{args.repetitions} repetitions):")
     for name in sorted(measured):
-        median_ns, allocs = measured[name]
+        best_ns, allocs = measured[name]
         # Amortized warmup/resize allocations round to 0.00/event; a real
         # per-event allocation shows up as >= 1.
         if allocs > 0.01:
@@ -140,17 +163,17 @@ def main(argv=None):
                             "(hot path must not allocate)")
         base = baseline.get(name)
         if base is None:
-            print(f"  {name}: {median_ns:9.2f} ns/op  (no baseline — "
+            print(f"  {name}: {best_ns:9.2f} ns/op  (no baseline — "
                   "informational)")
             continue
         base_ns = base["ns_per_op"]
-        ratio = median_ns / base_ns
+        ratio = best_ns / base_ns
         verdict = "ok"
         if ratio > 1.0 + args.tolerance:
             verdict = "REGRESSION"
-            failures.append(f"{name}: {median_ns:.2f} ns/op vs baseline "
+            failures.append(f"{name}: {best_ns:.2f} ns/op vs baseline "
                             f"{base_ns:.2f} ({ratio - 1.0:+.1%})")
-        print(f"  {name}: {median_ns:9.2f} ns/op  baseline {base_ns:9.2f}"
+        print(f"  {name}: {best_ns:9.2f} ns/op  baseline {base_ns:9.2f}"
               f"  ({ratio - 1.0:+6.1%})  {verdict}")
 
     if failures:
