@@ -167,8 +167,14 @@ struct ChurnLoad {
     return static_cast<double>(lcg >> 11) * (100.0 / 9007199254740992.0);
   }
 
-  void seed_one() {
-    sim.schedule(next_delay(), [this] { fire(); });
+  /// Seeds the whole backlog through one bulk insertion (the heap is
+  /// heapified once, not sifted n times).
+  void seed(std::size_t n) {
+    std::vector<double> delays(n);
+    for (double& d : delays) d = next_delay();
+    sim.schedule_batch(delays, [this](std::size_t) {
+      return [this] { fire(); };
+    });
   }
   void fire() {
     ++fired;
@@ -182,7 +188,7 @@ struct ChurnLoad {
 void BM_KernelChurn(benchmark::State& state) {
   constexpr std::uint64_t kBatch = 1024;
   ChurnLoad load;
-  for (std::int64_t i = 0; i < state.range(0); ++i) load.seed_one();
+  load.seed(static_cast<std::size_t>(state.range(0)));
   load.sim.step(kBatch);  // warm up: reach steady-state arena occupancy
   std::uint64_t allocations = 0;
   for (auto _ : state) {
@@ -325,6 +331,98 @@ void BM_RngBernoulli(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RngBernoulli);
+
+/// 64-wide bit-sliced Bernoulli expansion against the binary digits of p:
+/// the batched sampler behind run_binary's outcome masks. Reported per
+/// outcome (1024 per iteration); compare against BM_RngBernoulli for the
+/// per-draw speedup.
+void BM_RngBernoulliBatch(benchmark::State& state) {
+  constexpr std::size_t kDraws = 1024;
+  rng::Stream stream(1);
+  bool out[kDraws];
+  std::uint64_t allocations = 0;
+  for (auto _ : state) {
+    const std::uint64_t before =
+        g_allocations.load(std::memory_order_relaxed);
+    stream.bernoulli_batch(0.7, kDraws, out);
+    benchmark::DoNotOptimize(out);
+    allocations +=
+        g_allocations.load(std::memory_order_relaxed) - before;
+  }
+  const auto draws =
+      static_cast<std::uint64_t>(state.iterations()) * kDraws;
+  state.SetItemsProcessed(static_cast<std::int64_t>(draws));
+  state.counters["allocs_per_op"] =
+      static_cast<double>(allocations) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_RngBernoulliBatch);
+
+/// SoA wave fold: one VoteTally::fold over range(0) votes (worst-case
+/// binary split between two values) followed by the single standing()
+/// scan the iterative engine makes per decide(). Reported per vote;
+/// allocs_per_op must read 0.00 at the inline width (the two-value wave
+/// never spills).
+void BM_VoteFold(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<Vote> votes(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    votes[i] = Vote{static_cast<NodeId>(i),
+                    static_cast<ResultValue>(i % 2 == 0 ? 42 : 7), 0};
+  }
+  std::uint64_t allocations = 0;
+  for (auto _ : state) {
+    const std::uint64_t before =
+        g_allocations.load(std::memory_order_relaxed);
+    redundancy::VoteTally tally{votes};
+    benchmark::DoNotOptimize(tally.standing());
+    allocations +=
+        g_allocations.load(std::memory_order_relaxed) - before;
+  }
+  const auto folded =
+      static_cast<std::uint64_t>(state.iterations()) * n;
+  state.SetItemsProcessed(static_cast<std::int64_t>(folded));
+  state.counters["allocs_per_op"] =
+      static_cast<double>(allocations) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_VoteFold)->Arg(8)->Arg(64)->Arg(512);
+
+/// Bulk event insertion: schedule_batch() of range(0) events into an empty
+/// heap (reserve + stage + one heapify), then drain. The per-event cost
+/// should sit well under one-at-a-time schedule() at the same backlog;
+/// allocs_per_event must amortize to ~0 once the arena and heap have
+/// warmed up.
+void BM_KernelScheduleBatch(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::Simulator sim;
+  std::uint64_t fired = 0;
+  std::uint64_t lcg = 0x13198A2E03707344ull;
+  std::vector<double> delays(n);
+  std::uint64_t allocations = 0;
+  for (auto _ : state) {
+    for (double& d : delays) {
+      lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+      d = static_cast<double>(lcg >> 11) * (100.0 / 9007199254740992.0);
+    }
+    const std::uint64_t before =
+        g_allocations.load(std::memory_order_relaxed);
+    sim.schedule_batch(delays, [&fired](std::size_t) {
+      return [&fired] { ++fired; };
+    });
+    sim.run();
+    allocations +=
+        g_allocations.load(std::memory_order_relaxed) - before;
+  }
+  const auto events =
+      static_cast<std::uint64_t>(state.iterations()) * n;
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.counters["events_per_sec"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.counters["allocs_per_event"] =
+      static_cast<double>(allocations) / static_cast<double>(events);
+}
+BENCHMARK(BM_KernelScheduleBatch)->Arg(1'024)->Arg(16'384);
 
 // --- --json support: the tracked perf trajectory -------------------------
 

@@ -1,13 +1,36 @@
 #include "common/binomial.h"
 
+#include <array>
 #include <cmath>
 #include <limits>
 
 #include "common/expect.h"
 
 namespace smartred::binom {
+namespace {
+
+// ln(n!) is called in the innermost loops of every closed-form evaluation
+// (three calls per pmf term), always with small n. The table stores the
+// exact std::lgamma outputs, so memoized lookups are bit-identical to the
+// direct computation; larger arguments fall through to lgamma. Thread-safe
+// via C++11 magic-static initialization (the analysis sweeps fan out).
+constexpr std::uint64_t kLogFactorialTableSize = 1024;
+
+const std::array<double, kLogFactorialTableSize>& log_factorial_table() {
+  static const std::array<double, kLogFactorialTableSize> table = [] {
+    std::array<double, kLogFactorialTableSize> values{};
+    for (std::uint64_t n = 0; n < kLogFactorialTableSize; ++n) {
+      values[n] = std::lgamma(static_cast<double>(n) + 1.0);
+    }
+    return values;
+  }();
+  return table;
+}
+
+}  // namespace
 
 double log_factorial(std::uint64_t n) {
+  if (n < kLogFactorialTableSize) return log_factorial_table()[n];
   return std::lgamma(static_cast<double>(n) + 1.0);
 }
 

@@ -89,18 +89,77 @@ std::uint64_t Stream::uniform_int(std::uint64_t lo, std::uint64_t hi) {
   const std::uint64_t range = hi - lo;
   if (range == ~std::uint64_t{0}) return (*this)();
   const std::uint64_t bound = range + 1;
-  // Rejection sampling for an unbiased draw.
-  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % bound);
-  std::uint64_t draw;
-  do {
-    draw = (*this)();
-  } while (draw >= limit && limit != 0);
-  return lo + draw % bound;
+  // Lemire multiply-shift rejection (Lemire 2019, "Fast Random Integer
+  // Generation in an Interval"): draw * bound is a 128-bit fixed-point
+  // product whose high word is uniform over [0, bound) once the rare
+  // low-word values below 2^64 mod bound are rejected — unbiased like the
+  // old modulo rejection, but the common path is one multiply instead of
+  // two divisions, and the `l < bound` pre-test skips computing the
+  // modulus at all for most draws.
+  __extension__ using Wide = unsigned __int128;  // GCC/Clang builtin
+  std::uint64_t draw = (*this)();
+  Wide product = static_cast<Wide>(draw) * bound;
+  std::uint64_t low = static_cast<std::uint64_t>(product);
+  if (low < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;  // 2^64 mod bound
+    while (low < threshold) {
+      draw = (*this)();
+      product = static_cast<Wide>(draw) * bound;
+      low = static_cast<std::uint64_t>(product);
+    }
+  }
+  return lo + static_cast<std::uint64_t>(product >> 64);
 }
 
 bool Stream::bernoulli(double p) {
   SMARTRED_EXPECT(p >= 0.0 && p <= 1.0, "bernoulli() requires p in [0, 1]");
   return uniform01() < p;
+}
+
+std::uint64_t Stream::bernoulli_mask64(double p) {
+  SMARTRED_EXPECT(p >= 0.0 && p <= 1.0,
+                  "bernoulli_mask64() requires p in [0, 1]");
+  if (p <= 0.0) return 0;
+  if (p >= 1.0) return ~std::uint64_t{0};
+  // Each lane's outcome is [u < p] for an infinite random binary fraction
+  // u = 0.r1 r2 r3..., generated lazily one bit at a time across all 64
+  // lanes at once (bit i of each raw draw is lane i's next fraction bit).
+  // Walking p's binary expansion MSB-first: at the first position where a
+  // lane's bit differs from p's, the lane is decided — below p if p's bit
+  // is 1, above if 0. If p's expansion ends (frac hits 0) any still-
+  // undecided lane has u's prefix == p's, so u >= p: decided false.
+  std::uint64_t result = 0;
+  std::uint64_t undecided = ~std::uint64_t{0};
+  double frac = p;
+  do {
+    const std::uint64_t draws = (*this)();
+    frac += frac;
+    if (frac >= 1.0) {
+      frac -= 1.0;                    // this bit of p is 1:
+      result |= undecided & ~draws;   //   lanes drawing 0 are below p
+      undecided &= draws;             //   lanes drawing 1 still tied
+    } else {                          // this bit of p is 0:
+      undecided &= ~draws;            //   lanes drawing 1 are above p
+    }
+  } while (undecided != 0 && frac > 0.0);
+  return result;
+}
+
+void Stream::bernoulli_batch(double p, std::size_t n, bool* out) {
+  std::size_t i = 0;
+  while (i < n) {
+    std::uint64_t mask = bernoulli_mask64(p);
+    const std::size_t chunk = n - i < 64 ? n - i : 64;
+    for (std::size_t lane = 0; lane < chunk; ++lane) {
+      out[i + lane] = (mask & 1u) != 0;
+      mask >>= 1;
+    }
+    i += chunk;
+  }
+}
+
+void Stream::uniform01_batch(std::size_t n, double* out) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = uniform01();
 }
 
 double Stream::exponential(double mean) {

@@ -71,6 +71,33 @@ class Stream {
   /// Bernoulli draw: true with probability p. Requires p in [0, 1].
   bool bernoulli(double p);
 
+  /// 64 independent Bernoulli(p) outcomes packed into one word (bit i =
+  /// lane i, LSB first). Bit-sliced: instead of one 64-bit draw per
+  /// outcome, all 64 lanes are compared against p's binary expansion one
+  /// bit at a time (MSB first), each raw draw supplying the next fraction
+  /// bit of every lane at once. A lane is decided the first time its bit
+  /// differs from p's, so the expected cost is ~2 raw draws per call
+  /// (< log2(64) + 2 words for any p) versus 64 for scalar draws — the
+  /// outcomes are exactly Bernoulli(p), not an approximation, because the
+  /// comparison against the (lazily generated) infinite random fraction is
+  /// exact. Draw *order* differs from 64 scalar bernoulli() calls; see
+  /// bernoulli_batch(). Requires p in [0, 1]; p == 0 and p == 1 consume no
+  /// randomness.
+  std::uint64_t bernoulli_mask64(double p);
+
+  /// Fills out[0..n) with independent Bernoulli(p) outcomes via
+  /// bernoulli_mask64 (one mask per 64 outcomes; a partial tail chunk
+  /// still draws a full mask and keeps the low bits). Same distribution as
+  /// n scalar bernoulli() calls but a different draw order — callers that
+  /// pin exact trajectories must re-pin once when switching (see DESIGN).
+  void bernoulli_batch(double p, std::size_t n, bool* out);
+
+  /// Fills out[0..n) with uniform01() draws — bit-for-bit the same values,
+  /// in the same order, as n scalar uniform01() calls, so routing a
+  /// consumer through a batch buffer is invisible to determinism pins as
+  /// long as the stream has no other interleaved consumer.
+  void uniform01_batch(std::size_t n, double* out);
+
   /// Exponentially distributed value with the given mean. Requires mean > 0.
   double exponential(double mean);
 

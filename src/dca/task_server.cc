@@ -141,13 +141,19 @@ void TaskServer::enqueue_wave(std::uint64_t task, int jobs) {
 }
 
 void TaskServer::assign_available() {
+  // Stage every (copy, node) pairing first, then dispatch the whole wave
+  // in bulk. The acquire draws happen in queue order, exactly as the old
+  // one-copy loop made them; an acquired node is busy and so excluded from
+  // later draws whether or not its copy later turns out silent, which
+  // keeps the idle set at each draw identical to the scalar trajectory.
+  staged_.clear();
   while (!job_queue_.empty()) {
     const auto node = pool_.acquire_random(rng_assign_);
-    if (!node.has_value()) return;  // every live node is busy
-    const QueuedJob job = job_queue_.front();
+    if (!node.has_value()) break;  // every live node is busy
+    staged_.push_back(StagedCopy{job_queue_.front(), *node});
     job_queue_.pop_front();
-    start_job(job, *node);
   }
+  if (!staged_.empty()) dispatch_staged();
 }
 
 double TaskServer::effective_deadline(std::uint64_t task) const {
@@ -157,29 +163,38 @@ double TaskServer::effective_deadline(std::uint64_t task) const {
   return config_.timeout;
 }
 
-void TaskServer::start_job(const QueuedJob& job, redundancy::NodeId node) {
+void TaskServer::dispatch_staged() {
   const obs::ScopedPhase scope(config_.profile, obs::Phase::kDispatch);
-  const std::uint64_t task = job.task;
-  const std::uint64_t job_id = job.job;
-  TaskState& state = tasks_[task];
-  if (!state.started) {
-    state.started = true;
-    state.first_dispatch = simulator_.now();
-  }
-  const double deadline = effective_deadline(task);
-  if (deadline_.has_value()) metrics_.deadline_estimate.add(deadline);
-  if (config_.silent_prob > 0.0 && rng_fault_.bernoulli(config_.silent_prob)) {
+  // Pass 1 — per-copy bookkeeping and silent-failure draws, in queue
+  // order. rng_fault_ sees exactly the sequence of bernoulli draws the
+  // scalar loop made; silent copies consume no duration draw, also as
+  // before. Their deadline timers are scheduled here, one by one (they
+  // are rare and interleave with quarantine side effects).
+  for (StagedCopy& copy : staged_) {
+    const std::uint64_t task = copy.job.task;
+    TaskState& state = tasks_[task];
+    if (!state.started) {
+      state.started = true;
+      state.first_dispatch = simulator_.now();
+    }
+    copy.deadline = effective_deadline(task);
+    if (deadline_.has_value()) metrics_.deadline_estimate.add(copy.deadline);
+    copy.silent =
+        config_.silent_prob > 0.0 && rng_fault_.bernoulli(config_.silent_prob);
+    if (!copy.silent) continue;
     // The node never reports. Without quarantine it is treated as crashed
     // (§2.2) and removed; with quarantine it is sidelined as transiently
     // unresponsive and re-admitted after backoff. Either way the copy is
     // declared lost once the deadline passes and nothing was computed, so
     // no checkpointed work carries over.
     if (config_.quarantine.enabled) {
-      quarantine_node(node);
+      quarantine_node(copy.node);
     } else {
-      pool_.leave(node);
+      pool_.leave(copy.node);
     }
-    simulator_.schedule(deadline, [this, job_id, task, node] {
+    const std::uint64_t job_id = copy.job.job;
+    const redundancy::NodeId node = copy.node;
+    simulator_.schedule(copy.deadline, [this, job_id, task, node] {
       ++metrics_.jobs_timed_out;
       if (obs::Recorder* const rec = simulator_.recorder()) {
         rec->record(obs::TraceEvent{
@@ -192,24 +207,77 @@ void TaskServer::start_job(const QueuedJob& job, redundancy::NodeId node) {
       }
       copy_lost(job_id, -1.0);
     });
-    return;
   }
-  const double speed = pool_.speed(node);
-  // Fresh copies draw their work; checkpoint-resumed copies carry theirs.
-  double work = job.carried_work;
-  if (work < 0.0) {
-    const double base =
-        config_.latency != nullptr
-            ? config_.latency->sample(node, task, rng_duration_)
-            : rng_duration_.uniform(config_.duration_lo, config_.duration_hi);
-    work = base * workload_.job_work(task);
+  // Compact the live copies to the front so the remaining passes run over
+  // a dense range (silent copies are rare; order is preserved).
+  std::size_t live = 0;
+  for (std::size_t i = 0; i < staged_.size(); ++i) {
+    if (!staged_[i].silent) {
+      if (live != i) staged_[live] = staged_[i];
+      ++live;
+    }
   }
-  const double duration = work / speed;
-  const sim::EventId event = simulator_.schedule(
-      duration, [this, job_id, node] { complete_job(job_id, node); });
-  inflight_.emplace(node, InFlight{event, job_id, task, simulator_.now(),
-                                   duration, speed, deadline});
-  maybe_arm_speculation(job_id);
+  staged_.resize(live);
+  // Pass 2 — durations. Fresh copies without a latency model draw from
+  // one batched uniform01 fill mapped through the same lo + (hi-lo)*u
+  // affine as Stream::uniform, so the values are bit-identical to the
+  // scalar loop's; a latency model keeps its scalar per-copy sample call
+  // (the virtual sample() draws an implementation-defined number of
+  // variates). Checkpoint-resumed copies carry their work and draw
+  // nothing, exactly as before.
+  if (config_.latency == nullptr) {
+    std::size_t fresh = 0;
+    for (const StagedCopy& copy : staged_) {
+      fresh += copy.job.carried_work < 0.0 ? 1 : 0;
+    }
+    staged_u01_.resize(fresh);
+    rng_duration_.uniform01_batch(fresh, staged_u01_.data());
+    std::size_t next = 0;
+    for (StagedCopy& copy : staged_) {
+      double work = copy.job.carried_work;
+      if (work < 0.0) {
+        const double base = config_.duration_lo +
+                            (config_.duration_hi - config_.duration_lo) *
+                                staged_u01_[next++];
+        work = base * workload_.job_work(copy.job.task);
+      }
+      copy.duration = work / pool_.speed(copy.node);
+    }
+  } else {
+    for (StagedCopy& copy : staged_) {
+      double work = copy.job.carried_work;
+      if (work < 0.0) {
+        work = config_.latency->sample(copy.node, copy.job.task,
+                                       rng_duration_) *
+               workload_.job_work(copy.job.task);
+      }
+      copy.duration = work / pool_.speed(copy.node);
+    }
+  }
+  // Pass 3 — one bulk insertion of every completion event: the heap is
+  // grown once and its invariant restored once instead of per copy.
+  staged_delays_.resize(staged_.size());
+  staged_events_.resize(staged_.size());
+  for (std::size_t i = 0; i < staged_.size(); ++i) {
+    staged_delays_[i] = staged_[i].duration;
+  }
+  simulator_.schedule_batch(
+      staged_delays_,
+      [this](std::size_t i) {
+        const std::uint64_t job_id = staged_[i].job.job;
+        const redundancy::NodeId node = staged_[i].node;
+        return [this, job_id, node] { complete_job(job_id, node); };
+      },
+      staged_events_.data());
+  // Pass 4 — in-flight records and speculation timers.
+  for (std::size_t i = 0; i < staged_.size(); ++i) {
+    const StagedCopy& copy = staged_[i];
+    inflight_.emplace(copy.node,
+                      InFlight{staged_events_[i], copy.job.job, copy.job.task,
+                               simulator_.now(), copy.duration,
+                               pool_.speed(copy.node), copy.deadline});
+    maybe_arm_speculation(copy.job.job);
+  }
 }
 
 void TaskServer::maybe_arm_speculation(std::uint64_t job) {

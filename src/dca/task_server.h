@@ -225,11 +225,27 @@ class TaskServer {
     double carried_work = -1.0;
   };
 
+  /// One queue entry paired with the node it was assigned to, staged for
+  /// bulk dispatch. Filled in passes by dispatch_staged(): silent/deadline
+  /// in the bookkeeping pass, duration in the draw pass.
+  struct StagedCopy {
+    QueuedJob job;
+    redundancy::NodeId node = 0;
+    bool silent = false;
+    double deadline = 0.0;
+    double duration = 0.0;
+  };
+
   void enqueue_copy(std::uint64_t job, std::uint64_t task, double carried_work,
                     bool prioritized);
   void enqueue_wave(std::uint64_t task, int jobs);
   void assign_available();
-  void start_job(const QueuedJob& job, redundancy::NodeId node);
+  /// Dispatches everything in staged_ as one wave: per-copy bookkeeping
+  /// and silent-failure draws in queue order (per-stream RNG sequences
+  /// match the old one-copy-at-a-time loop exactly), batched uniform01
+  /// duration draws where no latency model intervenes, and one bulk
+  /// schedule_batch() insertion for all completion events.
+  void dispatch_staged();
   void complete_job(std::uint64_t job, redundancy::NodeId node);
   void copy_lost(std::uint64_t job, double carried_work);
   /// Surfaces a decision's decode-verify rejections (coded strategies)
@@ -299,6 +315,15 @@ class TaskServer {
   rng::Stream rng_duration_;
   rng::Stream rng_fault_;
   rng::Stream rng_churn_;
+
+  /// Scratch buffers for dispatch_staged(), kept across calls so the hot
+  /// assign path settles to zero allocations. Never read between calls,
+  /// and assign_available() is not re-entered while dispatching (scheduled
+  /// actions run later, from the event loop).
+  std::vector<StagedCopy> staged_;
+  std::vector<double> staged_u01_;
+  std::vector<double> staged_delays_;
+  std::vector<sim::EventId> staged_events_;
 
   RunMetrics metrics_;
 };

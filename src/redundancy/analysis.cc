@@ -28,6 +28,34 @@ double expected_wave_duration(int wave_size) {
                    (static_cast<double>(wave_size) + 1.0);
 }
 
+/// Flattened triangular table of binom::pmf(w, x, p) for w in [0, w_max],
+/// x in [0, w]. The wave-process loops hit the same tiny (w, x) domain on
+/// every wave and every frontier state; hoisting the rows out replaces
+/// three lgamma calls plus two logs per inner term with one load. Entries
+/// are the pmf outputs themselves, so results stay bit-identical.
+class PmfTable {
+ public:
+  PmfTable(int w_max, double p) : w_max_(w_max) {
+    rows_.reserve(static_cast<std::size_t>((w_max + 1) * (w_max + 2)) / 2);
+    for (int w = 0; w <= w_max; ++w) {
+      for (int x = 0; x <= w; ++x) {
+        rows_.push_back(binom::pmf(static_cast<std::uint64_t>(w),
+                                   static_cast<std::uint64_t>(x), p));
+      }
+    }
+  }
+
+  [[nodiscard]] double operator()(int w, int x) const {
+    SMARTRED_EXPECT(w >= 0 && w <= w_max_ && x >= 0 && x <= w,
+                    "pmf table lookup out of range");
+    return rows_[static_cast<std::size_t>(w * (w + 1) / 2 + x)];
+  }
+
+ private:
+  int w_max_;
+  std::vector<double> rows_;
+};
+
 /// Result of evolving a technique's wave process to (near-)absorption.
 struct WaveProcess {
   std::vector<double> wave_distribution;  ///< P[exactly w waves] at index w-1
@@ -54,6 +82,7 @@ WaveProcess evolve_iterative(int d, double r, double epsilon,
   double alive = 1.0;
 
   WaveProcess out;
+  const PmfTable pmf(single_job_waves ? 1 : d, r);
   // Residual mass decays geometrically, so this loop terminates; the bound
   // is a safety net against pathological parameters.
   const int max_waves = 20'000'000 / (2 * d + 1) + 64;
@@ -70,8 +99,7 @@ WaveProcess evolve_iterative(int d, double r, double epsilon,
       jobs_this_wave += m * static_cast<double>(w);
       response_this_wave += m * expected_wave_duration(w);
       for (int x = 0; x <= w; ++x) {
-        const double p = binom::pmf(static_cast<std::uint64_t>(w),
-                                    static_cast<std::uint64_t>(x), r);
+        const double p = pmf(w, x);
         if (p == 0.0) continue;
         const int s_new = s + 2 * x - w;
         if (std::abs(s_new) >= d) {
@@ -107,6 +135,7 @@ WaveProcess evolve_progressive(int k, double r, double epsilon) {
   std::vector<State> states{{0, 0, 1.0}};
 
   WaveProcess out;
+  const PmfTable pmf(quorum, r);
   (void)epsilon;  // the process is bounded; no truncation needed
   // The binary model guarantees absorption within quorum waves; +2 margin.
   for (int wave = 1; wave <= quorum + 2 && !states.empty(); ++wave) {
@@ -120,8 +149,7 @@ WaveProcess evolve_progressive(int k, double r, double epsilon) {
       jobs_this_wave += state.mass * static_cast<double>(w);
       response_this_wave += state.mass * expected_wave_duration(w);
       for (int x = 0; x <= w; ++x) {
-        const double p = binom::pmf(static_cast<std::uint64_t>(w),
-                                    static_cast<std::uint64_t>(x), r);
+        const double p = pmf(w, x);
         if (p == 0.0) continue;
         const int a = state.correct + x;
         const int b = state.wrong + (w - x);

@@ -194,11 +194,45 @@ Decision CodedRedundancy::decide(std::span<const Vote> votes) {
   const int need = k + config_.v;
   if (votes.empty()) return Decision::dispatch(config_.g);
 
+  // Fold the wave into per-piece tallies in chunks: histogram the chunk by
+  // piece, scatter values into piece-contiguous runs (stable, so within-
+  // piece first-seen order is arrival order), then bulk-fold each run
+  // through the tally's dense counting path instead of a per-vote add().
   std::array<VoteTally, kMaxCodedPieces> tallies;
-  for (const Vote& vote : votes) {
-    SMARTRED_EXPECT(vote.piece >= 0 && vote.piece < n,
-                    "coded vote carries an out-of-range piece index");
-    tallies[static_cast<std::size_t>(vote.piece)].add(vote.value);
+  {
+    constexpr std::size_t kChunk = 1024;
+    ResultValue scattered[kChunk];
+    std::array<int, kMaxCodedPieces + 1> offsets{};
+    const std::size_t count = votes.size();
+    for (std::size_t base = 0; base < count; base += kChunk) {
+      const std::size_t chunk = std::min(kChunk, count - base);
+      offsets.fill(0);
+      for (std::size_t i = 0; i < chunk; ++i) {
+        const Vote& vote = votes[base + i];
+        SMARTRED_EXPECT(vote.piece >= 0 && vote.piece < n,
+                        "coded vote carries an out-of-range piece index");
+        ++offsets[static_cast<std::size_t>(vote.piece) + 1];
+      }
+      for (int p = 0; p < n; ++p) {
+        offsets[static_cast<std::size_t>(p) + 1] +=
+            offsets[static_cast<std::size_t>(p)];
+      }
+      std::array<int, kMaxCodedPieces> cursor{};
+      for (std::size_t i = 0; i < chunk; ++i) {
+        const Vote& vote = votes[base + i];
+        const auto piece = static_cast<std::size_t>(vote.piece);
+        scattered[static_cast<std::size_t>(offsets[piece]) +
+                  static_cast<std::size_t>(cursor[piece]++)] = vote.value;
+      }
+      for (int p = 0; p < n; ++p) {
+        const auto piece = static_cast<std::size_t>(p);
+        const int run = cursor[piece];
+        if (run > 0) {
+          tallies[piece].fold_values(std::span<const ResultValue>(
+              scattered + offsets[piece], static_cast<std::size_t>(run)));
+        }
+      }
+    }
   }
 
   // Settled pieces (margin >= d), ascending by index. d >= 1 makes each

@@ -7,11 +7,14 @@ IterativeRedundancy::IterativeRedundancy(int d) : d_(d) {
 }
 
 Decision IterativeRedundancy::decide(std::span<const Vote> votes) {
+  if (votes.empty()) return Decision::dispatch(d_);
+  // fold() absorbs the whole wave in dense branch-free passes; standing()
+  // extracts leader + runner-up in one scan.
   const VoteTally tally{votes};
-  if (tally.total() == 0) return Decision::dispatch(d_);
-  const int margin = tally.margin();
+  const VoteTally::Standing standing = tally.standing();
+  const int margin = standing.margin();
   if (margin >= d_) {
-    return Decision::accept(tally.leader(),
+    return Decision::accept(standing.leader,
                             Decision::Reason::kConfidenceReached);
   }
   return Decision::dispatch(d_ - margin);

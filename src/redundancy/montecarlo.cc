@@ -33,10 +33,17 @@ void MonteCarloResult::merge(const MonteCarloResult& other) {
   jobs_per_task_hist.merge(other.jobs_per_task_hist);
 }
 
-MonteCarloResult run_custom(const StrategyFactory& factory,
-                            const VoteSource& source,
-                            ResultValue correct_value,
-                            const MonteCarloConfig& config) {
+namespace {
+
+// The wave loop, templated on the vote source so per-vote calls inline at
+// the call site: run_binary's batched sources below are plain structs, so
+// the hot path pays neither std::function dispatch per vote nor a raw
+// uniform01 word per Bernoulli outcome. run_custom instantiates this with
+// the type-erased VoteSource and behaves exactly as before.
+template <typename Source>
+MonteCarloResult run_loop(const StrategyFactory& factory, Source& source,
+                          ResultValue correct_value,
+                          const MonteCarloConfig& config) {
   SMARTRED_EXPECT(config.tasks > 0, "a run needs at least one task");
   SMARTRED_EXPECT(config.max_jobs_per_task > 0, "job cap must be positive");
 
@@ -148,6 +155,66 @@ MonteCarloResult run_custom(const StrategyFactory& factory,
   return result;
 }
 
+// Per-task cache of one bernoulli_mask64() draw: 64 job outcomes per ~2 raw
+// words instead of one word each. The cache is keyed by task because each
+// task forks a fresh stream — outcomes cached from the previous task's
+// stream must never leak into the next. Draw *order* within a task differs
+// from scalar bernoulli() calls (the distribution does not); the one-time
+// pin refresh is documented in DESIGN §11.
+struct BatchedOutcomes {
+  double reliability;
+  std::uint64_t mask = 0;
+  int bits_left = 0;
+  std::uint64_t current_task = ~std::uint64_t{0};
+
+  bool next(std::uint64_t task, rng::Stream& rng) {
+    if (task != current_task) {
+      current_task = task;
+      bits_left = 0;
+    }
+    if (bits_left == 0) {
+      mask = rng.bernoulli_mask64(reliability);
+      bits_left = 64;
+    }
+    const bool outcome = (mask & 1u) != 0;
+    mask >>= 1;
+    --bits_left;
+    return outcome;
+  }
+};
+
+struct BinarySource {
+  BatchedOutcomes outcomes;
+
+  Vote operator()(std::uint64_t task, int job_index, rng::Stream& rng) {
+    // Node ids are synthetic: the pool is assumed large enough that a task
+    // never sees the same node twice (paper §2.1, random assignment).
+    return Vote{static_cast<NodeId>(job_index),
+                outcomes.next(task, rng) ? kCorrectValue : kWrongValue};
+  }
+};
+
+struct EncodedBinarySource {
+  const TaskEncoder* encoder;
+  BatchedOutcomes outcomes;
+
+  Vote operator()(std::uint64_t task, int job_index, rng::Stream& rng) {
+    const ResultValue correct = encoder->job_value(kCorrectValue, job_index);
+    return Vote{static_cast<NodeId>(job_index),
+                outcomes.next(task, rng) ? correct : correct ^ 1,
+                encoder->piece_of(job_index)};
+  }
+};
+
+}  // namespace
+
+MonteCarloResult run_custom(const StrategyFactory& factory,
+                            const VoteSource& source,
+                            ResultValue correct_value,
+                            const MonteCarloConfig& config) {
+  return run_loop(factory, source, correct_value, config);
+}
+
 MonteCarloResult run_binary(const StrategyFactory& factory, double reliability,
                             const MonteCarloConfig& config) {
   SMARTRED_EXPECT(reliability >= 0.0 && reliability <= 1.0,
@@ -159,24 +226,11 @@ MonteCarloResult run_binary(const StrategyFactory& factory, double reliability,
   // wrong-but-consistent *codeword* is what the decode-verify step exists
   // to catch).
   if (const TaskEncoder* const encoder = factory.encoder()) {
-    const VoteSource source = [reliability, encoder](std::uint64_t /*task*/,
-                                                     int job_index,
-                                                     rng::Stream& rng) {
-      const ResultValue correct = encoder->job_value(kCorrectValue, job_index);
-      return Vote{static_cast<NodeId>(job_index),
-                  rng.bernoulli(reliability) ? correct : correct ^ 1,
-                  encoder->piece_of(job_index)};
-    };
-    return run_custom(factory, source, kCorrectValue, config);
+    EncodedBinarySource source{encoder, BatchedOutcomes{reliability}};
+    return run_loop(factory, source, kCorrectValue, config);
   }
-  const VoteSource source = [reliability](std::uint64_t /*task*/,
-                                          int job_index, rng::Stream& rng) {
-    // Node ids are synthetic: the pool is assumed large enough that a task
-    // never sees the same node twice (paper §2.1, random assignment).
-    return Vote{static_cast<NodeId>(job_index),
-                rng.bernoulli(reliability) ? kCorrectValue : kWrongValue};
-  };
-  return run_custom(factory, source, kCorrectValue, config);
+  BinarySource source{BatchedOutcomes{reliability}};
+  return run_loop(factory, source, kCorrectValue, config);
 }
 
 }  // namespace smartred::redundancy

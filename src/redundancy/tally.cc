@@ -4,61 +4,149 @@
 
 namespace smartred::redundancy {
 
-VoteTally::VoteTally(std::span<const Vote> votes) {
-  for (const Vote& vote : votes) add(vote.value);
-}
-
-void VoteTally::add(ResultValue value) {
-  ++total_;
-  Entry* const data = spilled() ? spill_.data() : inline_.data();
-  for (std::size_t i = 0; i < distinct_; ++i) {
-    if (data[i].value == value) {
-      ++data[i].count;
-      return;
-    }
-  }
+void VoteTally::append_value(ResultValue value) {
   if (!spilled() && distinct_ == kInlineEntries) {
-    spill_.assign(inline_.begin(), inline_.end());
+    spill_values_.assign(inline_values_.begin(), inline_values_.end());
+    spill_counts_.assign(inline_counts_.begin(), inline_counts_.end());
   }
   if (spilled()) {
-    spill_.push_back(Entry{value, 1});
+    spill_values_.push_back(value);
+    spill_counts_.push_back(0);
   } else {
-    inline_[distinct_] = Entry{value, 1};
+    inline_values_[distinct_] = value;
+    inline_counts_[distinct_] = 0;
   }
   ++distinct_;
 }
 
+void VoteTally::absorb(const ResultValue* values, std::size_t n) {
+  if (n == 0) return;
+  // Fast path for the binary worst case (§2.2): at most two distinct
+  // values between tally and buffer. Both counts come from one fused
+  // branch-free compare-accumulate sweep; the only per-element branch is
+  // the short scan locating the second value's first occurrence. Falls
+  // through to the general path — recomputing from scratch, nothing
+  // committed yet — the moment a third value shows up (§5.3 non-binary).
+  if (!spilled() && distinct_ <= 2) {
+    ResultValue first = distinct_ >= 1 ? inline_values_[0] : values[0];
+    ResultValue second = 0;
+    bool have_second = distinct_ == 2;
+    if (have_second) {
+      second = inline_values_[1];
+    } else {
+      std::size_t j = 0;
+      while (j < n && values[j] == first) ++j;
+      if (j < n) {
+        second = values[j];
+        have_second = true;
+      }
+    }
+    int count_first = 0;
+    int count_second = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      count_first += static_cast<int>(values[j] == first);
+      count_second += static_cast<int>(values[j] == second);
+    }
+    // With one distinct value, count_second may alias stray matches of the
+    // zero-initialized `second`; only count_first is meaningful then.
+    const int covered = have_second ? count_first + count_second
+                                    : count_first;
+    if (covered == static_cast<int>(n)) {
+      if (distinct_ == 0) append_value(first);
+      inline_counts_[0] += count_first;
+      if (have_second) {
+        if (distinct_ == 1) append_value(second);
+        inline_counts_[1] += count_second;
+      }
+      return;
+    }
+  }
+  // Discovery pass, in order (first-seen order is the tie-break order).
+  // The membership test is a branch-free OR-scan of the distinct values —
+  // at most a handful — with the only branch the rare "new value" append.
+  for (std::size_t j = 0; j < n; ++j) {
+    const ResultValue value = values[j];
+    const ResultValue* known = values_data();
+    bool found = false;
+    for (std::size_t d = 0; d < distinct_; ++d) {
+      found |= known[d] == value;
+    }
+    if (!found) append_value(value);
+  }
+  // Counting pass: one dense equality-count sweep per distinct value.
+  // Branch-free and autovectorizable (compare + accumulate over int32
+  // lanes); a value discovered above cannot occur before its first
+  // occurrence, so counting the whole buffer per value is exact.
+  const ResultValue* known = values_data();
+  int* counts = counts_data();
+  for (std::size_t d = 0; d < distinct_; ++d) {
+    const ResultValue value = known[d];
+    int count = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      count += static_cast<int>(values[j] == value);
+    }
+    counts[d] += count;
+  }
+}
+
+void VoteTally::fold(std::span<const Vote> votes) {
+  // De-interleave the AoS vote records into a dense value buffer in fixed
+  // stack-sized chunks, then absorb each chunk. Chunking bounds the stack
+  // and keeps the working buffer L1-resident; values first seen in a later
+  // chunk cannot appear in an earlier one, so per-chunk counting is exact.
+  constexpr std::size_t kChunk = 256;
+  ResultValue buffer[kChunk];
+  const std::size_t n = votes.size();
+  total_ += static_cast<int>(n);
+  for (std::size_t i = 0; i < n; i += kChunk) {
+    const std::size_t chunk = std::min(kChunk, n - i);
+    for (std::size_t j = 0; j < chunk; ++j) {
+      buffer[j] = votes[i + j].value;
+    }
+    absorb(buffer, chunk);
+  }
+}
+
+void VoteTally::fold_values(std::span<const ResultValue> values) {
+  total_ += static_cast<int>(values.size());
+  absorb(values.data(), values.size());
+}
+
+void VoteTally::add(ResultValue value) {
+  ++total_;
+  const ResultValue* known = values_data();
+  for (std::size_t d = 0; d < distinct_; ++d) {
+    if (known[d] == value) {
+      ++counts_data()[d];
+      return;
+    }
+  }
+  append_value(value);
+  ++counts_data()[distinct_ - 1];
+}
+
 int VoteTally::count(ResultValue value) const {
-  for (const Entry& entry : entries()) {
-    if (entry.value == value) return entry.count;
+  const ResultValue* known = values_data();
+  for (std::size_t d = 0; d < distinct_; ++d) {
+    if (known[d] == value) return counts_data()[d];
   }
   return 0;
 }
 
-const VoteTally::Entry& VoteTally::leader_entry() const {
+VoteTally::Standing VoteTally::standing() const {
   SMARTRED_EXPECT(total_ > 0, "tally is empty");
-  const std::span<const Entry> all = entries();
+  const ResultValue* known = values_data();
+  const int* counts = counts_data();
   // First-seen wins ties: strict > keeps the earliest maximal entry.
-  const Entry* best = &all.front();
-  for (const Entry& entry : all) {
-    if (entry.count > best->count) best = &entry;
+  std::size_t lead = 0;
+  for (std::size_t d = 1; d < distinct_; ++d) {
+    if (counts[d] > counts[lead]) lead = d;
   }
-  return *best;
-}
-
-ResultValue VoteTally::leader() const { return leader_entry().value; }
-
-int VoteTally::leader_count() const { return leader_entry().count; }
-
-int VoteTally::runner_up_count() const {
-  const Entry& lead = leader_entry();
-  int best = 0;
-  for (const Entry& entry : entries()) {
-    if (&entry != &lead) best = std::max(best, entry.count);
+  int runner_up = 0;
+  for (std::size_t d = 0; d < distinct_; ++d) {
+    if (d != lead) runner_up = std::max(runner_up, counts[d]);
   }
-  return best;
+  return Standing{known[lead], counts[lead], runner_up};
 }
-
-int VoteTally::margin() const { return leader_count() - runner_up_count(); }
 
 }  // namespace smartred::redundancy

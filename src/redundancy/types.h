@@ -47,16 +47,32 @@ struct Vote {
 ///
 /// Under the binary worst case there are at most two distinct values, but
 /// the tally supports arbitrarily many so the non-binary relaxation of §5.3
-/// (plurality voting) runs through the same code path. Counts live in a
-/// small inline buffer with a heap spill only past kInlineEntries distinct
-/// values: real tallies hold a handful of distinct values, where a flat
-/// scan beats any map and the inline common case never allocates.
+/// (plurality voting) runs through the same code path.
+///
+/// Storage is structure-of-arrays: the distinct values and their counts
+/// live in two parallel arrays (small inline buffers with a heap spill only
+/// past kInlineEntries distinct values — in practice never outside §5.3).
+/// The split layout is what makes the bulk fold() path vectorizable: a wave
+/// of votes is de-interleaved into a dense value buffer once, then each
+/// distinct value takes one branch-free equality-count pass over it, so
+/// strategies fold a whole wave per consult instead of walking an
+/// array-of-structs entry list per vote.
 class VoteTally {
  public:
   VoteTally() = default;
 
-  /// Builds a tally from an ordered vote sequence.
-  explicit VoteTally(std::span<const Vote> votes);
+  /// Builds a tally from an ordered vote sequence (bulk fold() path).
+  explicit VoteTally(std::span<const Vote> votes) { fold(votes); }
+
+  /// Records a whole wave of votes at once. Equivalent to add(v.value) for
+  /// each vote in order — first-seen tie-break order included — but counts
+  /// with dense branch-free passes instead of a per-vote entry scan.
+  void fold(std::span<const Vote> votes);
+
+  /// Bulk-records already-dense values (the coded strategy's per-piece
+  /// fold, which de-interleaves by piece before counting). Order-equivalent
+  /// to add() per element, like fold().
+  void fold_values(std::span<const ResultValue> values);
 
   /// Records one more vote for `value`.
   void add(ResultValue value);
@@ -70,45 +86,67 @@ class VoteTally {
   /// Votes recorded for `value` (0 if never seen).
   [[nodiscard]] int count(ResultValue value) const;
 
+  /// The leader and runner-up in one scan — what decide() hot paths use
+  /// instead of three separate leader()/leader_count()/runner_up_count()
+  /// walks. Ties break toward the value seen first (deterministic runs).
+  /// Requires total() > 0.
+  struct Standing {
+    ResultValue leader;
+    int leader_count;
+    int runner_up_count;
+
+    [[nodiscard]] int margin() const { return leader_count - runner_up_count; }
+  };
+  [[nodiscard]] Standing standing() const;
+
   /// The value with the most votes. Ties break toward the value seen first,
   /// which keeps simulation runs deterministic. Requires total() > 0.
-  [[nodiscard]] ResultValue leader() const;
+  [[nodiscard]] ResultValue leader() const { return standing().leader; }
 
   /// Vote count of the leader. Requires total() > 0.
-  [[nodiscard]] int leader_count() const;
+  [[nodiscard]] int leader_count() const { return standing().leader_count; }
 
   /// Vote count of the runner-up (0 when only one value has been seen).
   /// Requires total() > 0.
-  [[nodiscard]] int runner_up_count() const;
+  [[nodiscard]] int runner_up_count() const {
+    return standing().runner_up_count;
+  }
 
   /// leader_count() − runner_up_count(): the margin the iterative
   /// technique drives to `d`. Requires total() > 0.
-  [[nodiscard]] int margin() const;
+  [[nodiscard]] int margin() const { return standing().margin(); }
 
   /// Sum of votes not cast for the leader. Requires total() > 0.
   [[nodiscard]] int minority_total() const { return total_ - leader_count(); }
 
  private:
-  struct Entry {
-    ResultValue value;
-    int count;
-  };
-
   /// Inline capacity sized for the binary worst case (2 distinct values)
   /// with headroom; tallies only touch the heap past this, which in
   /// practice means never outside the §5.3 non-binary relaxation. The
   /// decide() hot path builds a tally per consult, so this matters.
   static constexpr std::size_t kInlineEntries = 4;
 
-  [[nodiscard]] bool spilled() const { return !spill_.empty(); }
-  [[nodiscard]] std::span<const Entry> entries() const {
-    return spilled() ? std::span<const Entry>(spill_)
-                     : std::span<const Entry>(inline_.data(), distinct_);
+  [[nodiscard]] bool spilled() const { return !spill_values_.empty(); }
+  [[nodiscard]] const ResultValue* values_data() const {
+    return spilled() ? spill_values_.data() : inline_values_.data();
   }
-  [[nodiscard]] const Entry& leader_entry() const;
+  [[nodiscard]] const int* counts_data() const {
+    return spilled() ? spill_counts_.data() : inline_counts_.data();
+  }
+  [[nodiscard]] int* counts_data() {
+    return spilled() ? spill_counts_.data() : inline_counts_.data();
+  }
+  /// Appends a newly seen value with count 0, spilling both arrays
+  /// together past the inline capacity.
+  void append_value(ResultValue value);
+  /// Discovery + dense counting over an already-dense value buffer; does
+  /// not touch total_.
+  void absorb(const ResultValue* values, std::size_t n);
 
-  std::array<Entry, kInlineEntries> inline_{};
-  std::vector<Entry> spill_;
+  std::array<ResultValue, kInlineEntries> inline_values_{};
+  std::array<int, kInlineEntries> inline_counts_{};
+  std::vector<ResultValue> spill_values_;
+  std::vector<int> spill_counts_;
   std::size_t distinct_ = 0;
   int total_ = 0;
 };

@@ -33,12 +33,29 @@ WeightedIterative::WeightedIterative(ReliabilityLookup lookup,
 
 double WeightedIterative::llr(std::span<const Vote> votes,
                               ResultValue value) const {
+  // SoA split of the fold: the lookup/logit pass (indirect call + two logs
+  // per vote, irreducibly scalar) fills parallel stack arrays of weights
+  // and values, so the accumulation pass is a dense branch-free
+  // multiply-add the vectorizer can chew on instead of a per-vote
+  // sign branch interleaved with calls.
+  constexpr std::size_t kChunk = 128;
+  double weights[kChunk];
+  ResultValue values[kChunk];
   double total = 0.0;
-  for (const Vote& vote : votes) {
-    const double r = lookup_(vote.node);
-    SMARTRED_EXPECT(r > 0.5 && r < 1.0,
-                    "node reliability lookup must return values in (0.5, 1)");
-    total += vote.value == value ? logit(r) : -logit(r);
+  const std::size_t n = votes.size();
+  for (std::size_t base = 0; base < n; base += kChunk) {
+    const std::size_t chunk = std::min(kChunk, n - base);
+    for (std::size_t j = 0; j < chunk; ++j) {
+      const Vote& vote = votes[base + j];
+      const double r = lookup_(vote.node);
+      SMARTRED_EXPECT(r > 0.5 && r < 1.0,
+                      "node reliability lookup must return values in (0.5, 1)");
+      weights[j] = logit(r);
+      values[j] = vote.value;
+    }
+    for (std::size_t j = 0; j < chunk; ++j) {
+      total += values[j] == value ? weights[j] : -weights[j];
+    }
   }
   return total;
 }

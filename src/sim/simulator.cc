@@ -15,7 +15,9 @@ EventId Simulator::schedule_at(Time when, Action&& action) {
   SMARTRED_EXPECT(static_cast<bool>(action), "event action must be callable");
   const std::uint32_t slot = acquire_slot();
   slots_[slot].action = std::move(action);
-  return commit_schedule(when, slot);
+  const EventId id = stage_schedule(when, slot);
+  sift_up(heap_.size() - 1);
+  return id;
 }
 
 bool Simulator::cancel(EventId id) {
@@ -23,8 +25,9 @@ bool Simulator::cancel(EventId id) {
   // double-cancel, and forged/stale handles all fail the generation compare
   // (a pending slot's generation is odd and matches only the one handle
   // issued for the current occupancy). The heap cannot remove from the
-  // middle, so the key is left behind as a tombstone and discarded lazily
-  // when it reaches the top.
+  // middle, so the key is left behind as a tombstone: retiring the slot
+  // clears its pending_meta record, and the orphaned key is discarded
+  // lazily when it reaches the top.
   if (id.slot >= slots_.size()) return false;
   Slot& cell = slots_[id.slot];
   if (cell.generation != id.generation || (id.generation & 1u) == 0) {
@@ -39,43 +42,64 @@ bool Simulator::cancel(EventId id) {
 void Simulator::retire_slot(std::uint32_t slot) {
   Slot& cell = slots_[slot];
   ++cell.generation;  // even: free
+  cell.pending_meta = kNoMeta;
   cell.next_free = free_head_;
   free_head_ = slot;
 }
 
-void Simulator::heap_pop() {
-  const HeapEntry last = heap_.back();
-  heap_.pop_back();
+void Simulator::sift_down(std::size_t hole) {
   const std::size_t size = heap_.size();
-  if (size == 0) return;
-  std::size_t hole = 0;
+  const HeapEntry entry = heap_[hole];
   for (;;) {
-    const std::size_t first = 4 * hole + 1;
+    const std::size_t first = kArity * hole + 1;
     if (first >= size) break;
     std::size_t best = first;
-    const std::size_t limit = std::min(first + 4, size);
+    const std::size_t limit = std::min(first + kArity, size);
     for (std::size_t child = first + 1; child < limit; ++child) {
       if (earlier(heap_[child], heap_[best])) best = child;
     }
-    if (!earlier(heap_[best], last)) break;
+    if (!earlier(heap_[best], entry)) break;
     heap_[hole] = heap_[best];
     hole = best;
   }
-  heap_[hole] = last;
+  heap_[hole] = entry;
+}
+
+void Simulator::heap_pop() {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+}
+
+void Simulator::restore_heap(std::size_t staged) {
+  const std::size_t size = heap_.size();
+  const std::size_t appended = size - staged;
+  // Per-key sift-up costs O(appended · depth) in the worst case but is
+  // nearly O(appended) in practice (a random key stays near the leaves);
+  // Floyd heapify is a guaranteed O(size) rebuild. Prefer the rebuild only
+  // once the wave is a sizeable fraction of the whole backlog.
+  if (appended < size / 4 + 8) {
+    for (std::size_t i = staged; i < size; ++i) sift_up(i);
+    return;
+  }
+  for (std::size_t hole = (size - 2) / kArity + 1; hole-- > 0;) {
+    sift_down(hole);
+  }
 }
 
 bool Simulator::execute_next() {
   while (!heap_.empty()) {
     const HeapEntry top = heap_.front();
     heap_pop();
-    if (slots_[top.slot].generation != top.generation) continue;  // tombstone
+    const std::uint32_t slot = top.slot();
+    if (slots_[slot].pending_meta != top.meta) continue;  // tombstone
     // Move the action out and retire the slot *before* invoking: the action
     // may schedule new events, which may recycle this very slot or grow the
     // slab (invalidating Slot references, never the local).
-    Action action = std::move(slots_[top.slot].action);
-    retire_slot(top.slot);
+    Action action = std::move(slots_[slot].action);
+    retire_slot(slot);
     --pending_;
-    now_ = top.when;
+    now_ = top.when();
     ++executed_;
     action();
     return true;
@@ -97,7 +121,7 @@ Time Simulator::run_until(Time until) {
   SMARTRED_EXPECT(until >= now_, "run_until() target is in the past");
   while (true) {
     skip_cancelled();
-    if (heap_.empty() || heap_.front().when > until) break;
+    if (heap_.empty() || heap_.front().when() > until) break;
     execute_next();
   }
   now_ = until;

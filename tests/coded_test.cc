@@ -629,13 +629,15 @@ TEST(CodedDeterminism, SweepIsThreadCountInvariant) {
 TEST(CodedDeterminism, Seed7AggregatesArePinned) {
   // Golden aggregates for the canonical config: any change to the codec,
   // the engine, or the Monte-Carlo vote accounting shows up here.
+  // (Re-pinned once when run_binary switched to batched bernoulli_mask64
+  // outcomes — same distribution, different draw order; DESIGN §11.)
   MonteCarloConfig mc;
   mc.tasks = 2'000;
   mc.seed = 7;
   const auto result =
       run_binary(CodedFactory(make_config(6, 4, 2, 1, -1)), 0.8, mc);
   EXPECT_EQ(result.tasks, 2'000u);
-  EXPECT_EQ(result.jobs_total, 25'600u);
+  EXPECT_EQ(result.jobs_total, 24'908u);
   EXPECT_EQ(result.tasks_correct, 2'000u);
   EXPECT_EQ(result.tasks_aborted, 0u);
 }

@@ -20,12 +20,16 @@
 #endif
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <cstdlib>
 #include <new>
 #include <random>
 #include <vector>
+
+#include "common/rng.h"
+#include "redundancy/types.h"
 
 namespace {
 
@@ -256,6 +260,101 @@ TEST(SimulatorArenaTest, SteadyStateChurnMakesNoAllocations) {
   EXPECT_EQ(after - before, 0u)
       << "schedule→fire churn allocated on a warm arena";
   EXPECT_EQ(fired, static_cast<std::uint64_t>(kBacklog) * 201u);
+}
+
+TEST(SimulatorArenaTest, ScheduleBatchMakesNoAllocationsWhenWarm) {
+  Simulator sim;
+  constexpr std::size_t kBatch = 256;
+  std::uint64_t fired = 0;
+  std::array<double, kBatch> delays;
+  std::array<EventId, kBatch> ids;
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    delays[i] = 1.0 + 0.01 * static_cast<double>(i);
+  }
+  // One warm-up round grows the arena, the free list, and the heap vector
+  // to the working set; after that bulk insertion must never allocate.
+  sim.schedule_batch(delays, [&fired](std::size_t) {
+    return [&fired] { ++fired; };
+  });
+  ASSERT_EQ(sim.step(kBatch), kBatch);
+
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int round = 0; round < 100; ++round) {
+    sim.schedule_batch(
+        delays,
+        [&fired](std::size_t) {
+          return [&fired] { ++fired; };
+        },
+        ids.data());
+    ASSERT_EQ(sim.step(kBatch), kBatch);
+  }
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+
+  EXPECT_EQ(after - before, 0u)
+      << "bulk insertion allocated on a warm arena";
+  EXPECT_EQ(fired, kBatch * 101u);
+}
+
+TEST(SimulatorArenaTest, ScheduleBatchInterleavesWithScalarSchedules) {
+  // Pop order must be indistinguishable from the equivalent sequence of
+  // one-at-a-time schedules: same timestamps fire in insertion order
+  // whether they arrived staged or scalar.
+  Simulator batched;
+  Simulator scalar;
+  std::vector<int> batched_order;
+  std::vector<int> scalar_order;
+  const std::array<double, 6> delays = {3.0, 1.0, 2.0, 1.0, 3.0, 2.0};
+  scalar.schedule(2.0, [&scalar_order] { scalar_order.push_back(-1); });
+  for (std::size_t i = 0; i < delays.size(); ++i) {
+    scalar.schedule(delays[i], [&scalar_order, i] {
+      scalar_order.push_back(static_cast<int>(i));
+    });
+  }
+  batched.schedule(2.0, [&batched_order] { batched_order.push_back(-1); });
+  batched.schedule_batch(delays, [&batched_order](std::size_t i) {
+    return [&batched_order, i] {
+      batched_order.push_back(static_cast<int>(i));
+    };
+  });
+  scalar.run();
+  batched.run();
+  EXPECT_EQ(batched_order, scalar_order);
+}
+
+// The other two batched hot paths share this binary's counting allocator:
+// both must run entirely on stack/inline storage.
+
+TEST(SimulatorArenaTest, BernoulliBatchMakesNoAllocations) {
+  rng::Stream stream(5);
+  bool out[512];
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int round = 0; round < 100; ++round) {
+    stream.bernoulli_batch(0.7, 512, out);
+    stream.uniform01_batch(0, nullptr);
+  }
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u) << "batched Bernoulli draws allocated";
+  EXPECT_TRUE(out[0] || !out[0]);  // keep the buffer observable
+}
+
+TEST(SimulatorArenaTest, VoteFoldMakesNoAllocationsAtInlineWidth) {
+  // A binary wave (two distinct values) of any length stays in the
+  // tally's inline small-buffer; folding and ranking it must not touch
+  // the heap.
+  std::array<redundancy::Vote, 64> votes;
+  for (std::size_t i = 0; i < votes.size(); ++i) {
+    votes[i] = redundancy::Vote{static_cast<redundancy::NodeId>(i),
+                                i % 3 == 0 ? 7 : 42, 0};
+  }
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  int leader_count = 0;
+  for (int round = 0; round < 100; ++round) {
+    redundancy::VoteTally tally{votes};
+    leader_count += tally.standing().leader_count;
+  }
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u) << "inline-width vote fold allocated";
+  EXPECT_EQ(leader_count, 100 * 42);  // 42 of the 64 votes say 42
 }
 
 }  // namespace

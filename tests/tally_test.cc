@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/expect.h"
+#include "common/rng.h"
 
 namespace smartred::redundancy {
 namespace {
@@ -101,6 +102,46 @@ TEST(VoteTallyTest, MarginEqualsBinaryDifference) {
     tally.add(v);
     (v == 1 ? a : b) += 1;
     EXPECT_EQ(tally.margin(), std::abs(a - b));
+  }
+}
+
+TEST(VoteTallyTest, FoldMatchesScalarAddAcrossSweep) {
+  // Differential sweep over wave shapes that hit every fold path: the
+  // two-value fast path, the general discovery pass, inline vs spilled
+  // storage, and folds layered onto a pre-populated tally. The batched
+  // fold must agree with one-at-a-time add() on every observable.
+  rng::Stream rng(123);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 1 + rng.uniform_int(0, 96);
+    const int domain = 1 + static_cast<int>(rng.uniform_int(0, 7));
+    const bool preload = rng.bernoulli(0.5);
+    std::vector<Vote> votes(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto value = static_cast<ResultValue>(
+          rng.uniform_int(0, static_cast<std::uint64_t>(domain - 1)));
+      votes[i] = Vote{static_cast<NodeId>(i), value, 0};
+    }
+    VoteTally folded;
+    VoteTally scalar;
+    if (preload) {
+      folded.add(-5);
+      scalar.add(-5);
+    }
+    folded.fold(votes);
+    for (const Vote& vote : votes) scalar.add(vote.value);
+    ASSERT_EQ(folded.total(), scalar.total()) << "trial " << trial;
+    ASSERT_EQ(folded.distinct(), scalar.distinct()) << "trial " << trial;
+    ASSERT_EQ(folded.leader(), scalar.leader()) << "trial " << trial;
+    ASSERT_EQ(folded.margin(), scalar.margin()) << "trial " << trial;
+    for (int value = -5; value < domain; ++value) {
+      ASSERT_EQ(folded.count(value), scalar.count(value))
+          << "trial " << trial << " value " << value;
+    }
+    const auto folded_standing = folded.standing();
+    const auto scalar_standing = scalar.standing();
+    ASSERT_EQ(folded_standing.leader_count, scalar_standing.leader_count);
+    ASSERT_EQ(folded_standing.runner_up_count,
+              scalar_standing.runner_up_count);
   }
 }
 

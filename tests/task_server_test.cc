@@ -355,7 +355,12 @@ TEST(TaskServerTest, QuarantineSidelinesRepeatOffenders) {
   auto failures = collusion_model(1.0);
   fault::LognormalLatency tail(1.0, 0.3);
   fault::SlowNodeLatency latency(tail, 0.15, 10.0, rng::Stream(72));
-  DcaConfig config = small_config(1'000, 20);
+  // Seed re-pinned (20 -> 24) when uniform_int switched to Lemire
+  // multiply-shift rejection: the assignment-draw trajectory changed and
+  // the old seed no longer produced a node with two *consecutive* late
+  // completions (strikes reset on any on-time finish). Seed 24 quarantines
+  // three nodes, the widest margin in the scanned neighbourhood.
+  DcaConfig config = small_config(1'000, 24);
   config.latency = &latency;
   config.timeout = 30.0;
   config.deadline.adaptive = true;
