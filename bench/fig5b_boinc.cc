@@ -42,6 +42,7 @@ smartred::dca::RunMetrics run_point(
         smartred::boinc::BoincConfig config;
         config.seed = rep_seed;
         config.timeseries = telemetry.timeseries;
+        config.assignment_spec = smartred::bench::active_policy();
         smartred::boinc::Deployment deployment(simulator, config, profiles,
                                                factory, workload);
         return smartred::dca::RunMetrics(deployment.run());

@@ -27,6 +27,8 @@
 #include "ckpt/store.h"
 #include "ckpt/sweep.h"
 #include "common/flags.h"
+#include "common/spec.h"
+#include "dca/assignment.h"
 #include "common/rng.h"
 #include "common/table.h"
 #include "dca/metrics.h"
@@ -78,6 +80,7 @@ struct ExperimentFlags {
   std::shared_ptr<std::string> checkpoint_dir;
   std::shared_ptr<std::int64_t> checkpoint_every;
   std::shared_ptr<bool> resume;
+  std::shared_ptr<std::string> policy;
 };
 
 /// Registers --reps, --threads, --seed, --csv, the telemetry flags
@@ -123,7 +126,37 @@ inline ExperimentFlags add_experiment_flags(flags::Parser& parser,
       "resume", false,
       "resume an interrupted sweep from --checkpoint-dir instead of "
       "starting it over");
+  handles.policy = parser.add_string(
+      "policy", "uniform",
+      "task-to-worker assignment policy for DCA points: uniform, "
+      "least-outstanding, stratified[:tiers=T,late=W], "
+      "cartel-averse:groups=G (see dca::describe_policies)");
   return handles;
+}
+
+namespace detail {
+/// The --policy spec in force for this process. plan_point() records it on
+/// every data point, so any bench that plans points picks the flag up
+/// without bench-side plumbing; RepTelemetry::apply() stamps it into DCA
+/// configs that didn't choose a policy themselves.
+inline std::string g_policy_spec = "uniform";  // NOLINT(cert-err58-cpp)
+}  // namespace detail
+
+/// Validates --policy eagerly — a typo fails here with the registry's
+/// did-you-mean message before any replication runs — records it as the
+/// process-wide default, and returns the spec for benches that also stamp
+/// it into point labels (so the policy in force is echoed into CSV headers
+/// and trace metadata).
+[[nodiscard]] inline std::string resolve_policy(const ExperimentFlags& flags) {
+  static_cast<void>(dca::make_policy(*flags.policy));
+  detail::g_policy_spec = *flags.policy;
+  return *flags.policy;
+}
+
+/// The validated --policy spec in force (for benches that build their
+/// configs outside the RepTelemetry::apply path, e.g. the BOINC substrate).
+[[nodiscard]] inline const std::string& active_policy() {
+  return detail::g_policy_spec;
 }
 
 /// Per-binary telemetry session driving obs:: from the --trace, --metrics,
@@ -314,6 +347,7 @@ class TelemetrySession {
 /// --seed so distinct points never share replication seed streams.
 inline exp::RunnerConfig plan_point(const ExperimentFlags& flags,
                                     std::uint64_t point) {
+  detail::g_policy_spec = resolve_policy(flags);
   exp::RunnerConfig config;
   config.replications =
       *flags.reps > 0 ? static_cast<std::uint64_t>(*flags.reps) : 1;
@@ -344,10 +378,14 @@ struct RepTelemetry {
   obs::PhaseProfiler* profile = nullptr;
 
   /// Wires the handles into a DCA server config (keeping the config's own
-  /// sample_interval).
+  /// sample_interval), and stamps the --policy spec into configs that
+  /// didn't choose an assignment policy themselves.
   void apply(dca::DcaConfig& config) const {
     config.timeseries = timeseries;
     config.profile = profile;
+    if (config.assignment_spec.empty() && config.assignment == nullptr) {
+      config.assignment_spec = detail::g_policy_spec;
+    }
   }
 };
 
@@ -495,6 +533,9 @@ int guarded_main(int argc, char** argv, Body&& body) {
   } catch (const ckpt::Error& error) {
     std::cerr << "checkpoint error: " << error.what() << "\n";
     return 1;
+  } catch (const spec::SpecError& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 2;
   }
 }
 

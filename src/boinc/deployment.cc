@@ -48,6 +48,16 @@ Deployment::Deployment(sim::Simulator& simulator, const BoincConfig& config,
                   "health sampling needs a positive sample interval");
   encoder_ = factory.encoder();
   eager_ = factory.eager();
+  if (config.assignment != nullptr) {
+    policy_ = config.assignment;
+  } else {
+    owned_policy_ = dca::make_policy(
+        config.assignment_spec.empty() ? "uniform" : config.assignment_spec);
+    policy_ = owned_policy_.get();
+  }
+  // No bind(): the pull model has no NodePool — clients announce
+  // themselves by requesting work, and the policy only ever vetoes.
+  policy_->reset();
 }
 
 double Deployment::pool_effective_reliability() const {
@@ -63,6 +73,13 @@ const dca::RunMetrics& Deployment::run() {
   tasks_.resize(task_count);
   undecided_ = task_count;
   metrics_.tasks_total = task_count;
+  if (obs::Recorder* const rec = simulator_.recorder()) {
+    rec->record(obs::TraceEvent{
+        .time = simulator_.now(),
+        .arg = static_cast<std::int64_t>(policy_->kind()),
+        .kind = obs::EventKind::kPolicyChosen,
+    });
+  }
   if (factory_.stateless()) shared_strategy_ = factory_.make();
   for (std::uint64_t task = 0; task < task_count; ++task) {
     TaskState& state = tasks_[task];
@@ -139,6 +156,12 @@ void Deployment::server_handle_request(redundancy::NodeId client) {
       ++it;
       continue;
     }
+    const dca::AssignContext context{
+        task, static_cast<std::uint32_t>(state.waves), profiles_.size()};
+    if (!policy_->admit(context, client)) {
+      ++it;  // vetoed for this client; the job waits for another
+      continue;
+    }
     job_queue_.erase(it);
     assign(client, task);
     return;
@@ -158,6 +181,21 @@ void Deployment::assign(redundancy::NodeId client, std::uint64_t task) {
   const int ordinal = state.ordinals++;
   state.live_jobs.insert(job_id);
   state.served.insert(client);
+  policy_->on_dispatch(client,
+                       dca::AssignContext{task,
+                                          static_cast<std::uint32_t>(
+                                              state.waves),
+                                          profiles_.size()});
+  if (obs::Recorder* const rec = simulator_.recorder()) {
+    rec->record(obs::TraceEvent{
+        .time = simulator_.now(),
+        .task = task,
+        .arg = static_cast<std::int64_t>(job_id),
+        .node = client,
+        .wave = static_cast<std::uint32_t>(state.waves),
+        .kind = obs::EventKind::kNodeAssigned,
+    });
+  }
   simulator_.schedule(config_.report_deadline,
                       [this, task, job_id] { deadline_check(task, job_id); });
   simulator_.schedule(latency(), [this, client, task, job_id, ordinal] {
@@ -211,6 +249,10 @@ void Deployment::server_handle_result(redundancy::NodeId client,
   if (live == state.live_jobs.end()) return;  // stale: counted lost already
   state.live_jobs.erase(live);
   ++metrics_.jobs_completed;
+  // Stale and post-decision reports never reach this hook, so a client
+  // that blows its deadline keeps the debt — the pull-model counterpart
+  // of the DCA write-off rule.
+  policy_->on_complete(client, /*on_time=*/true);
   std::int32_t piece = 0;
   redundancy::ResultValue correct = workload_.correct_value(task);
   if (encoder_ != nullptr) {
@@ -348,6 +390,10 @@ void Deployment::finish_task(std::uint64_t task,
   state.accepted = accepted;
   --undecided_;
   if (accepted == workload_.correct_value(task)) ++metrics_.tasks_correct;
+  // Coded pieces carry no agreement-with-accepted signal, so reliability
+  // feedback only flows for plain replication (same rule as the DCA).
+  if (encoder_ == nullptr) policy_->on_task_decided(state.votes, accepted);
+  policy_->on_task_settled(task);
   record_task_metrics(state);
   if (state.started) {
     const double response = simulator_.now() - state.first_dispatch;
@@ -366,6 +412,7 @@ void Deployment::abort_task(std::uint64_t task) {
   state.aborted = true;
   --undecided_;
   ++metrics_.tasks_aborted;
+  policy_->on_task_settled(task);
   if (obs::Recorder* const rec = simulator_.recorder()) {
     rec->record(obs::TraceEvent{
         .time = simulator_.now(),

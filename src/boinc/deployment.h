@@ -26,6 +26,7 @@
 
 #include "boinc/profile.h"
 #include "common/rng.h"
+#include "dca/assignment.h"
 #include "dca/metrics.h"
 #include "dca/workload.h"
 #include "obs/timeseries.h"
@@ -56,6 +57,15 @@ struct BoincConfig {
   /// Simulated-time stride between health samples. Must be positive when
   /// `timeseries` is set.
   double sample_interval = 1.0;
+  /// Optional externally owned assignment policy (must outlive the
+  /// deployment). Null selects `assignment_spec` instead. In this pull
+  /// substrate the policy vetoes via admit() — clients request work, so
+  /// there is no pool to select() from — and is fed the dispatch/complete
+  /// /decided hooks.
+  dca::AssignmentPolicy* assignment = nullptr;
+  /// Assignment-policy spec (see dca::make_policy) used when `assignment`
+  /// is null; empty selects the paper's first-come baseline.
+  std::string assignment_spec;
 };
 
 /// One computation run on the simulated volunteer network. Single-use:
@@ -155,6 +165,10 @@ class Deployment {
   /// One decision engine for all tasks when the factory is stateless
   /// (avoids a per-task allocation); null for stateful factories.
   std::unique_ptr<redundancy::RedundancyStrategy> shared_strategy_;
+  /// The assignment policy in force: config-supplied, or owned_policy_
+  /// built from the spec (uniform admit-all by default).
+  dca::AssignmentPolicy* policy_ = nullptr;
+  std::unique_ptr<dca::AssignmentPolicy> owned_policy_;
   const dca::Workload& workload_;
 
   std::deque<std::uint64_t> job_queue_;  ///< task ids awaiting assignment

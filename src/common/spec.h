@@ -1,0 +1,88 @@
+// Shared machinery for string-keyed spec grammars.
+//
+// Both registries (redundancy strategies, assignment policies) speak the
+// same tiny language:
+//
+//   name[:key=value[,key=value...]]
+//
+// This header holds everything the grammar needs that is not
+// registry-specific: the SpecError type, `key=value` parameter parsing
+// with consumed-key tracking, and the Levenshtein did-you-mean nudge that
+// turns a typo'd flag into an actionable message instead of a silently
+// wrong experiment.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace smartred::spec {
+
+/// A malformed or unknown spec. The message names the offending part and
+/// lists the valid alternatives.
+class SpecError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Plain dynamic-programming edit distance, for did-you-mean suggestions.
+/// Spec vocabularies are tiny (a dozen names, single-char keys), so the
+/// O(len^2) table is irrelevant.
+[[nodiscard]] std::size_t edit_distance(std::string_view a,
+                                        std::string_view b);
+
+/// " — did you mean 'X'?" when some candidate is within edit distance 2 of
+/// `input` (ties break toward the earlier candidate); empty otherwise.
+[[nodiscard]] std::string did_you_mean(
+    std::string_view input, std::span<const std::string_view> candidates);
+
+/// A spec split at its first ':' — the name, and the (possibly empty)
+/// `key=value,...` body after it.
+struct SplitSpec {
+  std::string_view name;
+  std::string_view body;
+};
+[[nodiscard]] SplitSpec split(std::string_view spec);
+
+/// Parsed `key=value` pairs of a spec, tracking which keys the caller
+/// consumed so leftovers can be reported as unknown. `context` prefixes
+/// every error message (e.g. "strategy spec 'iterative'").
+class Params {
+ public:
+  Params(std::string context, std::string_view body);
+
+  /// Required integer parameter.
+  int get_int(std::string_view key);
+  /// Required floating parameter.
+  double get_double(std::string_view key);
+  /// Optional parameters fall back to the given default.
+  int get_int(std::string_view key, int fallback);
+  double get_double(std::string_view key, double fallback);
+
+  /// Call after consuming everything the registry understands: any key
+  /// never looked up is unknown, and that is an error (with a did-you-mean
+  /// nudge when the key is a near-miss of a valid one).
+  void finish(std::string_view valid_keys) const;
+
+  [[noreturn]] void fail(const std::string& what) const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string value;
+    bool consumed;
+  };
+
+  const std::string* find(std::string_view key);
+  const std::string& require(std::string_view key);
+  int parse_int(std::string_view key, const std::string& raw) const;
+  double parse_double(std::string_view key, const std::string& raw) const;
+
+  std::string context_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace smartred::spec

@@ -7,6 +7,7 @@ namespace smartred::dca {
 NodePool::NodePool(std::size_t initial_nodes) {
   records_.reserve(initial_nodes);
   idle_.reserve(initial_nodes);
+  live_.reserve(initial_nodes);
   for (std::size_t i = 0; i < initial_nodes; ++i) join();
 }
 
@@ -17,7 +18,9 @@ redundancy::NodeId NodePool::join(double speed) {
   record.speed = speed;
   record.busy = false;
   record.idle_slot = idle_.size();
+  record.live_slot = live_.size();
   idle_.push_back(id);
+  live_.push_back(id);
   records_.emplace(id, record);
   return id;
 }
@@ -26,9 +29,19 @@ std::optional<redundancy::NodeId> NodePool::acquire_random(rng::Stream& rng) {
   if (idle_.empty()) return std::nullopt;
   const std::size_t slot = rng.index(idle_.size());
   const redundancy::NodeId id = idle_[slot];
-  remove_from_idle(id);
-  records_.at(id).busy = true;
+  acquire(id);
   return id;
+}
+
+void NodePool::acquire(redundancy::NodeId node) {
+  remove_from_idle(node);
+  records_.at(node).busy = true;
+}
+
+bool NodePool::is_idle(redundancy::NodeId node) const {
+  const auto found = records_.find(node);
+  if (found == records_.end()) return false;
+  return !found->second.busy && !found->second.quarantined;
 }
 
 void NodePool::remove_from_idle(redundancy::NodeId node) {
@@ -61,21 +74,18 @@ bool NodePool::leave(redundancy::NodeId node) {
   } else if (!was_busy) {
     remove_from_idle(node);
   }
-  records_.erase(found);
+  const std::size_t slot = record.live_slot;
+  const redundancy::NodeId moved = live_.back();
+  live_[slot] = moved;
+  records_.at(moved).live_slot = slot;
+  live_.pop_back();
+  records_.erase(node);
   return was_busy;
 }
 
 std::optional<redundancy::NodeId> NodePool::pick_any(rng::Stream& rng) {
-  if (records_.empty()) return std::nullopt;
-  // The unordered_map has no O(1) random access; walk a random number of
-  // steps from a random bucket. Pool sizes are ~1e4 and churn events are
-  // rare relative to jobs, so a simple reservoir pick over ids kept in
-  // idle_ + a linear fallback would be overkill; instead sample by index
-  // over a bucket walk.
-  const std::size_t target = rng.index(records_.size());
-  auto it = records_.begin();
-  std::advance(it, static_cast<std::ptrdiff_t>(target));
-  return it->first;
+  if (live_.empty()) return std::nullopt;
+  return live_[rng.index(live_.size())];
 }
 
 double NodePool::speed(redundancy::NodeId node) const {

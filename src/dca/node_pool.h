@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -29,9 +30,31 @@ class NodePool {
   redundancy::NodeId join(double speed = 1.0);
 
   /// Picks a uniformly random idle node, marks it busy, and returns its id;
-  /// nullopt when every live node is busy or quarantined.
+  /// nullopt when every live node is busy or quarantined. Exactly one RNG
+  /// draw per successful pick (an index into idle_ids()).
   [[nodiscard]] std::optional<redundancy::NodeId> acquire_random(
       rng::Stream& rng);
+
+  /// Marks a specific idle node busy. Assignment policies pick a node from
+  /// idle_ids() and the dispatcher claims it through here. Requires the
+  /// node to be idle.
+  void acquire(redundancy::NodeId node);
+
+  /// Whether a node is present and idle (not busy, not quarantined).
+  [[nodiscard]] bool is_idle(redundancy::NodeId node) const;
+
+  /// The ids of all idle nodes, in pool order — a dense view backing O(1)
+  /// uniform selection (`ids[rng.index(ids.size())]`). Invalidated by any
+  /// mutating call.
+  [[nodiscard]] std::span<const redundancy::NodeId> idle_ids() const {
+    return idle_;
+  }
+
+  /// The ids of all live nodes (idle, busy, or quarantined), in pool
+  /// order. Invalidated by join/leave.
+  [[nodiscard]] std::span<const redundancy::NodeId> live_ids() const {
+    return live_;
+  }
 
   /// Returns a busy node to the idle set. A node that was removed while
   /// busy (leave/crash) is discarded instead. Requires the node to be busy.
@@ -92,6 +115,8 @@ class NodePool {
     int quarantine_rounds = 0;  ///< times this node has been quarantined
     /// Position in idle_ when idle (not busy, not quarantined).
     std::size_t idle_slot = 0;
+    /// Position in live_ (always valid while the node is in the pool).
+    std::size_t live_slot = 0;
   };
 
   void remove_from_idle(redundancy::NodeId node);
@@ -99,6 +124,7 @@ class NodePool {
   redundancy::NodeId next_id_ = 0;
   std::unordered_map<redundancy::NodeId, Record> records_;
   std::vector<redundancy::NodeId> idle_;
+  std::vector<redundancy::NodeId> live_;
   std::size_t quarantined_ = 0;
 };
 

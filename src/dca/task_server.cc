@@ -62,6 +62,15 @@ TaskServer::TaskServer(sim::Simulator& simulator, const DcaConfig& config,
                   "health sampling needs a positive sample interval");
   encoder_ = factory.encoder();
   eager_ = factory.eager();
+  if (config.assignment != nullptr) {
+    policy_ = config.assignment;
+  } else {
+    owned_policy_ = make_policy(
+        config.assignment_spec.empty() ? "uniform" : config.assignment_spec);
+    policy_ = owned_policy_.get();
+  }
+  policy_->reset();
+  policy_->bind(pool_);
 }
 
 const RunMetrics& TaskServer::run() {
@@ -70,6 +79,13 @@ const RunMetrics& TaskServer::run() {
   undecided_ = task_count;
   metrics_.tasks_total = task_count;
 
+  if (obs::Recorder* const rec = simulator_.recorder()) {
+    rec->record(obs::TraceEvent{
+        .time = simulator_.now(),
+        .arg = static_cast<std::int64_t>(policy_->kind()),
+        .kind = obs::EventKind::kPolicyChosen,
+    });
+  }
   if (factory_.stateless()) shared_strategy_ = factory_.make();
   for (std::uint64_t task = 0; task < task_count; ++task) {
     TaskState& state = tasks_[task];
@@ -142,16 +158,40 @@ void TaskServer::enqueue_wave(std::uint64_t task, int jobs) {
 
 void TaskServer::assign_available() {
   // Stage every (copy, node) pairing first, then dispatch the whole wave
-  // in bulk. The acquire draws happen in queue order, exactly as the old
-  // one-copy loop made them; an acquired node is busy and so excluded from
-  // later draws whether or not its copy later turns out silent, which
-  // keeps the idle set at each draw identical to the scalar trajectory.
+  // in bulk. The policy's selection draws happen in queue order, exactly
+  // as the old one-copy loop made them; an acquired node is busy and so
+  // excluded from later selections whether or not its copy later turns
+  // out silent, which keeps the idle set at each draw identical to the
+  // scalar trajectory (the uniform policy makes the same single
+  // idle-index draw acquire_random made). A policy may decline a copy
+  // (nullopt); it stays queued and the walk moves on, which is why this
+  // iterates instead of popping the front.
   staged_.clear();
-  while (!job_queue_.empty()) {
-    const auto node = pool_.acquire_random(rng_assign_);
-    if (!node.has_value()) break;  // every live node is busy
-    staged_.push_back(StagedCopy{job_queue_.front(), *node});
-    job_queue_.pop_front();
+  auto pending = job_queue_.begin();
+  while (pending != job_queue_.end() && pool_.idle_count() > 0) {
+    const AssignContext context{
+        pending->task,
+        static_cast<std::uint32_t>(tasks_[pending->task].waves),
+        pool_.live_count()};
+    const auto node = policy_->select(context, pool_, rng_assign_);
+    if (!node.has_value()) {
+      ++pending;  // declined; retried on the next assignment pass
+      continue;
+    }
+    pool_.acquire(*node);
+    policy_->on_dispatch(*node, context);
+    if (obs::Recorder* const rec = simulator_.recorder()) {
+      rec->record(obs::TraceEvent{
+          .time = simulator_.now(),
+          .task = context.task,
+          .arg = static_cast<std::int64_t>(pending->job),
+          .node = *node,
+          .wave = context.wave,
+          .kind = obs::EventKind::kNodeAssigned,
+      });
+    }
+    staged_.push_back(StagedCopy{*pending, *node});
+    pending = job_queue_.erase(pending);
   }
   if (!staged_.empty()) dispatch_staged();
 }
@@ -191,6 +231,7 @@ void TaskServer::dispatch_staged() {
       quarantine_node(copy.node);
     } else {
       pool_.leave(copy.node);
+      policy_->on_leave(copy.node);
     }
     const std::uint64_t job_id = copy.job.job;
     const redundancy::NodeId node = copy.node;
@@ -340,6 +381,7 @@ void TaskServer::judge_completion(redundancy::NodeId node, bool late) {
 
 void TaskServer::quarantine_node(redundancy::NodeId node) {
   const int round = pool_.quarantine(node);
+  policy_->on_quarantine(node);
   ++metrics_.nodes_quarantined;
   if (obs::Recorder* const rec = simulator_.recorder()) {
     rec->record(obs::TraceEvent{
@@ -356,6 +398,7 @@ void TaskServer::quarantine_node(redundancy::NodeId node) {
                             static_cast<double>(round - 1)));
   simulator_.schedule(backoff, [this, node, round] {
     if (pool_.readmit(node)) {
+      policy_->on_readmit(node);
       ++metrics_.nodes_readmitted;
       if (obs::Recorder* const rec = simulator_.recorder()) {
         rec->record(obs::TraceEvent{
@@ -388,7 +431,12 @@ void TaskServer::complete_job(std::uint64_t job, redundancy::NodeId node) {
   if (deadline_.has_value()) {
     deadline_->observe(workload_.job_work(task), elapsed);
   }
-  judge_completion(node, flight.deadline > 0.0 && elapsed > flight.deadline);
+  const bool late = flight.deadline > 0.0 && elapsed > flight.deadline;
+  // on_complete (the node is idle again) before judge_completion, which
+  // may immediately quarantine it — the on_quarantine hook then retracts
+  // it from the policy's idle mirror.
+  policy_->on_complete(node, !late);
+  judge_completion(node, late);
   if (state.decided || logical.resolved) {
     // This copy outlived its purpose: the task settled without it, or a
     // sibling copy won the race. The vote is discarded but the node is
@@ -545,6 +593,11 @@ void TaskServer::finish_task(std::uint64_t task,
   state.accepted = accepted;
   --undecided_;
   if (accepted == workload_.correct_value(task)) ++metrics_.tasks_correct;
+  // Under an encoding strategy votes are piece values, so agreement with
+  // the accepted task value carries no reliability signal — the learning
+  // hook only fires for plain replication.
+  if (encoder_ == nullptr) policy_->on_task_decided(state.votes, accepted);
+  policy_->on_task_settled(task);
   record_task_metrics(state);
   if (state.started) {
     const double response = simulator_.now() - state.first_dispatch;
@@ -569,6 +622,7 @@ void TaskServer::abort_task(std::uint64_t task, bool budget_exhausted) {
   state.decided = true;
   state.aborted = true;
   --undecided_;
+  policy_->on_task_settled(task);
   ++metrics_.tasks_aborted;
   if (!budget_exhausted) ++metrics_.tasks_abandoned;
   if (obs::Recorder* const rec = simulator_.recorder()) {
@@ -650,7 +704,8 @@ void TaskServer::schedule_churn_join() {
   simulator_.schedule(rng_churn_.exponential(1.0 / config_.churn.join_rate),
                       [this] {
                         if (undecided_ == 0) return;
-                        pool_.join();
+                        const redundancy::NodeId id = pool_.join();
+                        policy_->on_join(id);
                         ++metrics_.nodes_joined;
                         assign_available();
                         schedule_churn_join();
@@ -680,7 +735,16 @@ void TaskServer::churn_leave() {
   if (!victim.has_value()) return;
   ++metrics_.nodes_left;
   const bool was_busy = pool_.leave(*victim);
-  if (!was_busy) return;
+  policy_->on_leave(*victim);
+  if (!was_busy) {
+    // The departed node was idle or quarantined. A declining policy may
+    // have been waiting on exactly this group/tier composition, so give
+    // the queue another pass. Under uniform this is a provable no-op: a
+    // non-empty queue implies an empty idle set, so the pass makes no
+    // draws.
+    assign_available();
+    return;
+  }
   // The departing volunteer abandons its in-flight copy (if the copy was a
   // silent crash there is no in-flight record; its re-issue timer is
   // already armed).

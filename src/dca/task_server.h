@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "dca/assignment.h"
 #include "dca/deadline.h"
 #include "dca/metrics.h"
 #include "dca/node_pool.h"
@@ -141,6 +142,13 @@ struct DcaConfig {
   /// Optional wall-clock phase profiler for the dispatch/collect/decide
   /// stages (obs/profile.h). Not owned; null disables at zero cost.
   obs::PhaseProfiler* profile = nullptr;
+  /// Optional externally owned assignment policy (must outlive the
+  /// server). Null selects `assignment_spec` instead. The server calls
+  /// reset() and bind() on whichever policy it ends up with.
+  AssignmentPolicy* assignment = nullptr;
+  /// Assignment-policy spec (see dca::make_policy) used when `assignment`
+  /// is null; empty selects the paper's uniform baseline.
+  std::string assignment_spec;
 };
 
 /// Runs one computation to completion. Construct, call run(), read
@@ -302,6 +310,10 @@ class TaskServer {
   std::unique_ptr<redundancy::RedundancyStrategy> shared_strategy_;
 
   NodePool pool_;
+  /// The assignment policy in force: config-supplied, or owned_policy_
+  /// built from the spec (uniform by default).
+  AssignmentPolicy* policy_ = nullptr;
+  std::unique_ptr<AssignmentPolicy> owned_policy_;
   std::deque<QueuedJob> job_queue_;  ///< copies awaiting a node
   std::vector<TaskState> tasks_;
   std::unordered_map<std::uint64_t, LogicalJob> jobs_;  ///< live logical jobs

@@ -44,6 +44,8 @@ const char* arg_name(EventKind kind) {
     case EventKind::kNodeReadmitted: return "round";
     case EventKind::kTaskAborted: return "jobs";
     case EventKind::kDecodeRejected: return "rejects";
+    case EventKind::kNodeAssigned: return "job";
+    case EventKind::kPolicyChosen: return "policy";
   }
   return "arg";
 }
@@ -72,6 +74,8 @@ const char* kind_name(EventKind kind) {
     case EventKind::kNodeReadmitted: return "node_readmitted";
     case EventKind::kTaskAborted: return "task_aborted";
     case EventKind::kDecodeRejected: return "decode_rejected";
+    case EventKind::kNodeAssigned: return "node_assigned";
+    case EventKind::kPolicyChosen: return "policy_chosen";
   }
   return "unknown";
 }

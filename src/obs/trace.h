@@ -51,6 +51,10 @@ enum class EventKind : std::uint8_t {
   kTaskAborted,           ///< task gave up; `reason` says why
   kDecodeRejected,        ///< coded decode-verify rejected `arg` candidate
                           ///< codewords before this consultation returned
+  kNodeAssigned,          ///< copy of logical job `arg` placed on `node`
+                          ///< by the assignment policy (wave stamped)
+  kPolicyChosen,          ///< run-level: dca::PolicyKind `arg` drives
+                          ///< assignment for this run
 };
 
 /// One fixed-size trace record. No owned memory: every field is a scalar,

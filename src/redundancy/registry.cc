@@ -1,12 +1,10 @@
 #include "redundancy/registry.h"
 
-#include <algorithm>
-#include <charconv>
-#include <span>
-#include <sstream>
-#include <utility>
+#include <memory>
+#include <string>
 #include <vector>
 
+#include "common/spec.h"
 #include "redundancy/adaptive.h"
 #include "redundancy/coded.h"
 #include "redundancy/credibility.h"
@@ -20,166 +18,8 @@
 namespace smartred::redundancy {
 namespace {
 
-/// Plain dynamic-programming edit distance, for did-you-mean suggestions.
-/// Spec vocabularies are tiny (a dozen names, single-char keys), so the
-/// O(len^2) table is irrelevant.
-std::size_t edit_distance(std::string_view a, std::string_view b) {
-  std::vector<std::size_t> row(b.size() + 1);
-  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
-  for (std::size_t i = 1; i <= a.size(); ++i) {
-    std::size_t diagonal = row[0];
-    row[0] = i;
-    for (std::size_t j = 1; j <= b.size(); ++j) {
-      const std::size_t above = row[j];
-      row[j] = std::min({row[j] + 1, row[j - 1] + 1,
-                         diagonal + (a[i - 1] == b[j - 1] ? 0 : 1)});
-      diagonal = above;
-    }
-  }
-  return row[b.size()];
-}
-
-/// " — did you mean 'X'?" when some candidate is within edit distance 2 of
-/// `input` (ties break toward the earlier candidate); empty otherwise.
-std::string did_you_mean(std::string_view input,
-                         std::span<const std::string_view> candidates) {
-  std::string_view best;
-  std::size_t best_distance = 3;  // suggestions past distance 2 mislead
-  for (const std::string_view candidate : candidates) {
-    if (candidate == input) continue;
-    const std::size_t distance = edit_distance(input, candidate);
-    if (distance < best_distance) {
-      best_distance = distance;
-      best = candidate;
-    }
-  }
-  if (best.empty()) return {};
-  return " — did you mean '" + std::string(best) + "'?";
-}
-
-/// Parsed `key=value` pairs of a spec, tracking which keys the technique
-/// consumed so leftovers can be reported as unknown.
-class Params {
- public:
-  Params(std::string_view technique, std::string_view body)
-      : technique_(technique) {
-    while (!body.empty()) {
-      const std::size_t comma = body.find(',');
-      const std::string_view pair = body.substr(0, comma);
-      body = comma == std::string_view::npos ? std::string_view{}
-                                             : body.substr(comma + 1);
-      const std::size_t eq = pair.find('=');
-      if (eq == std::string_view::npos || eq == 0 || eq + 1 == pair.size()) {
-        fail("expected key=value, got '" + std::string(pair) + "'");
-      }
-      const std::string_view key = pair.substr(0, eq);
-      for (const Entry& entry : entries_) {
-        if (entry.key == key) {
-          fail("duplicate key '" + std::string(key) + "'");
-        }
-      }
-      entries_.push_back(Entry{std::string(key),
-                               std::string(pair.substr(eq + 1)), false});
-    }
-  }
-
-  /// Required integer parameter.
-  int get_int(std::string_view key) {
-    return parse_int(key, require(key));
-  }
-  /// Required floating parameter.
-  double get_double(std::string_view key) {
-    return parse_double(key, require(key));
-  }
-  /// Optional parameters fall back to the given default.
-  int get_int(std::string_view key, int fallback) {
-    const std::string* raw = find(key);
-    return raw == nullptr ? fallback : parse_int(key, *raw);
-  }
-  double get_double(std::string_view key, double fallback) {
-    const std::string* raw = find(key);
-    return raw == nullptr ? fallback : parse_double(key, *raw);
-  }
-
-  /// Call after consuming everything the technique understands: any key
-  /// never looked up is unknown, and that is an error (with a did-you-mean
-  /// nudge when the key is a near-miss of a valid one).
-  void finish(std::string_view valid_keys) const {
-    for (const Entry& entry : entries_) {
-      if (!entry.consumed) {
-        std::vector<std::string_view> candidates;
-        std::string_view rest = valid_keys;
-        while (!rest.empty()) {
-          const std::size_t comma = rest.find(',');
-          std::string_view key = rest.substr(0, comma);
-          rest = comma == std::string_view::npos ? std::string_view{}
-                                                 : rest.substr(comma + 1);
-          while (!key.empty() && key.front() == ' ') key.remove_prefix(1);
-          if (!key.empty()) candidates.push_back(key);
-        }
-        fail("unknown key '" + entry.key + "' (valid keys: " +
-             std::string(valid_keys) + ")" +
-             did_you_mean(entry.key, candidates));
-      }
-    }
-  }
-
-  [[noreturn]] void fail(const std::string& what) const {
-    throw SpecError("strategy spec '" + std::string(technique_) +
-                    "': " + what);
-  }
-
- private:
-  struct Entry {
-    std::string key;
-    std::string value;
-    bool consumed;
-  };
-
-  const std::string* find(std::string_view key) {
-    for (Entry& entry : entries_) {
-      if (entry.key == key) {
-        entry.consumed = true;
-        return &entry.value;
-      }
-    }
-    return nullptr;
-  }
-
-  const std::string& require(std::string_view key) {
-    const std::string* raw = find(key);
-    if (raw == nullptr) {
-      fail("missing required key '" + std::string(key) + "'");
-    }
-    return *raw;
-  }
-
-  int parse_int(std::string_view key, const std::string& raw) const {
-    int value = 0;
-    const auto [end, ec] =
-        std::from_chars(raw.data(), raw.data() + raw.size(), value);
-    if (ec != std::errc{} || end != raw.data() + raw.size()) {
-      fail("key '" + std::string(key) + "': '" + raw +
-           "' is not an integer");
-    }
-    return value;
-  }
-
-  double parse_double(std::string_view key, const std::string& raw) const {
-    // std::from_chars for doubles is spotty across standard libraries;
-    // stringstream parsing is plenty for flag-sized inputs.
-    std::istringstream in(raw);
-    double value = 0.0;
-    in >> value;
-    if (in.fail() || !in.eof()) {
-      fail("key '" + std::string(key) + "': '" + raw + "' is not a number");
-    }
-    return value;
-  }
-
-  std::string_view technique_;
-  std::vector<Entry> entries_;
-};
+using spec::did_you_mean;
+using spec::Params;
 
 const char* const kTechniqueList =
     "traditional (tr), progressive (pr), iterative (ir), naive, weighted, "
@@ -193,13 +33,9 @@ constexpr std::string_view kTechniqueNames[] = {
 
 }  // namespace
 
-std::shared_ptr<StrategyFactory> Registry::make(std::string_view spec) {
-  const std::size_t colon = spec.find(':');
-  const std::string_view technique = spec.substr(0, colon);
-  const std::string_view body =
-      colon == std::string_view::npos ? std::string_view{}
-                                      : spec.substr(colon + 1);
-  Params params(technique, body);
+std::shared_ptr<StrategyFactory> Registry::make(std::string_view raw_spec) {
+  const auto [technique, body] = spec::split(raw_spec);
+  Params params("strategy spec '" + std::string(technique) + "'", body);
 
   if (technique == "traditional" || technique == "tr") {
     const int k = params.get_int("k");

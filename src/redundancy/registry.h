@@ -14,21 +14,19 @@
 #pragma once
 
 #include <memory>
-#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/spec.h"
 #include "redundancy/strategy.h"
 
 namespace smartred::redundancy {
 
 /// A malformed or unknown strategy spec. The message names the offending
-/// part and lists the valid alternatives.
-class SpecError : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
-};
+/// part and lists the valid alternatives. (Shared with the assignment
+/// registry — one grammar, one error type.)
+using SpecError = spec::SpecError;
 
 class Registry {
  public:
